@@ -1,0 +1,69 @@
+use ecad_dataset::Dataset;
+use ecad_tensor::Matrix;
+
+/// Common interface for the classical baselines.
+///
+/// Object-safe so the experiment harness can iterate over a
+/// heterogeneous list of comparators (`Vec<Box<dyn Classifier>>`).
+pub trait Classifier: Send {
+    /// Human-readable model name for report tables (e.g.
+    /// `"DecisionTreeClassifier"`).
+    fn name(&self) -> &str;
+
+    /// Fits the model to the training dataset, replacing any previous
+    /// fit.
+    fn fit(&mut self, train: &Dataset);
+
+    /// Predicts class labels for each row of `features`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before [`Classifier::fit`] or
+    /// if the feature width differs from the training data.
+    fn predict(&self, features: &Matrix) -> Vec<usize>;
+
+    /// Convenience: fraction of `ds` rows predicted correctly.
+    fn accuracy(&self, ds: &Dataset) -> f32 {
+        let preds = self.predict(ds.features());
+        let hits = preds
+            .iter()
+            .zip(ds.labels())
+            .filter(|(p, l)| p == l)
+            .count();
+        hits as f32 / ds.len().max(1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecad_dataset::Dataset;
+
+    /// A constant classifier to pin down the trait's default method.
+    struct Always(usize);
+
+    impl Classifier for Always {
+        fn name(&self) -> &str {
+            "Always"
+        }
+        fn fit(&mut self, _train: &Dataset) {}
+        fn predict(&self, features: &Matrix) -> Vec<usize> {
+            vec![self.0; features.rows()]
+        }
+    }
+
+    #[test]
+    fn default_accuracy_counts_hits() {
+        let ds = Dataset::new("t", Matrix::zeros(4, 1), vec![1, 1, 0, 1], 2).unwrap();
+        let c = Always(1);
+        assert!((c.accuracy(&ds) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut boxed: Box<dyn Classifier> = Box::new(Always(0));
+        let ds = Dataset::new("t", Matrix::zeros(1, 1), vec![0], 2).unwrap();
+        boxed.fit(&ds);
+        assert_eq!(boxed.predict(ds.features()), vec![0]);
+    }
+}

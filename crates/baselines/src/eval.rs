@@ -1,0 +1,127 @@
+//! Cross-validated evaluation of baselines.
+//!
+//! Implements the OpenML-style 10-fold protocol used for Table I: fit on
+//! nine folds, score on the held-out fold, average. Standardization is
+//! fit on each training split only.
+
+use ecad_dataset::{folds, scaler, Dataset};
+use rand::Rng;
+
+use crate::Classifier;
+
+/// Result of a cross-validated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// Model name as reported by the classifier.
+    pub model: String,
+    /// Per-fold test accuracies.
+    pub fold_accuracies: Vec<f32>,
+}
+
+impl CvResult {
+    /// Mean accuracy across folds.
+    pub fn mean_accuracy(&self) -> f32 {
+        if self.fold_accuracies.is_empty() {
+            return 0.0;
+        }
+        self.fold_accuracies.iter().sum::<f32>() / self.fold_accuracies.len() as f32
+    }
+}
+
+/// Runs stratified k-fold cross-validation for a classifier.
+///
+/// `make` constructs a fresh classifier per fold so no state leaks
+/// between folds. Features are standardized per split.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or exceeds the dataset size (see
+/// [`folds::stratified_kfold`]).
+pub fn cross_validate<C, F, R>(make: F, ds: &Dataset, k: usize, rng: &mut R) -> CvResult
+where
+    C: Classifier,
+    F: Fn() -> C,
+    R: Rng + ?Sized,
+{
+    let folds = folds::stratified_kfold(ds, k, rng);
+    let mut accs = Vec::with_capacity(k);
+    let mut name = String::new();
+    for fold in &folds {
+        let train = ds.subset(&fold.train);
+        let test = ds.subset(&fold.test);
+        let (train_s, test_s) = scaler::standardize_pair(&train, &test);
+        let mut model = make();
+        model.fit(&train_s);
+        accs.push(model.accuracy(&test_s));
+        if name.is_empty() {
+            name = model.name().to_string();
+        }
+    }
+    CvResult {
+        model: name,
+        fold_accuracies: accs,
+    }
+}
+
+/// Fits on `train` and scores on `test` once (the Table II protocol for
+/// the pre-split MNIST / Fashion-MNIST datasets), with standardization.
+pub fn holdout<C: Classifier>(model: &mut C, train: &Dataset, test: &Dataset) -> f32 {
+    let (train_s, test_s) = scaler::standardize_pair(train, test);
+    model.fit(&train_s);
+    model.accuracy(&test_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecisionTree;
+    use ecad_dataset::synth::SyntheticSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ds() -> Dataset {
+        SyntheticSpec::new("cv", 200, 6, 2)
+            .with_class_sep(3.0)
+            .with_seed(1)
+            .generate()
+    }
+
+    #[test]
+    fn cross_validate_produces_k_scores() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = cross_validate(|| DecisionTree::new(6), &ds(), 5, &mut rng);
+        assert_eq!(r.fold_accuracies.len(), 5);
+        assert_eq!(r.model, "DecisionTreeClassifier");
+        assert!(r.mean_accuracy() > 0.6);
+        assert!(r.fold_accuracies.iter().all(|a| (0.0..=1.0).contains(a)));
+    }
+
+    #[test]
+    fn cv_is_deterministic_per_seed() {
+        let d = ds();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            cross_validate(|| DecisionTree::new(6), &d, 5, &mut rng).fold_accuracies
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn holdout_scores_test_only() {
+        let d = ds();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test) = d.split(0.3, &mut rng);
+        let mut tree = DecisionTree::new(8);
+        let acc = holdout(&mut tree, &train, &test);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn empty_result_mean_is_zero() {
+        let r = CvResult {
+            model: "x".into(),
+            fold_accuracies: vec![],
+        };
+        assert_eq!(r.mean_accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Random forest — the `mlr.classif.ranger` stand-in.
+
+use ecad_dataset::Dataset;
+use ecad_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Classifier, DecisionTree};
+
+/// A bagged ensemble of CART trees with per-node feature subsampling
+/// (`sqrt(features)` by default, the ranger/scikit convention).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    n_trees: usize,
+    max_depth: usize,
+    seed: u64,
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest of `n_trees` trees with the given
+    /// per-tree depth limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trees == 0`.
+    pub fn new(n_trees: usize, max_depth: usize) -> Self {
+        assert!(n_trees > 0, "a forest needs at least one tree");
+        Self {
+            n_trees,
+            max_depth,
+            seed: 0,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// Seeds bootstrap sampling and feature subsampling.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of trees configured.
+    pub fn n_trees(&self) -> usize {
+        self.n_trees
+    }
+
+    /// Number of fitted trees (0 before `fit`).
+    pub fn fitted_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn name(&self) -> &str {
+        "RandomForest(ranger)"
+    }
+
+    fn fit(&mut self, train: &Dataset) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = train.len();
+        let mtry = (train.n_features() as f64).sqrt().ceil() as usize;
+        self.n_classes = train.n_classes();
+        self.trees = (0..self.n_trees)
+            .map(|t| {
+                // Bootstrap sample (with replacement).
+                let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                let boot = train.subset(&idx);
+                let mut tree = DecisionTree::new(self.max_depth)
+                    .with_max_features(mtry)
+                    .with_seed(self.seed.wrapping_add(t as u64 + 1));
+                tree.fit(&boot);
+                tree
+            })
+            .collect();
+    }
+
+    fn predict(&self, features: &Matrix) -> Vec<usize> {
+        assert!(!self.trees.is_empty(), "predict called before fit");
+        let votes: Vec<Vec<usize>> = self.trees.iter().map(|t| t.predict(features)).collect();
+        (0..features.rows())
+            .map(|r| {
+                let mut counts = vec![0usize; self.n_classes];
+                for v in &votes {
+                    counts[v[r]] += 1;
+                }
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(k, _)| k)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecad_dataset::synth::SyntheticSpec;
+
+    fn noisy() -> Dataset {
+        SyntheticSpec::new("forest", 300, 10, 2)
+            .with_class_sep(2.0)
+            .with_seed(4)
+            .generate()
+    }
+
+    #[test]
+    fn forest_fits_and_predicts() {
+        let ds = noisy();
+        let mut f = RandomForest::new(15, 6).with_seed(1);
+        f.fit(&ds);
+        assert_eq!(f.fitted_trees(), 15);
+        assert!(f.accuracy(&ds) > 0.8, "acc {}", f.accuracy(&ds));
+    }
+
+    #[test]
+    fn forest_generalizes_at_least_as_well_as_single_deep_tree() {
+        let ds = SyntheticSpec::new("gen", 500, 10, 2)
+            .with_class_sep(1.4)
+            .with_label_noise(0.15)
+            .with_seed(9)
+            .generate();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (train, test) = ds.split(0.3, &mut rng);
+        let mut tree = DecisionTree::new(20);
+        tree.fit(&train);
+        let mut forest = RandomForest::new(25, 8).with_seed(2);
+        forest.fit(&train);
+        // Forests should not be meaningfully worse on noisy data.
+        assert!(forest.accuracy(&test) >= tree.accuracy(&test) - 0.05);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = noisy();
+        let run = |seed| {
+            let mut f = RandomForest::new(5, 4).with_seed(seed);
+            f.fit(&ds);
+            f.predict(ds.features())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let _ = RandomForest::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let f = RandomForest::new(3, 4);
+        let _ = f.predict(&Matrix::zeros(1, 2));
+    }
+}

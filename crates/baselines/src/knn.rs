@@ -1,0 +1,139 @@
+//! Brute-force k-nearest-neighbors classifier.
+
+use ecad_dataset::Dataset;
+use ecad_tensor::{ops, Matrix};
+
+use crate::Classifier;
+
+/// k-nearest neighbors with Euclidean distance and majority vote
+/// (distance-weighted tie-break).
+#[derive(Debug, Clone)]
+pub struct KNearestNeighbors {
+    k: usize,
+    train_x: Option<Matrix>,
+    train_y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl KNearestNeighbors {
+    /// Creates an unfitted kNN classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            train_x: None,
+            train_y: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// Neighborhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Classifier for KNearestNeighbors {
+    fn name(&self) -> &str {
+        "KNeighborsClassifier"
+    }
+
+    fn fit(&mut self, train: &Dataset) {
+        self.train_x = Some(train.features().clone());
+        self.train_y = train.labels().to_vec();
+        self.n_classes = train.n_classes();
+    }
+
+    fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let train_x = self.train_x.as_ref().expect("predict called before fit");
+        assert_eq!(
+            features.cols(),
+            train_x.cols(),
+            "feature width differs from training data"
+        );
+        let k = self.k.min(self.train_y.len());
+        features
+            .iter_rows()
+            .map(|row| {
+                // Collect the k smallest distances with a simple
+                // selection over the training set.
+                let mut dists: Vec<(f32, usize)> = train_x
+                    .iter_rows()
+                    .zip(&self.train_y)
+                    .map(|(t, &y)| (ops::euclidean(row, t), y))
+                    .collect();
+                dists.select_nth_unstable_by(k - 1, |a, b| {
+                    a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                // Weighted vote among the first k entries.
+                let mut votes = vec![0.0f32; self.n_classes];
+                for &(d, y) in &dists[..k] {
+                    votes[y] += 1.0 / (d + 1e-6);
+                }
+                votes
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecad_dataset::synth::SyntheticSpec;
+
+    #[test]
+    fn one_nn_memorizes_training_data() {
+        let ds = SyntheticSpec::new("knn", 100, 5, 2).with_seed(1).generate();
+        let mut knn = KNearestNeighbors::new(1);
+        knn.fit(&ds);
+        assert!((knn.accuracy(&ds) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn k_larger_than_train_is_clamped() {
+        let ds = SyntheticSpec::new("knn-small", 5, 3, 2)
+            .with_seed(2)
+            .generate();
+        let mut knn = KNearestNeighbors::new(100);
+        knn.fit(&ds);
+        // Should not panic; predicts via all 5 neighbors.
+        let preds = knn.predict(ds.features());
+        assert_eq!(preds.len(), 5);
+    }
+
+    #[test]
+    fn separable_clusters_classified() {
+        let ds = SyntheticSpec::new("knn-sep", 200, 6, 3)
+            .with_class_sep(5.0)
+            .with_nonlinearity(0.0)
+            .with_seed(3)
+            .generate();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let (train, test) = ds.split(0.3, &mut rng);
+        let mut knn = KNearestNeighbors::new(5);
+        knn.fit(&train);
+        assert!(knn.accuracy(&test) > 0.9, "acc {}", knn.accuracy(&test));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = KNearestNeighbors::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let knn = KNearestNeighbors::new(3);
+        let _ = knn.predict(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,59 @@
+//! # ecad-baselines
+//!
+//! Classical machine-learning baselines used as comparators in the
+//! paper's Tables I and II.
+//!
+//! The paper compares its ECAD MLP against the best published OpenML
+//! results per dataset: sklearn's `DecisionTreeClassifier`, `SVC`,
+//! `MLPClassifier`, and mlr's `classif.ranger` (a random forest). To
+//! reproduce the comparison without those ecosystems, this crate
+//! implements each family from scratch:
+//!
+//! * [`DecisionTree`] — CART with Gini impurity (the
+//!   `DecisionTreeClassifier` stand-in),
+//! * [`RandomForest`] — bagged CART trees with per-node feature
+//!   subsampling (the `ranger` stand-in),
+//! * [`LinearSvm`] — one-vs-rest L2-regularized hinge loss via SGD (the
+//!   `SVC` stand-in),
+//! * [`LogisticRegression`] — multinomial softmax regression,
+//! * [`KNearestNeighbors`] — brute-force kNN,
+//! * [`GaussianNaiveBayes`] — per-class Gaussian likelihoods.
+//!
+//! All baselines implement the object-safe [`Classifier`] trait and are
+//! deterministic given their seed, so 10-fold comparisons are exactly
+//! reproducible. The fixed MLP baseline itself (sklearn's default-ish
+//! `MLPClassifier`) is constructed in the bench crate from `ecad-mlp`
+//! with a fixed topology.
+//!
+//! ## Example
+//!
+//! ```
+//! use ecad_baselines::{Classifier, DecisionTree};
+//! use ecad_dataset::synth::SyntheticSpec;
+//!
+//! let ds = SyntheticSpec::new("demo", 200, 6, 2).with_seed(3).generate();
+//! let mut tree = DecisionTree::new(6);
+//! tree.fit(&ds);
+//! let acc = tree.accuracy(&ds);
+//! assert!(acc > 0.7);
+//! ```
+
+#![warn(missing_docs)]
+
+mod classifier;
+mod forest;
+mod knn;
+mod logreg;
+mod naive_bayes;
+mod svm;
+mod tree;
+
+pub mod eval;
+
+pub use classifier::Classifier;
+pub use forest::RandomForest;
+pub use knn::KNearestNeighbors;
+pub use logreg::LogisticRegression;
+pub use naive_bayes::GaussianNaiveBayes;
+pub use svm::LinearSvm;
+pub use tree::DecisionTree;

@@ -1,0 +1,148 @@
+//! Multinomial (softmax) logistic regression.
+
+use ecad_dataset::Dataset;
+use ecad_tensor::{gemm, ops, Matrix};
+
+use crate::Classifier;
+
+/// Softmax regression trained with full-batch gradient descent.
+///
+/// Serves two roles: a classical baseline in its own right, and the
+/// degenerate zero-hidden-layer MLP the evolutionary search can fall
+/// back to.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    epochs: usize,
+    lr: f32,
+    l2: f32,
+    weights: Option<Matrix>, // (d + 1) x classes, last row is bias
+}
+
+impl LogisticRegression {
+    /// Creates an unfitted model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs == 0` or `lr <= 0`.
+    pub fn new(epochs: usize, lr: f32) -> Self {
+        assert!(epochs > 0, "need at least one epoch");
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            epochs,
+            lr,
+            l2: 1e-4,
+            weights: None,
+        }
+    }
+
+    /// Sets the L2 regularization strength.
+    pub fn with_l2(mut self, l2: f32) -> Self {
+        self.l2 = l2.max(0.0);
+        self
+    }
+
+    fn augment(features: &Matrix) -> Matrix {
+        // Append a constant-1 column for the bias.
+        Matrix::from_fn(features.rows(), features.cols() + 1, |r, c| {
+            if c == features.cols() {
+                1.0
+            } else {
+                features[(r, c)]
+            }
+        })
+    }
+
+    fn logits(&self, x_aug: &Matrix) -> Matrix {
+        gemm::matmul(
+            x_aug,
+            self.weights.as_ref().expect("predict called before fit"),
+        )
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn name(&self) -> &str {
+        "LogisticRegression"
+    }
+
+    fn fit(&mut self, train: &Dataset) {
+        let x = Self::augment(train.features());
+        let t = ops::one_hot(train.labels(), train.n_classes());
+        let n = train.len() as f32;
+        let mut w = Matrix::zeros(x.cols(), train.n_classes());
+        for _ in 0..self.epochs {
+            let probs = ops::softmax_rows(&gemm::matmul(&x, &w));
+            let mut delta = probs.sub(&t).expect("shapes fixed above");
+            delta.scale_inplace(1.0 / n);
+            let mut grad = gemm::matmul_at_b(&x, &delta);
+            grad.axpy_inplace(self.l2, &w).expect("same shape");
+            w.axpy_inplace(-self.lr, &grad).expect("same shape");
+        }
+        self.weights = Some(w);
+    }
+
+    fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let x = Self::augment(features);
+        self.logits(&x).argmax_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecad_dataset::synth::SyntheticSpec;
+
+    #[test]
+    fn learns_separable_data() {
+        let ds = SyntheticSpec::new("lr", 200, 6, 2)
+            .with_class_sep(4.0)
+            .with_nonlinearity(0.0)
+            .with_seed(1)
+            .generate();
+        let mut lr = LogisticRegression::new(300, 0.5);
+        lr.fit(&ds);
+        assert!(lr.accuracy(&ds) > 0.95, "acc {}", lr.accuracy(&ds));
+    }
+
+    #[test]
+    fn multiclass() {
+        let ds = SyntheticSpec::new("lr4", 400, 8, 4)
+            .with_class_sep(4.0)
+            .with_nonlinearity(0.0)
+            .with_seed(2)
+            .generate();
+        let mut lr = LogisticRegression::new(300, 0.5);
+        lr.fit(&ds);
+        assert!(lr.accuracy(&ds) > 0.9, "acc {}", lr.accuracy(&ds));
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let ds = SyntheticSpec::new("l2", 100, 4, 2).with_seed(3).generate();
+        let norm = |l2: f32| {
+            let mut m = LogisticRegression::new(200, 0.5).with_l2(l2);
+            m.fit(&ds);
+            m.weights.unwrap().frobenius_norm()
+        };
+        assert!(norm(1.0) < norm(0.0));
+    }
+
+    #[test]
+    fn refit_replaces_previous_model() {
+        let a = SyntheticSpec::new("a", 100, 4, 2).with_seed(1).generate();
+        let b = SyntheticSpec::new("b", 100, 4, 2).with_seed(2).generate();
+        let mut m = LogisticRegression::new(100, 0.5);
+        m.fit(&a);
+        let first = m.predict(a.features());
+        m.fit(&b);
+        m.fit(&a);
+        assert_eq!(m.predict(a.features()), first);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let m = LogisticRegression::new(10, 0.1);
+        let _ = m.predict(&Matrix::zeros(1, 3));
+    }
+}

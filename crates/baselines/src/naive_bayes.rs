@@ -1,0 +1,185 @@
+//! Gaussian naive Bayes classifier.
+
+use ecad_dataset::Dataset;
+use ecad_tensor::Matrix;
+
+use crate::Classifier;
+
+/// Naive Bayes with per-class, per-feature Gaussian likelihoods and
+/// variance smoothing (sklearn's `var_smoothing` analogue).
+#[derive(Debug, Clone)]
+pub struct GaussianNaiveBayes {
+    var_smoothing: f32,
+    // Per class: prior log-prob, per-feature mean, per-feature variance.
+    priors: Vec<f32>,
+    means: Vec<Vec<f32>>,
+    vars: Vec<Vec<f32>>,
+}
+
+impl GaussianNaiveBayes {
+    /// Creates an unfitted model with default smoothing `1e-6`.
+    pub fn new() -> Self {
+        Self {
+            var_smoothing: 1e-6,
+            priors: Vec::new(),
+            means: Vec::new(),
+            vars: Vec::new(),
+        }
+    }
+
+    /// Sets the variance-smoothing fraction (added as
+    /// `smoothing * max feature variance` to every variance).
+    pub fn with_var_smoothing(mut self, s: f32) -> Self {
+        self.var_smoothing = s.max(0.0);
+        self
+    }
+}
+
+impl Default for GaussianNaiveBayes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn name(&self) -> &str {
+        "GaussianNB"
+    }
+
+    fn fit(&mut self, train: &Dataset) {
+        let classes = train.n_classes();
+        let d = train.n_features();
+        let counts = train.class_counts();
+        let mut means = vec![vec![0.0f32; d]; classes];
+        let mut vars = vec![vec![0.0f32; d]; classes];
+        for r in 0..train.len() {
+            let y = train.labels()[r];
+            for (m, &x) in means[y].iter_mut().zip(train.features().row(r)) {
+                *m += x;
+            }
+        }
+        for (c, count) in counts.iter().enumerate() {
+            let n = (*count).max(1) as f32;
+            for m in &mut means[c] {
+                *m /= n;
+            }
+        }
+        for r in 0..train.len() {
+            let y = train.labels()[r];
+            for ((v, &x), &m) in vars[y]
+                .iter_mut()
+                .zip(train.features().row(r))
+                .zip(&means[y])
+            {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let mut max_var = 0.0f32;
+        for (c, count) in counts.iter().enumerate() {
+            let n = (*count).max(1) as f32;
+            for v in &mut vars[c] {
+                *v /= n;
+                max_var = max_var.max(*v);
+            }
+        }
+        let eps = self.var_smoothing * max_var.max(1e-9);
+        for vrow in &mut vars {
+            for v in vrow {
+                *v += eps + 1e-9;
+            }
+        }
+        self.priors = counts
+            .iter()
+            .map(|&c| ((c.max(1)) as f32 / train.len() as f32).ln())
+            .collect();
+        self.means = means;
+        self.vars = vars;
+    }
+
+    fn predict(&self, features: &Matrix) -> Vec<usize> {
+        assert!(!self.means.is_empty(), "predict called before fit");
+        assert_eq!(
+            features.cols(),
+            self.means[0].len(),
+            "feature width differs from training data"
+        );
+        features
+            .iter_rows()
+            .map(|row| {
+                (0..self.priors.len())
+                    .map(|c| {
+                        let mut ll = self.priors[c];
+                        for ((&x, &m), &v) in row.iter().zip(&self.means[c]).zip(&self.vars[c]) {
+                            ll += -0.5 * ((x - m) * (x - m) / v + v.ln());
+                        }
+                        (c, ll)
+                    })
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecad_dataset::synth::SyntheticSpec;
+
+    #[test]
+    fn gaussian_clusters_are_its_home_turf() {
+        let ds = SyntheticSpec::new("gnb", 300, 8, 3)
+            .with_class_sep(4.0)
+            .with_nonlinearity(0.0)
+            .with_seed(1)
+            .generate();
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&ds);
+        assert!(nb.accuracy(&ds) > 0.85, "acc {}", nb.accuracy(&ds));
+    }
+
+    #[test]
+    fn constant_feature_does_not_produce_nan() {
+        use ecad_tensor::Matrix;
+        let mut x = Matrix::zeros(20, 3);
+        for r in 0..20 {
+            x[(r, 1)] = if r % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let ds = Dataset::new("const", x, labels, 2).unwrap();
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&ds);
+        let acc = nb.accuracy(&ds);
+        assert!(acc.is_finite());
+        assert!(acc > 0.9);
+    }
+
+    #[test]
+    fn priors_reflect_imbalance() {
+        use ecad_tensor::Matrix;
+        // 18 of class 0, 2 of class 1, identical features: predict 0.
+        let x = Matrix::filled(20, 2, 1.0);
+        let mut labels = vec![0usize; 20];
+        labels[0] = 1;
+        labels[1] = 1;
+        let ds = Dataset::new("imb", x, labels, 2).unwrap();
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&ds);
+        assert_eq!(nb.predict(&Matrix::filled(1, 2, 1.0)), vec![0]);
+    }
+
+    #[test]
+    fn default_is_new() {
+        let nb = GaussianNaiveBayes::default();
+        assert!(nb.means.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        use ecad_tensor::Matrix;
+        let nb = GaussianNaiveBayes::new();
+        let _ = nb.predict(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,394 @@
+//! CART decision tree with Gini impurity — the
+//! `DecisionTreeClassifier` stand-in.
+
+use ecad_dataset::Dataset;
+use ecad_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Classifier;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART classification tree: binary threshold splits chosen to
+/// minimize weighted Gini impurity.
+///
+/// Supports per-node random feature subsampling (`max_features`) so the
+/// same implementation powers [`crate::RandomForest`].
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    max_depth: usize,
+    min_samples_split: usize,
+    max_features: Option<usize>,
+    seed: u64,
+    root: Option<Node>,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree with the given depth limit,
+    /// `min_samples_split = 2`, and no feature subsampling.
+    pub fn new(max_depth: usize) -> Self {
+        Self {
+            max_depth,
+            min_samples_split: 2,
+            max_features: None,
+            seed: 0,
+            root: None,
+            n_features: 0,
+        }
+    }
+
+    /// Sets the minimum number of samples required to split a node.
+    pub fn with_min_samples_split(mut self, n: usize) -> Self {
+        self.min_samples_split = n.max(2);
+        self
+    }
+
+    /// Considers only `n` random features per split (random forests use
+    /// `sqrt(total features)`).
+    pub fn with_max_features(mut self, n: usize) -> Self {
+        self.max_features = Some(n.max(1));
+        self
+    }
+
+    /// Seeds the feature-subsampling RNG.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Depth limit configured at construction.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Number of leaves in the fitted tree (0 before fitting).
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        self.root.as_ref().map_or(0, count)
+    }
+
+    fn majority(labels: &[usize], idx: &[usize], n_classes: usize) -> usize {
+        let mut counts = vec![0usize; n_classes];
+        for &i in idx {
+            counts[labels[i]] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(k, _)| k)
+            .unwrap_or(0)
+    }
+
+    fn gini_from_counts(counts: &[usize], total: usize) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        let t = total as f64;
+        1.0 - counts
+            .iter()
+            .map(|&c| {
+                let p = c as f64 / t;
+                p * p
+            })
+            .sum::<f64>()
+    }
+
+    /// Finds the best `(feature, threshold, gini)` split of `idx`, or
+    /// `None` if no split reduces impurity.
+    fn best_split(
+        features: &Matrix,
+        labels: &[usize],
+        idx: &[usize],
+        n_classes: usize,
+        candidates: &[usize],
+    ) -> Option<(usize, f32, f64)> {
+        let parent_counts = {
+            let mut c = vec![0usize; n_classes];
+            for &i in idx {
+                c[labels[i]] += 1;
+            }
+            c
+        };
+        let parent_gini = Self::gini_from_counts(&parent_counts, idx.len());
+        if parent_gini == 0.0 {
+            return None;
+        }
+
+        let mut best: Option<(usize, f32, f64)> = None;
+        let mut order: Vec<usize> = idx.to_vec();
+        for &f in candidates {
+            order.sort_by(|&a, &b| {
+                features[(a, f)]
+                    .partial_cmp(&features[(b, f)])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            // Sweep split points between distinct consecutive values,
+            // maintaining left/right class counts incrementally.
+            let mut left_counts = vec![0usize; n_classes];
+            let mut right_counts = parent_counts.clone();
+            for w in 0..order.len() - 1 {
+                let i = order[w];
+                left_counts[labels[i]] += 1;
+                right_counts[labels[i]] -= 1;
+                let v = features[(i, f)];
+                let v_next = features[(order[w + 1], f)];
+                if v == v_next {
+                    continue;
+                }
+                let n_left = w + 1;
+                let n_right = order.len() - n_left;
+                let g = (n_left as f64 * Self::gini_from_counts(&left_counts, n_left)
+                    + n_right as f64 * Self::gini_from_counts(&right_counts, n_right))
+                    / order.len() as f64;
+                if g + 1e-12 < best.map_or(parent_gini, |(_, _, bg)| bg) {
+                    best = Some((f, (v + v_next) / 2.0, g));
+                }
+            }
+        }
+        best
+    }
+
+    fn build(
+        features: &Matrix,
+        labels: &[usize],
+        idx: &[usize],
+        n_classes: usize,
+        depth: usize,
+        cfg: &DecisionTree,
+        rng: &mut StdRng,
+    ) -> Node {
+        let class = Self::majority(labels, idx, n_classes);
+        if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
+            return Node::Leaf { class };
+        }
+        // Feature candidates: all, or a random subset for forests.
+        let all: Vec<usize> = (0..features.cols()).collect();
+        let candidates: Vec<usize> = match cfg.max_features {
+            Some(k) if k < all.len() => {
+                let mut pool = all.clone();
+                pool.shuffle(rng);
+                pool.truncate(k);
+                pool
+            }
+            _ => all,
+        };
+        match Self::best_split(features, labels, idx, n_classes, &candidates) {
+            None => Node::Leaf { class },
+            Some((feature, threshold, _)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                    .iter()
+                    .partition(|&&i| features[(i, feature)] <= threshold);
+                if left_idx.is_empty() || right_idx.is_empty() {
+                    return Node::Leaf { class };
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(Self::build(
+                        features,
+                        labels,
+                        &left_idx,
+                        n_classes,
+                        depth + 1,
+                        cfg,
+                        rng,
+                    )),
+                    right: Box::new(Self::build(
+                        features,
+                        labels,
+                        &right_idx,
+                        n_classes,
+                        depth + 1,
+                        cfg,
+                        rng,
+                    )),
+                }
+            }
+        }
+    }
+
+    fn predict_row(&self, row: &[f32]) -> usize {
+        let mut node = self.root.as_ref().expect("predict called before fit");
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn name(&self) -> &str {
+        "DecisionTreeClassifier"
+    }
+
+    fn fit(&mut self, train: &Dataset) {
+        let idx: Vec<usize> = (0..train.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cfg = self.clone();
+        self.n_features = train.n_features();
+        self.root = Some(Self::build(
+            train.features(),
+            train.labels(),
+            &idx,
+            train.n_classes(),
+            0,
+            &cfg,
+            &mut rng,
+        ));
+    }
+
+    fn predict(&self, features: &Matrix) -> Vec<usize> {
+        assert_eq!(
+            features.cols(),
+            self.n_features,
+            "tree fit on {} features, got {}",
+            self.n_features,
+            features.cols()
+        );
+        features.iter_rows().map(|r| self.predict_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecad_dataset::synth::SyntheticSpec;
+
+    fn easy() -> Dataset {
+        SyntheticSpec::new("tree-easy", 300, 6, 2)
+            .with_class_sep(4.0)
+            .with_nonlinearity(0.0)
+            .with_seed(1)
+            .generate()
+    }
+
+    #[test]
+    fn fits_separable_data_well() {
+        let ds = easy();
+        let mut t = DecisionTree::new(8);
+        t.fit(&ds);
+        assert!(t.accuracy(&ds) > 0.95, "acc {}", t.accuracy(&ds));
+    }
+
+    #[test]
+    fn depth_zero_is_majority_class() {
+        let ds = easy();
+        let mut t = DecisionTree::new(0);
+        t.fit(&ds);
+        assert_eq!(t.leaf_count(), 1);
+        // Majority vote on a balanced dataset: accuracy ~= 0.5.
+        let acc = t.accuracy(&ds);
+        assert!((0.4..=0.6).contains(&acc), "acc {acc}");
+    }
+
+    #[test]
+    fn deeper_trees_fit_no_worse_on_train() {
+        let ds = SyntheticSpec::new("t", 200, 4, 2)
+            .with_class_sep(1.0)
+            .with_seed(5)
+            .generate();
+        let acc = |d: usize| {
+            let mut t = DecisionTree::new(d);
+            t.fit(&ds);
+            t.accuracy(&ds)
+        };
+        assert!(acc(12) >= acc(2) - 1e-6);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf_early() {
+        // All-same-label data: root should be a single leaf.
+        let x = Matrix::from_fn(10, 2, |r, c| (r + c) as f32);
+        let ds = Dataset::new("pure", x, vec![1; 10], 2).unwrap();
+        let mut t = DecisionTree::new(10);
+        t.fit(&ds);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.predict(ds.features()), vec![1; 10]);
+    }
+
+    #[test]
+    fn handles_constant_features() {
+        let x = Matrix::filled(20, 3, 1.0);
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let ds = Dataset::new("const", x, labels, 2).unwrap();
+        let mut t = DecisionTree::new(5);
+        t.fit(&ds);
+        // No split possible: must not loop or panic.
+        assert_eq!(t.leaf_count(), 1);
+    }
+
+    #[test]
+    fn feature_subsampling_is_deterministic_per_seed() {
+        let ds = easy();
+        let fit = |seed: u64| {
+            let mut t = DecisionTree::new(6).with_max_features(2).with_seed(seed);
+            t.fit(&ds);
+            t.predict(ds.features())
+        };
+        assert_eq!(fit(3), fit(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "fit on")]
+    fn predict_rejects_wrong_width() {
+        let ds = easy();
+        let mut t = DecisionTree::new(3);
+        t.fit(&ds);
+        let _ = t.predict(&Matrix::zeros(1, 99));
+    }
+
+    #[test]
+    fn min_samples_split_limits_growth() {
+        let ds = easy();
+        let mut small = DecisionTree::new(20).with_min_samples_split(200);
+        let mut big = DecisionTree::new(20).with_min_samples_split(2);
+        small.fit(&ds);
+        big.fit(&ds);
+        assert!(small.leaf_count() <= big.leaf_count());
+    }
+
+    #[test]
+    fn multiclass_splits_work() {
+        let ds = SyntheticSpec::new("mc", 300, 8, 4)
+            .with_class_sep(4.0)
+            .with_nonlinearity(0.0)
+            .with_seed(2)
+            .generate();
+        let mut t = DecisionTree::new(10);
+        t.fit(&ds);
+        assert!(t.accuracy(&ds) > 0.85, "acc {}", t.accuracy(&ds));
+    }
+}

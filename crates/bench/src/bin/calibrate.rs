@@ -1,0 +1,66 @@
+//! Difficulty-calibration tool for the synthetic benchmark suite.
+//!
+//! ```sh
+//! cargo run --release --bin calibrate [-- samples]
+//! ```
+//!
+//! Trains a reference MLP (two hidden layers, generous epochs) plus a
+//! linear probe on every benchmark stand-in and prints attainable
+//! accuracy next to the paper's target band. Used when tuning the
+//! per-dataset difficulty profiles in `ecad_dataset::benchmarks` —
+//! the reference MLP should land close to the paper's ECAD number, and
+//! the linear probe should trail it (the non-linearity gap the MLP
+//! exploits).
+
+use ecad_baselines::{Classifier, LogisticRegression};
+use ecad_dataset::benchmarks::{self, Benchmark};
+use ecad_dataset::scaler;
+use ecad_mlp::{Activation, MlpTopology, TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let samples_override: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    println!(
+        "{:<15} {:>8} {:>10} {:>10} {:>12} {:>12}",
+        "dataset", "samples", "ref MLP", "linear", "paper ECAD", "paper MLP"
+    );
+    for b in Benchmark::ALL {
+        let samples = samples_override.unwrap_or_else(|| benchmarks::default_samples(b));
+        let ds = benchmarks::load(b)
+            .with_samples(samples)
+            .with_seed(1)
+            .generate();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test) = ds.split(0.2, &mut rng);
+        let (train_s, test_s) = scaler::standardize_pair(&train, &test);
+
+        // Reference MLP: a solid two-layer network with a real budget.
+        let width = 128.min(ds.n_features().max(32));
+        let topo = MlpTopology::builder(ds.n_features(), ds.n_classes())
+            .hidden(width, Activation::Relu, true)
+            .hidden(width / 2, Activation::Relu, true)
+            .build();
+        let mut cfg = TrainConfig::thorough();
+        cfg.epochs = 60;
+        let mlp_acc = Trainer::new(cfg)
+            .fit(&topo, &train_s, &test_s, &mut rng)
+            .map(|r| r.test_accuracy)
+            .unwrap_or(0.0);
+
+        // Linear probe.
+        let mut probe = LogisticRegression::new(300, 0.5);
+        probe.fit(&train_s);
+        let lin_acc = probe.accuracy(&test_s);
+
+        println!(
+            "{:<15} {:>8} {:>10.4} {:>10.4} {:>12.4} {:>12.4}",
+            b.name(),
+            samples,
+            mlp_acc,
+            lin_acc,
+            b.paper_ecad_accuracy(),
+            b.paper_mlp_baseline_accuracy()
+        );
+    }
+}

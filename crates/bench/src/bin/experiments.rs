@@ -1,0 +1,205 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [IDS...] [--full|--smoke] [--seed N] [--threads N]
+//!             [--json PATH] [--csv-dir DIR]
+//!
+//! IDS: table1 table2 table3 table4 fig2 fig3 fig4 all   (default: all)
+//! ```
+//!
+//! Text tables go to stdout; `--json` additionally writes all results
+//! as one JSON document; `--csv-dir` writes the figures' scatter series
+//! as CSV files for external plotting.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ecad_bench::experiments::{fig2, fig3, fig4, table1, table2, table3, table4};
+use ecad_bench::{ExperimentContext, Scale};
+
+const ALL_IDS: [&str; 7] = [
+    "table1", "table2", "table3", "table4", "fig2", "fig3", "fig4",
+];
+
+struct Args {
+    ids: Vec<String>,
+    ctx: ExperimentContext,
+    json: Option<PathBuf>,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut ids = Vec::new();
+    let mut ctx = ExperimentContext::quick();
+    let mut json = None;
+    let mut csv_dir = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--full" => ctx.scale = Scale::Full,
+            "--smoke" => ctx.scale = Scale::Smoke,
+            "--quick" => ctx.scale = Scale::Quick,
+            "--seed" => {
+                ctx.seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer")?;
+            }
+            "--threads" => {
+                ctx.threads = argv
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer")?;
+            }
+            "--json" => json = Some(PathBuf::from(argv.next().ok_or("--json needs a path")?)),
+            "--csv-dir" => {
+                csv_dir = Some(PathBuf::from(argv.next().ok_or("--csv-dir needs a path")?))
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: experiments [{}|all]... [--full|--quick|--smoke] [--seed N] \
+                     [--threads N] [--json PATH] [--csv-dir DIR]",
+                    ALL_IDS.join("|")
+                ))
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            id if ALL_IDS.contains(&id) => ids.push(id.to_string()),
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if ids.is_empty() {
+        ids.extend(ALL_IDS.iter().map(|s| s.to_string()));
+    }
+    ids.dedup();
+    Ok(Args {
+        ids,
+        ctx,
+        json,
+        csv_dir,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "ECAD experiment harness — scale {:?}, seed {}, {} thread(s)",
+        args.ctx.scale, args.ctx.seed, args.ctx.threads
+    );
+    println!("(analytical hardware models + synthetic datasets; see DESIGN.md §2)\n");
+
+    let mut json_docs: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+    let mut csv_files: Vec<(String, String)> = Vec::new();
+
+    for id in &args.ids {
+        let start = std::time::Instant::now();
+        match id.as_str() {
+            "table1" => {
+                let t = table1::run(&args.ctx);
+                println!("{}", t.render());
+                let wins = t.ecad_beats_mlp_baseline();
+                println!(
+                    "claim check: ECAD MLP >= fixed MLP baseline on {}/{} datasets\n",
+                    wins.iter().filter(|&&w| w).count(),
+                    wins.len()
+                );
+                json_docs.insert(id.clone(), serde_json::to_value(&t).unwrap());
+            }
+            "table2" => {
+                let t = table2::run(&args.ctx);
+                println!("{}", t.render());
+                json_docs.insert(id.clone(), serde_json::to_value(&t).unwrap());
+            }
+            "table3" => {
+                let t = table3::run(&args.ctx);
+                println!("{}", t.render());
+                json_docs.insert(id.clone(), serde_json::to_value(&t).unwrap());
+            }
+            "table4" => {
+                let t = table4::run(&args.ctx);
+                println!("{}", t.render());
+                println!(
+                    "claim check: FPGA out-throughputs GPU on {:.0}% of Pareto rows \
+                     (paper: majority)\n",
+                    100.0 * t.fpga_win_fraction()
+                );
+                json_docs.insert(id.clone(), serde_json::to_value(&t).unwrap());
+            }
+            "fig2" => {
+                let f = fig2::run(&args.ctx);
+                println!("{}", f.render());
+                println!(
+                    "claim check: FPGA one-notch-down gain {:.1}x (paper: ~10x), \
+                     GPU corr(neurons, out/s) {:.2} (paper: ~0)\n",
+                    f.fpga.step_down_gain, f.gpu.neurons_throughput_correlation
+                );
+                csv_files.push(("fig2.csv".to_string(), f.to_csv()));
+                json_docs.insert(id.clone(), serde_json::to_value(&f).unwrap());
+            }
+            "fig3" => {
+                let f = fig3::run(&args.ctx);
+                println!("{}", f.render());
+                println!(
+                    "claim check: 1→4 bank peak-throughput scaling {:.2}x \
+                     (paper: mostly linear), efficiency roughly flat\n",
+                    f.scaling_1_to_4()
+                );
+                csv_files.push(("fig3.csv".to_string(), f.to_csv()));
+                json_docs.insert(id.clone(), serde_json::to_value(&f).unwrap());
+            }
+            "fig4" => {
+                let f = fig4::run(&args.ctx);
+                println!("{}", f.render());
+                println!(
+                    "claim check: FPGA/GPU efficiency ratio at top accuracy {:.0}x \
+                     (paper: 41.5% vs 0.3% ≈ 138x)\n",
+                    f.efficiency_ratio()
+                );
+                csv_files.push(("fig4.csv".to_string(), f.to_csv()));
+                json_docs.insert(id.clone(), serde_json::to_value(&f).unwrap());
+            }
+            other => unreachable!("validated id {other}"),
+        }
+        println!(
+            "[{} finished in {:.1}s]\n",
+            id,
+            start.elapsed().as_secs_f64()
+        );
+    }
+
+    if let Some(dir) = &args.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for (name, content) in &csv_files {
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, content) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        }
+    }
+    if let Some(path) = &args.json {
+        let doc = serde_json::json!({
+            "scale": format!("{:?}", args.ctx.scale),
+            "seed": args.ctx.seed,
+            "results": json_docs,
+        });
+        if let Err(e) = std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,182 @@
+//! Experiment scaling knobs.
+
+use ecad_dataset::benchmarks::Benchmark;
+use ecad_mlp::TrainConfig;
+
+/// How much compute an experiment run may spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes on a laptop: reduced sample counts, epochs, and
+    /// evolutionary budgets. The default.
+    Quick,
+    /// Closer to the paper's budgets (hours). Same code paths.
+    Full,
+    /// Seconds; used by tests and Criterion benches to keep the harness
+    /// paths hot without real training budgets.
+    Smoke,
+}
+
+/// Shared configuration for all experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentContext {
+    /// Budget scale.
+    pub scale: Scale,
+    /// Master seed; every experiment derives sub-seeds from it.
+    pub seed: u64,
+    /// Worker threads per search (1 = deterministic).
+    pub threads: usize,
+}
+
+impl ExperimentContext {
+    /// Quick-scale context with seed 7, single-threaded.
+    pub fn quick() -> Self {
+        Self {
+            scale: Scale::Quick,
+            seed: 7,
+            threads: 1,
+        }
+    }
+
+    /// Full-scale context.
+    pub fn full() -> Self {
+        Self {
+            scale: Scale::Full,
+            ..Self::quick()
+        }
+    }
+
+    /// Smoke-scale context (tests / benches).
+    pub fn smoke() -> Self {
+        Self {
+            scale: Scale::Smoke,
+            ..Self::quick()
+        }
+    }
+
+    /// Sample count to generate for `b` at this scale.
+    pub fn samples(&self, b: Benchmark) -> usize {
+        use Benchmark::*;
+        match self.scale {
+            Scale::Full => ecad_dataset::benchmarks::default_samples(b).max(2000),
+            Scale::Quick => match b {
+                Mnist | FashionMnist => 1600,
+                CreditG => 800,
+                Har => 1200,
+                Phishing => 1600,
+                Bioresponse => 600,
+            },
+            Scale::Smoke => 160,
+        }
+    }
+
+    /// Evolutionary evaluation budget at this scale.
+    pub fn evaluations(&self) -> usize {
+        match self.scale {
+            Scale::Full => 400,
+            Scale::Quick => 36,
+            Scale::Smoke => 8,
+        }
+    }
+
+    /// Population size at this scale.
+    pub fn population(&self) -> usize {
+        match self.scale {
+            Scale::Full => 24,
+            Scale::Quick => 12,
+            Scale::Smoke => 4,
+        }
+    }
+
+    /// Per-candidate trainer configuration at this scale.
+    pub fn trainer(&self) -> TrainConfig {
+        let mut cfg = TrainConfig::fast();
+        match self.scale {
+            Scale::Full => {
+                cfg.epochs = 40;
+                cfg.patience = 6;
+            }
+            Scale::Quick => {
+                cfg.epochs = 14;
+                cfg.patience = 4;
+            }
+            Scale::Smoke => {
+                cfg.epochs = 3;
+                cfg.patience = 0;
+            }
+        }
+        cfg
+    }
+
+    /// Trainer for the final refit of a found topology (more epochs).
+    pub fn refit_trainer(&self) -> TrainConfig {
+        let mut cfg = self.trainer();
+        cfg.epochs *= 2;
+        cfg.patience = cfg.patience.max(4) * 2;
+        cfg
+    }
+
+    /// Upper bound on hidden-layer width for a dataset (keeps the
+    /// search space proportionate to the input width and the budget).
+    pub fn max_neurons(&self, b: Benchmark) -> usize {
+        let cap = match self.scale {
+            Scale::Full => 512,
+            Scale::Quick => 192,
+            Scale::Smoke => 32,
+        };
+        cap.min(b.n_features().max(32))
+    }
+
+    /// Derives a deterministic sub-seed for a named experiment stage.
+    pub fn sub_seed(&self, tag: &str) -> u64 {
+        let mut h: u64 = self.seed ^ 0x9e3779b97f4a7c15;
+        for b in tag.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_order_budgets() {
+        let smoke = ExperimentContext::smoke();
+        let quick = ExperimentContext::quick();
+        let full = ExperimentContext::full();
+        assert!(smoke.evaluations() < quick.evaluations());
+        assert!(quick.evaluations() < full.evaluations());
+        assert!(smoke.trainer().epochs < full.trainer().epochs);
+    }
+
+    #[test]
+    fn samples_positive_for_all_benchmarks() {
+        let ctx = ExperimentContext::quick();
+        for b in Benchmark::ALL {
+            assert!(ctx.samples(b) > 0);
+        }
+    }
+
+    #[test]
+    fn sub_seeds_differ_by_tag_and_are_stable() {
+        let ctx = ExperimentContext::quick();
+        assert_ne!(ctx.sub_seed("a"), ctx.sub_seed("b"));
+        assert_eq!(ctx.sub_seed("table1"), ctx.sub_seed("table1"));
+    }
+
+    #[test]
+    fn max_neurons_respects_tiny_inputs() {
+        let ctx = ExperimentContext::quick();
+        // credit-g has 20 features; cap must still allow useful widths.
+        assert!(ctx.max_neurons(Benchmark::CreditG) >= 32);
+        assert!(ctx.max_neurons(Benchmark::Mnist) <= 192);
+    }
+}

@@ -1,0 +1,228 @@
+//! Table I — top 10-fold accuracy for the four OpenML datasets,
+//! ECAD MLP vs an MLP baseline vs classical methods.
+//!
+//! Protocol per dataset:
+//!
+//! 1. classical baselines (decision tree, random forest, linear SVM,
+//!    logistic regression, Gaussian NB) are scored with stratified
+//!    10-fold cross-validation;
+//! 2. the **MLP baseline** is sklearn's default-shaped `MLPClassifier`
+//!    (one hidden layer of 100 ReLU neurons, Adam), same 10-fold CV;
+//! 3. **ECAD MLP** runs the evolutionary accuracy search on a split of
+//!    the data, then the best topology is refit across the same 10
+//!    folds — the paper's headline number.
+//!
+//! The paper's qualitative claim checked here: ECAD MLP beats the fixed
+//! MLP baseline on every dataset (and the best non-MLP method on at
+//! least credit-g and phishing in the paper's runs).
+
+use ecad_baselines::{
+    eval, DecisionTree, GaussianNaiveBayes, LinearSvm, LogisticRegression, RandomForest,
+};
+use ecad_core::prelude::*;
+use ecad_dataset::benchmarks::Benchmark;
+use serde::Serialize;
+
+use crate::context::{ExperimentContext, Scale};
+use crate::report::{acc, TextTable};
+
+use super::{dataset, fold_count, kfold_topology_accuracy, run_search};
+
+/// One dataset row of Table I.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Best measured accuracy by any baseline method.
+    pub best_any_accuracy: f32,
+    /// Which baseline achieved it.
+    pub best_any_method: String,
+    /// Fixed MLP baseline (sklearn-default shape) accuracy.
+    pub mlp_baseline_accuracy: f32,
+    /// ECAD-searched MLP accuracy (10-fold refit of the best topology).
+    pub ecad_accuracy: f32,
+    /// Topology the search selected.
+    pub ecad_topology: String,
+    /// Paper reference: best published accuracy by any method.
+    pub paper_best_any: f32,
+    /// Paper reference: best published MLP accuracy.
+    pub paper_mlp: f32,
+    /// Paper reference: ECAD MLP accuracy.
+    pub paper_ecad: f32,
+}
+
+/// Full Table I result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// One row per dataset.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Renders the table in the paper's column layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Dataset",
+            "Top Acc (Any)",
+            "Top Method",
+            "MLP Baseline",
+            "ECAD MLP",
+            "Paper ECAD",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.dataset.clone(),
+                acc(r.best_any_accuracy),
+                r.best_any_method.clone(),
+                acc(r.mlp_baseline_accuracy),
+                acc(r.ecad_accuracy),
+                acc(r.paper_ecad),
+            ]);
+        }
+        format!(
+            "Table I: Top 10-fold Accuracy (measured vs paper)\n{}",
+            t.render()
+        )
+    }
+
+    /// Datasets where ECAD MLP beat the fixed MLP baseline — the
+    /// paper's headline claim holds when this covers every row.
+    pub fn ecad_beats_mlp_baseline(&self) -> Vec<bool> {
+        self.rows
+            .iter()
+            .map(|r| r.ecad_accuracy >= r.mlp_baseline_accuracy)
+            .collect()
+    }
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> Table1 {
+    let rows = Benchmark::TEN_FOLD
+        .iter()
+        .map(|&b| run_one(ctx, b))
+        .collect();
+    Table1 { rows }
+}
+
+fn run_one(ctx: &ExperimentContext, b: Benchmark) -> Table1Row {
+    let ds = dataset(ctx, b);
+    let k = fold_count(ctx);
+    let seed = ctx.sub_seed(&format!("table1/{b}"));
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+
+    // Classical baselines under 10-fold CV.
+    let mut results: Vec<(String, f32)> = Vec::new();
+    let quick = ctx.scale != Scale::Full;
+    let (trees, depth) = if quick { (10, 8) } else { (40, 12) };
+    results.push(score(eval::cross_validate(
+        || DecisionTree::new(depth),
+        &ds,
+        k,
+        &mut rng,
+    )));
+    results.push(score(eval::cross_validate(
+        || RandomForest::new(trees, depth).with_seed(seed),
+        &ds,
+        k,
+        &mut rng,
+    )));
+    let svm_epochs = if quick { 12 } else { 40 };
+    results.push(score(eval::cross_validate(
+        || LinearSvm::new(svm_epochs, 1e-4).with_seed(seed),
+        &ds,
+        k,
+        &mut rng,
+    )));
+    let lr_epochs = if quick { 120 } else { 400 };
+    results.push(score(eval::cross_validate(
+        || LogisticRegression::new(lr_epochs, 0.5),
+        &ds,
+        k,
+        &mut rng,
+    )));
+    results.push(score(eval::cross_validate(
+        GaussianNaiveBayes::new,
+        &ds,
+        k,
+        &mut rng,
+    )));
+
+    // Fixed MLP baseline: sklearn MLPClassifier default shape.
+    let mlp_baseline_topo = ecad_mlp::MlpTopology::builder(ds.n_features(), ds.n_classes())
+        .hidden(100, ecad_mlp::Activation::Relu, true)
+        .build();
+    let mlp_baseline_accuracy =
+        kfold_topology_accuracy(&ds, &mlp_baseline_topo, ctx.trainer(), k, seed ^ 0xA);
+
+    // ECAD: evolutionary accuracy search, then a 10-fold refit of the
+    // winning topology.
+    let search = run_search(
+        ctx,
+        &ds,
+        b,
+        HwTarget::Fpga(ecad_hw::fpga::FpgaDevice::arria10_gx1150(1)),
+        ObjectiveSet::accuracy_only(),
+        &format!("table1-search/{b}"),
+    );
+    let finalists = super::top_topologies(&search, 3);
+    assert!(
+        !finalists.is_empty(),
+        "search produced no feasible candidate"
+    );
+    let (ecad_accuracy, ecad_topology) = finalists
+        .iter()
+        .map(|nna| {
+            let topo = nna.to_topology(ds.n_features(), ds.n_classes());
+            let acc = kfold_topology_accuracy(&ds, &topo, ctx.refit_trainer(), k, seed ^ 0xB);
+            (acc, nna.describe())
+        })
+        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("at least one finalist");
+
+    let (best_any_method, best_any_accuracy) = results
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("at least one baseline ran");
+
+    Table1Row {
+        dataset: b.name().to_string(),
+        best_any_accuracy,
+        best_any_method,
+        mlp_baseline_accuracy,
+        ecad_accuracy,
+        ecad_topology,
+        paper_best_any: b.paper_best_any_accuracy(),
+        paper_mlp: b.paper_mlp_baseline_accuracy(),
+        paper_ecad: b.paper_ecad_accuracy(),
+    }
+}
+
+fn score(r: eval::CvResult) -> (String, f32) {
+    (r.model.clone(), r.mean_accuracy())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_all_rows() {
+        let ctx = ExperimentContext::smoke();
+        let t = run(&ctx);
+        assert_eq!(t.rows.len(), 4);
+        for r in &t.rows {
+            assert!(
+                (0.0..=1.0).contains(&r.ecad_accuracy),
+                "{}: {}",
+                r.dataset,
+                r.ecad_accuracy
+            );
+            assert!((0.0..=1.0).contains(&r.best_any_accuracy));
+            assert!(!r.ecad_topology.is_empty());
+        }
+        let rendered = t.render();
+        assert!(rendered.contains("credit-g"));
+        assert!(rendered.contains("bioresponse"));
+    }
+}

@@ -1,0 +1,17 @@
+//! The `ecad` command-line tool. All logic lives in `ecad_cli`; this
+//! binary only bridges `std::env::args` to it.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match ecad_cli::run(std::env::args().skip(1)) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::fmt;
+
+use ecad_core::config::FlowConfig;
+use ecad_core::prelude::*;
+use ecad_dataset::benchmarks::{self, Benchmark};
+use ecad_dataset::csv;
+use ecad_hw::cpu::{CpuDevice, CpuModel};
+use ecad_hw::fpga::{FpgaDevice, FpgaModel, GridConfig, PhysicalModel};
+use ecad_hw::gpu::{GpuDevice, GpuModel};
+
+use crate::args::{parse_grid, parse_usize_list, ArgError, Parsed};
+
+/// Error produced by a CLI run.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing failed.
+    Args(ArgError),
+    /// A file could not be read or written.
+    Io(String),
+    /// A domain error (bad config, bad CSV, infeasible grid, ...).
+    Domain(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}\n\n{USAGE}"),
+            CliError::Io(msg) => write!(f, "io error: {msg}"),
+            CliError::Domain(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+const USAGE: &str = "usage:
+  ecad search   --data TABLE.csv [--config ECAD.ini] [--trace OUT.csv]
+                [--seed N] [--threads N] [--evaluations N]
+  ecad datasets [--generate NAME --out FILE [--samples N] [--seed N]]
+  ecad devices
+  ecad estimate --layers 784,256,10 [--device NAME] [--batch N]
+                [--grid RxCxV[,IMxIN]] [--banks N]";
+
+/// Runs the CLI against `argv` (program name excluded), returning the
+/// text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad arguments, I/O failures, or domain
+/// errors; the binary prints it and exits non-zero.
+pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> {
+    let parsed = Parsed::parse(argv)?;
+    match parsed.command.as_str() {
+        "search" => cmd_search(&parsed),
+        "datasets" => cmd_datasets(&parsed),
+        "devices" => Ok(cmd_devices()),
+        "estimate" => cmd_estimate(&parsed),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(ArgError::UnknownCommand(other.to_string()).into()),
+    }
+}
+
+fn cmd_search(p: &Parsed) -> Result<String, CliError> {
+    p.check_allowed(&["data", "config", "trace", "seed", "threads", "evaluations"])?;
+    let data_path = p.require("data")?;
+    let dataset = csv::read_dataset_file(data_path).map_err(|e| CliError::Domain(e.to_string()))?;
+    let mut config = match p.get("config") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(e.to_string()))?;
+            FlowConfig::from_ini(&text).map_err(|e| CliError::Domain(e.to_string()))?
+        }
+        None => FlowConfig::default(),
+    };
+    config.evolution.seed = p.get_parse("seed", config.evolution.seed)?;
+    config.evolution.threads = p.get_parse("threads", config.evolution.threads)?;
+    config.evolution.evaluations = p.get_parse("evaluations", config.evolution.evaluations)?;
+
+    let result = Search::from_config(&config, &dataset).run();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "dataset {} ({} samples x {} features, {} classes) on {}\n\n",
+        dataset.name(),
+        dataset.len(),
+        dataset.n_features(),
+        dataset.n_classes(),
+        result.target_name()
+    ));
+    if let Some(best) = result.best() {
+        out.push_str(&format!(
+            "best candidate : {}\n  accuracy  {:.4}\n  outputs/s {:.3e}\n  latency   {:.2e} s\n  efficiency {:.1}%\n\n",
+            best.genome,
+            best.measurement.accuracy,
+            best.measurement.hw.outputs_per_s(),
+            best.measurement.hw.latency_s(),
+            100.0 * best.measurement.hw.efficiency(),
+        ));
+    }
+    out.push_str("pareto frontier (accuracy, outputs/s, genome):\n");
+    for e in result.pareto_accuracy_throughput() {
+        out.push_str(&format!(
+            "  {:.4}  {:>12.3e}  {}\n",
+            e.measurement.accuracy,
+            e.measurement.hw.outputs_per_s(),
+            e.genome
+        ));
+    }
+    let stats = result.stats();
+    out.push_str(&format!(
+        "\n{} models evaluated ({} cache hits), avg {:.3}s/model, wall {:.1}s\n",
+        stats.models_evaluated, stats.cache_hits, stats.avg_eval_time_s, stats.wall_time_s
+    ));
+    if let Some(path) = p.get("trace") {
+        std::fs::write(path, result.trace_csv()).map_err(|e| CliError::Io(e.to_string()))?;
+        out.push_str(&format!("trace written to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_datasets(p: &Parsed) -> Result<String, CliError> {
+    p.check_allowed(&["generate", "out", "samples", "seed"])?;
+    match p.get("generate") {
+        None => {
+            let mut out = String::from(
+                "built-in benchmark stand-ins (generate with: ecad datasets --generate NAME --out FILE):\n\n",
+            );
+            out.push_str(&format!(
+                "{:<15} {:>9} {:>9} {:>8}   paper ECAD acc\n",
+                "name", "features", "classes", "default"
+            ));
+            for b in Benchmark::ALL {
+                out.push_str(&format!(
+                    "{:<15} {:>9} {:>9} {:>8}   {:.4}\n",
+                    b.name(),
+                    b.n_features(),
+                    b.n_classes(),
+                    benchmarks::default_samples(b),
+                    b.paper_ecad_accuracy()
+                ));
+            }
+            Ok(out)
+        }
+        Some(name) => {
+            let b = Benchmark::from_name(name).ok_or_else(|| {
+                CliError::Domain(format!(
+                    "unknown benchmark {name:?}; run `ecad datasets` for the list"
+                ))
+            })?;
+            let out_path = p.require("out")?;
+            let samples = p.get_parse("samples", benchmarks::default_samples(b))?;
+            let seed = p.get_parse("seed", 0u64)?;
+            let ds = benchmarks::load(b)
+                .with_samples(samples)
+                .with_seed(seed)
+                .generate();
+            csv::write_dataset_file(&ds, out_path).map_err(|e| CliError::Io(e.to_string()))?;
+            Ok(format!(
+                "wrote {} ({} samples x {} features) to {}\n",
+                b.name(),
+                ds.len(),
+                ds.n_features(),
+                out_path
+            ))
+        }
+    }
+}
+
+fn cmd_devices() -> String {
+    let mut out = String::from("device catalog:\n\nFPGA (hardware-database + physical workers):\n");
+    for (d, banks) in [
+        (FpgaDevice::arria10_gx1150(1), 1u32),
+        (FpgaDevice::stratix10_2800(4), 4),
+    ] {
+        out.push_str(&format!(
+            "  {:<18} {:>5} DSPs  {:>6.0} MHz  {:>7.2} TFLOP/s peak  {} DDR bank(s), {:.1} GB/s\n",
+            d.name,
+            d.dsp_blocks,
+            d.clock_mhz,
+            d.peak_flops() / 1e12,
+            banks,
+            d.ddr.bytes_per_s() / 1e9,
+        ));
+    }
+    out.push_str("\nGPU (simulation worker):\n");
+    for d in [
+        GpuDevice::quadro_m5000(),
+        GpuDevice::titan_x(),
+        GpuDevice::radeon_vii(),
+    ] {
+        out.push_str(&format!(
+            "  {:<18} {:>7.2} TFLOP/s  {:>6.0} GB/s  {:>4.0} W board\n",
+            d.name, d.peak_tflops, d.mem_gb_per_s, d.board_power_w
+        ));
+    }
+    out.push_str("\nCPU (simulation worker):\n");
+    for d in [CpuDevice::xeon_22c(), CpuDevice::desktop_8c()] {
+        out.push_str(&format!(
+            "  {:<18} {:>7.2} TFLOP/s  {:>6.0} GB/s  {:>4.0} W TDP\n",
+            d.name,
+            d.peak_flops() / 1e12,
+            d.mem_gb_per_s,
+            d.tdp_w
+        ));
+    }
+    out
+}
+
+fn cmd_estimate(p: &Parsed) -> Result<String, CliError> {
+    p.check_allowed(&["layers", "device", "batch", "grid", "banks"])?;
+    let widths = parse_usize_list("--layers", p.require("layers")?)?;
+    if widths.len() < 2 {
+        return Err(CliError::Domain(
+            "--layers needs at least input and output widths (e.g. 784,256,10)".to_string(),
+        ));
+    }
+    let batch: usize = p.get_parse("batch", 16usize)?;
+    let shapes: Vec<(usize, usize, usize)> =
+        widths.windows(2).map(|w| (batch, w[0], w[1])).collect();
+    let biases = vec![true; shapes.len()];
+    let device = p.get("device").unwrap_or("arria10");
+    let banks: u32 = p.get_parse("banks", 1u32)?;
+
+    let mut out = format!(
+        "MLP {} @ batch {batch}: {} GEMM layer(s), {:.3} MFLOP/run\n\n",
+        widths
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join("-"),
+        shapes.len(),
+        ecad_hw::total_flops(&shapes) / 1e6
+    );
+    match device {
+        "arria10" | "stratix10" => {
+            let dev = if device == "arria10" {
+                FpgaDevice::arria10_gx1150(banks)
+            } else {
+                FpgaDevice::stratix10_2800(banks)
+            };
+            let (r, c, v, im, inn) = parse_grid(p.get("grid").unwrap_or("8x8x4"))?;
+            let grid =
+                GridConfig::new(r, c, im, inn, v).map_err(|e| CliError::Domain(e.to_string()))?;
+            let perf = FpgaModel::new(dev.clone())
+                .evaluate(&grid, &shapes)
+                .map_err(|e| CliError::Domain(e.to_string()))?;
+            let phys = PhysicalModel::new(dev.clone())
+                .report(&grid)
+                .map_err(|e| CliError::Domain(e.to_string()))?;
+            out.push_str(&format!(
+                "{} grid {} ({} DSPs)\n  outputs/s   {:.3e}\n  latency     {:.2e} s\n  effective   {:.1} GFLOP/s (potential {:.1}, efficiency {:.1}%)\n  bandwidth   {}\n  physical    {:.0} MHz Fmax, {:.1} W, DSP {:.1}% / M20K {:.1}% / ALM {:.1}%\n",
+                dev.name,
+                grid.describe(),
+                grid.dsps_used(),
+                perf.outputs_per_s,
+                perf.latency_s,
+                perf.effective_gflops,
+                perf.potential_gflops,
+                100.0 * perf.efficiency,
+                if perf.bandwidth_bound { "BOUND (add banks or interleave)" } else { "ok" },
+                phys.fmax_mhz,
+                phys.power_w,
+                100.0 * phys.resources.dsp_util,
+                100.0 * phys.resources.m20k_util,
+                100.0 * phys.resources.alm_util,
+            ));
+        }
+        "m5000" | "titanx" | "radeonvii" => {
+            let dev = match device {
+                "m5000" => GpuDevice::quadro_m5000(),
+                "titanx" => GpuDevice::titan_x(),
+                _ => GpuDevice::radeon_vii(),
+            };
+            let perf = GpuModel::new(dev.clone()).evaluate(&shapes, &biases);
+            out.push_str(&format!(
+                "{}\n  outputs/s   {:.3e}\n  latency     {:.2e} s\n  effective   {:.1} GFLOP/s (efficiency {:.2}%)\n  kernels     {}\n",
+                dev.name,
+                perf.outputs_per_s,
+                perf.latency_s,
+                perf.effective_gflops,
+                100.0 * perf.efficiency,
+                perf.kernels,
+            ));
+        }
+        "xeon" | "desktop" => {
+            let dev = if device == "xeon" {
+                CpuDevice::xeon_22c()
+            } else {
+                CpuDevice::desktop_8c()
+            };
+            let perf = CpuModel::new(dev.clone()).evaluate(&shapes, &biases);
+            out.push_str(&format!(
+                "{}\n  outputs/s   {:.3e}\n  latency     {:.2e} s\n  effective   {:.1} GFLOP/s (efficiency {:.2}%)\n  BLAS calls  {}\n",
+                dev.name,
+                perf.outputs_per_s,
+                perf.latency_s,
+                perf.effective_gflops,
+                100.0 * perf.efficiency,
+                perf.calls,
+            ));
+        }
+        other => {
+            return Err(CliError::Domain(format!(
+                "unknown device {other:?}; run `ecad devices` for the catalog"
+            )))
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(argv("help")).unwrap();
+        assert!(out.contains("ecad search"));
+    }
+
+    #[test]
+    fn unknown_command_is_error() {
+        assert!(matches!(
+            run(argv("frobnicate")),
+            Err(CliError::Args(ArgError::UnknownCommand(_)))
+        ));
+    }
+
+    #[test]
+    fn devices_lists_catalog() {
+        let out = cmd_devices();
+        assert!(out.contains("Arria 10 GX 1150"));
+        assert!(out.contains("Stratix 10 2800"));
+        assert!(out.contains("Titan X"));
+        assert!(out.contains("Xeon 22-core"));
+    }
+
+    #[test]
+    fn datasets_lists_benchmarks() {
+        let out = run(argv("datasets")).unwrap();
+        for b in Benchmark::ALL {
+            assert!(out.contains(b.name()), "missing {b}");
+        }
+    }
+
+    #[test]
+    fn datasets_generates_csv() {
+        let dir = std::env::temp_dir().join("ecad_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("credit.csv");
+        let out = run(argv(&format!(
+            "datasets --generate credit-g --out {} --samples 50 --seed 3",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("wrote credit-g"));
+        let ds = csv::read_dataset_file(&path).unwrap();
+        assert_eq!(ds.len(), 50);
+        assert_eq!(ds.n_features(), 20);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn estimate_fpga_reports_roofline() {
+        let out = run(argv("estimate --layers 784,256,10 --grid 8x8x4 --batch 32")).unwrap();
+        assert!(out.contains("Arria 10"));
+        assert!(out.contains("outputs/s"));
+        assert!(out.contains("Fmax"));
+    }
+
+    #[test]
+    fn estimate_gpu_and_cpu() {
+        let gpu = run(argv(
+            "estimate --layers 561,128,6 --device titanx --batch 256",
+        ))
+        .unwrap();
+        assert!(gpu.contains("Titan X"));
+        let cpu = run(argv(
+            "estimate --layers 561,128,6 --device xeon --batch 256",
+        ))
+        .unwrap();
+        assert!(cpu.contains("Xeon"));
+        assert!(cpu.contains("BLAS calls"));
+    }
+
+    #[test]
+    fn estimate_rejects_single_width() {
+        assert!(matches!(
+            run(argv("estimate --layers 784")),
+            Err(CliError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn estimate_rejects_oversized_grid() {
+        let err = run(argv("estimate --layers 8,4 --grid 32x32x16")).unwrap_err();
+        assert!(matches!(err, CliError::Domain(_)));
+        assert!(err.to_string().contains("DSP"));
+    }
+
+    #[test]
+    fn search_end_to_end_from_files() {
+        let dir = std::env::temp_dir().join("ecad_cli_search_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("toy.csv");
+        let cfg = dir.join("toy.ini");
+        let ds = ecad_dataset::synth::SyntheticSpec::new("toy", 120, 6, 2)
+            .with_seed(1)
+            .generate();
+        csv::write_dataset_file(&ds, &data).unwrap();
+        std::fs::write(
+            &cfg,
+            "[nna]\nmax_layers = 1\nmax_neurons = 12\n[optimization]\nevaluations = 6\npopulation = 4\nepochs = 3\n",
+        )
+        .unwrap();
+        let trace = dir.join("trace.csv");
+        let out = run(argv(&format!(
+            "search --data {} --config {} --trace {} --seed 5",
+            data.display(),
+            cfg.display(),
+            trace.display()
+        )))
+        .unwrap();
+        assert!(out.contains("best candidate"));
+        assert!(out.contains("6 models evaluated"));
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.starts_with("index,accuracy"));
+        assert_eq!(trace_text.lines().count(), 7); // header + 6 evals
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn search_requires_data_flag() {
+        assert!(matches!(
+            run(argv("search")),
+            Err(CliError::Args(ArgError::MissingFlag("data")))
+        ));
+    }
+}

@@ -1,0 +1,26 @@
+//! # ecad-cli
+//!
+//! Library backing the `ecad` command-line tool — the "streamlined"
+//! front end the paper's Future Directions section promises: point it
+//! at a CSV table and a configuration file and get a co-designed
+//! MLP + hardware configuration back.
+//!
+//! The binary is a thin shell over [`run`]; everything it does
+//! (argument parsing, command dispatch, report formatting) lives here
+//! so it is unit-testable.
+//!
+//! ```text
+//! ecad search   --data table.csv [--config ecad.ini] [--trace out.csv]
+//! ecad datasets [--generate NAME --out FILE [--samples N] [--seed N]]
+//! ecad devices
+//! ecad estimate --layers 784,256,10 [--device NAME] [--batch N]
+//!               [--grid RxCxV[,ILMxILN]] [--banks N]
+//! ```
+
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Parsed};
+pub use commands::{run, CliError};

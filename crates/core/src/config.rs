@@ -1,0 +1,430 @@
+//! Configuration-file front end.
+//!
+//! The ECAD flow's entry point is a dataset CSV plus "a configuration
+//! file ... containing information on (a) the general NNA structure
+//! ... (b) Hardware target including reconfigurable hardware device
+//! type, DSP count, memory size ... (c) optimization targets such as
+//! accuracy, throughput, latency" (§III). This module parses that file —
+//! a small INI dialect, hand-rolled to avoid a dependency — into a
+//! [`FlowConfig`].
+//!
+//! ```ini
+//! ; comments start with ; or #
+//! [nna]
+//! max_layers = 4
+//! max_neurons = 512
+//!
+//! [hardware]
+//! target = fpga          ; fpga | gpu
+//! device = arria10       ; arria10 | stratix10 | m5000 | titanx | radeonvii
+//! ddr_banks = 1
+//!
+//! [optimization]
+//! objectives = accuracy, log_throughput
+//! weights = 1.0, 0.08
+//! evaluations = 200
+//! population = 16
+//! seed = 7
+//! ```
+//!
+//! Unspecified keys fall back to defaults, so the minimal configuration
+//! is an empty file.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ecad_hw::fpga::FpgaDevice;
+use ecad_hw::gpu::GpuDevice;
+use ecad_mlp::{OptimizerKind, TrainConfig};
+
+use crate::engine::EvolutionConfig;
+use crate::fitness::Objective;
+use crate::space::{HwFamily, SearchSpace};
+use crate::workers::HwTarget;
+
+/// Error produced while parsing a configuration file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A line was not a section header, key=value pair, or comment.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A value could not be parsed for its key.
+    BadValue {
+        /// The key.
+        key: String,
+        /// The raw value.
+        value: String,
+    },
+    /// An unknown device name.
+    UnknownDevice(String),
+    /// Objectives and weights lists have different lengths.
+    ObjectiveWeightMismatch {
+        /// Number of objectives listed.
+        objectives: usize,
+        /// Number of weights listed.
+        weights: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Syntax { line, text } => {
+                write!(f, "line {line}: cannot parse {text:?}")
+            }
+            ConfigError::BadValue { key, value } => {
+                write!(f, "invalid value {value:?} for key {key:?}")
+            }
+            ConfigError::UnknownDevice(d) => write!(
+                f,
+                "unknown device {d:?} (expected arria10, stratix10, m5000, titanx, radeonvii, xeon, or desktop)"
+            ),
+            ConfigError::ObjectiveWeightMismatch { objectives, weights } => {
+                write!(f, "{objectives} objectives but {weights} weights")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Parses INI text into `section -> key -> value`. Keys before any
+/// section header land in the `""` section.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::Syntax`] for malformed lines.
+pub fn parse_ini(text: &str) -> Result<HashMap<String, HashMap<String, String>>, ConfigError> {
+    let mut out: HashMap<String, HashMap<String, String>> = HashMap::new();
+    let mut section = String::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            section = name.trim().to_ascii_lowercase();
+            out.entry(section.clone()).or_default();
+            continue;
+        }
+        match line.split_once('=') {
+            Some((k, v)) => {
+                out.entry(section.clone())
+                    .or_default()
+                    .insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+            }
+            None => {
+                return Err(ConfigError::Syntax {
+                    line: i + 1,
+                    text: raw.to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A fully resolved flow configuration.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Search-space bounds.
+    pub space: SearchSpace,
+    /// Hardware target (device model).
+    pub target: HwTarget,
+    /// Evolution hyperparameters.
+    pub evolution: EvolutionConfig,
+    /// Per-candidate training configuration.
+    pub trainer: TrainConfig,
+    /// Optimization objectives.
+    pub objectives: Vec<Objective>,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self {
+            space: SearchSpace::fpga_default(),
+            target: HwTarget::Fpga(FpgaDevice::arria10_gx1150(1)),
+            evolution: EvolutionConfig::small(),
+            trainer: TrainConfig::fast(),
+            objectives: vec![Objective::maximize("accuracy")],
+        }
+    }
+}
+
+fn get_parse<T: std::str::FromStr>(
+    section: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, ConfigError> {
+    match section.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| ConfigError::BadValue {
+            key: key.to_string(),
+            value: v.clone(),
+        }),
+    }
+}
+
+impl FlowConfig {
+    /// Parses a configuration file's text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on syntax errors, unparseable values,
+    /// unknown devices, or mismatched objective/weight lists.
+    pub fn from_ini(text: &str) -> Result<Self, ConfigError> {
+        let ini = parse_ini(text)?;
+        let empty = HashMap::new();
+        let nna = ini.get("nna").unwrap_or(&empty);
+        let hw = ini.get("hardware").unwrap_or(&empty);
+        let opt = ini.get("optimization").unwrap_or(&empty);
+
+        // Hardware target first: it decides the space family.
+        let target_kind = hw.get("target").map(String::as_str).unwrap_or("fpga");
+        let ddr_banks: u32 = get_parse(hw, "ddr_banks", 1)?;
+        let device_name = hw
+            .get("device")
+            .map(String::as_str)
+            .unwrap_or(match target_kind {
+                "gpu" => "titanx",
+                "cpu" => "xeon",
+                _ => "arria10",
+            });
+        let target = match device_name {
+            "arria10" => HwTarget::Fpga(FpgaDevice::arria10_gx1150(ddr_banks)),
+            "stratix10" => HwTarget::Fpga(FpgaDevice::stratix10_2800(ddr_banks)),
+            "m5000" => HwTarget::Gpu(GpuDevice::quadro_m5000()),
+            "titanx" => HwTarget::Gpu(GpuDevice::titan_x()),
+            "radeonvii" => HwTarget::Gpu(GpuDevice::radeon_vii()),
+            "xeon" => HwTarget::Cpu(ecad_hw::cpu::CpuDevice::xeon_22c()),
+            "desktop" => HwTarget::Cpu(ecad_hw::cpu::CpuDevice::desktop_8c()),
+            other => return Err(ConfigError::UnknownDevice(other.to_string())),
+        };
+        let family = match target {
+            HwTarget::Fpga(_) => HwFamily::Fpga,
+            HwTarget::Gpu(_) | HwTarget::Cpu(_) => HwFamily::Gpu,
+        };
+        let mut space = match family {
+            HwFamily::Fpga => SearchSpace::fpga_default(),
+            HwFamily::Gpu => SearchSpace::gpu_default(),
+        };
+        space.min_layers = get_parse(nna, "min_layers", space.min_layers)?;
+        space.max_layers = get_parse(nna, "max_layers", space.max_layers)?;
+        space.min_neurons = get_parse(nna, "min_neurons", space.min_neurons)?;
+        space.max_neurons = get_parse(nna, "max_neurons", space.max_neurons)?;
+
+        let mut evolution = EvolutionConfig::small();
+        evolution.population = get_parse(opt, "population", evolution.population)?;
+        evolution.evaluations = get_parse(opt, "evaluations", evolution.evaluations)?;
+        evolution.tournament = get_parse(opt, "tournament", evolution.tournament)?;
+        evolution.crossover_rate = get_parse(opt, "crossover_rate", evolution.crossover_rate)?;
+        evolution.seed = get_parse(opt, "seed", evolution.seed)?;
+        evolution.threads = get_parse(opt, "threads", evolution.threads)?;
+        if let Some(sel) = opt.get("selection") {
+            evolution.selection = match sel.as_str() {
+                "scalar" | "weighted" => crate::engine::SelectionMode::WeightedScalar,
+                "nsga2" => crate::engine::SelectionMode::Nsga2,
+                other => {
+                    return Err(ConfigError::BadValue {
+                        key: "selection".to_string(),
+                        value: other.to_string(),
+                    })
+                }
+            };
+        }
+
+        let mut trainer = TrainConfig::fast();
+        trainer.epochs = get_parse(opt, "epochs", trainer.epochs)?;
+        trainer.batch_size = get_parse(opt, "batch_size", trainer.batch_size)?;
+        if let Some(lr) = opt.get("learning_rate") {
+            let lr: f32 = lr.parse().map_err(|_| ConfigError::BadValue {
+                key: "learning_rate".to_string(),
+                value: lr.clone(),
+            })?;
+            trainer.optimizer = OptimizerKind::Adam { lr };
+        }
+
+        // Objectives: comma-separated names; optional parallel weights;
+        // a leading '-' requests minimization (e.g. `-latency`).
+        let names: Vec<String> = opt
+            .get("objectives")
+            .map(|s| s.split(',').map(|x| x.trim().to_string()).collect())
+            .unwrap_or_else(|| vec!["accuracy".to_string()]);
+        let weights: Vec<f64> = match opt.get("weights") {
+            None => vec![1.0; names.len()],
+            Some(w) => w
+                .split(',')
+                .map(|x| {
+                    x.trim().parse().map_err(|_| ConfigError::BadValue {
+                        key: "weights".to_string(),
+                        value: x.trim().to_string(),
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        if names.len() != weights.len() {
+            return Err(ConfigError::ObjectiveWeightMismatch {
+                objectives: names.len(),
+                weights: weights.len(),
+            });
+        }
+        let objectives = names
+            .iter()
+            .zip(&weights)
+            .map(|(n, &w)| {
+                let (name, maximize) = match n.strip_prefix('-') {
+                    Some(stripped) => (stripped.to_string(), false),
+                    None => (n.clone(), true),
+                };
+                Objective {
+                    name,
+                    weight: w,
+                    maximize,
+                }
+            })
+            .collect();
+
+        Ok(Self {
+            space,
+            target,
+            evolution,
+            trainer,
+            objectives,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_config_gives_defaults() {
+        let c = FlowConfig::from_ini("").unwrap();
+        assert!(matches!(c.target, HwTarget::Fpga(_)));
+        assert_eq!(c.evolution.population, EvolutionConfig::small().population);
+        assert_eq!(c.objectives.len(), 1);
+        assert_eq!(c.objectives[0].name, "accuracy");
+    }
+
+    #[test]
+    fn parse_ini_sections_and_comments() {
+        let ini = parse_ini("; top\n[a]\nx = 1\n# c\n[b]\ny = hello world\n").unwrap();
+        assert_eq!(ini["a"]["x"], "1");
+        assert_eq!(ini["b"]["y"], "hello world");
+    }
+
+    #[test]
+    fn parse_ini_rejects_garbage() {
+        let err = parse_ini("[a]\nnot a pair\n").unwrap_err();
+        assert!(matches!(err, ConfigError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn full_config_round_trip() {
+        let text = "
+[nna]
+max_layers = 2
+max_neurons = 64
+
+[hardware]
+target = fpga
+device = stratix10
+ddr_banks = 4
+
+[optimization]
+objectives = accuracy, log_throughput
+weights = 1.0, 0.08
+evaluations = 77
+population = 9
+seed = 123
+threads = 2
+epochs = 10
+";
+        let c = FlowConfig::from_ini(text).unwrap();
+        assert_eq!(c.space.max_layers, 2);
+        assert_eq!(c.space.max_neurons, 64);
+        match &c.target {
+            HwTarget::Fpga(d) => {
+                assert_eq!(d.name, "Stratix 10 2800");
+                assert_eq!(d.ddr.banks, 4);
+            }
+            other => panic!("wrong target {other:?}"),
+        }
+        assert_eq!(c.evolution.evaluations, 77);
+        assert_eq!(c.evolution.population, 9);
+        assert_eq!(c.evolution.seed, 123);
+        assert_eq!(c.trainer.epochs, 10);
+        assert_eq!(c.objectives.len(), 2);
+        assert_eq!(c.objectives[1].name, "log_throughput");
+        assert!((c.objectives[1].weight - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_target_selects_gpu_space() {
+        let c = FlowConfig::from_ini("[hardware]\ntarget = gpu\ndevice = m5000\n").unwrap();
+        assert!(matches!(c.target, HwTarget::Gpu(_)));
+        assert_eq!(c.space.family, HwFamily::Gpu);
+    }
+
+    #[test]
+    fn gpu_target_defaults_to_titanx() {
+        let c = FlowConfig::from_ini("[hardware]\ntarget = gpu\n").unwrap();
+        match c.target {
+            HwTarget::Gpu(d) => assert_eq!(d.name, "Titan X"),
+            other => panic!("wrong target {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimization_prefix() {
+        let c = FlowConfig::from_ini("[optimization]\nobjectives = accuracy, -latency\n").unwrap();
+        assert!(c.objectives[0].maximize);
+        assert!(!c.objectives[1].maximize);
+        assert_eq!(c.objectives[1].name, "latency");
+    }
+
+    #[test]
+    fn cpu_target_parses() {
+        let c = FlowConfig::from_ini("[hardware]\ntarget = cpu\n").unwrap();
+        match &c.target {
+            HwTarget::Cpu(d) => assert_eq!(d.name, "Xeon 22-core"),
+            other => panic!("wrong target {other:?}"),
+        }
+        assert_eq!(c.space.family, HwFamily::Gpu);
+        let d = FlowConfig::from_ini("[hardware]\ntarget = cpu\ndevice = desktop\n").unwrap();
+        assert!(matches!(d.target, HwTarget::Cpu(_)));
+    }
+
+    #[test]
+    fn unknown_device_is_error() {
+        let err = FlowConfig::from_ini("[hardware]\ndevice = tpu\n").unwrap_err();
+        assert_eq!(err, ConfigError::UnknownDevice("tpu".to_string()));
+    }
+
+    #[test]
+    fn bad_numeric_value_is_error() {
+        let err = FlowConfig::from_ini("[optimization]\npopulation = many\n").unwrap_err();
+        assert!(matches!(err, ConfigError::BadValue { .. }));
+    }
+
+    #[test]
+    fn weight_count_mismatch_is_error() {
+        let err =
+            FlowConfig::from_ini("[optimization]\nobjectives = a, b\nweights = 1.0\n").unwrap_err();
+        assert!(matches!(err, ConfigError::ObjectiveWeightMismatch { .. }));
+    }
+
+    #[test]
+    fn learning_rate_sets_adam() {
+        let c = FlowConfig::from_ini("[optimization]\nlearning_rate = 0.01\n").unwrap();
+        assert!(
+            matches!(c.trainer.optimizer, OptimizerKind::Adam { lr } if (lr - 0.01).abs() < 1e-9)
+        );
+    }
+}

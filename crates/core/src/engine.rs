@@ -1,0 +1,761 @@
+//! The ECAD master process: steady-state evolution over a worker pool.
+//!
+//! "The Master process orchestrates the evaluation process by
+//! distributing the co-design population and by evaluating the results"
+//! (§III-A). The engine here is that master:
+//!
+//! * a **steady-state** population model \[16\]: one child is bred and
+//!   one member replaced per step, rather than generational sweeps;
+//! * **tournament selection** for parents and worst-of-tournament
+//!   replacement for survivors;
+//! * a **worker pool** over crossbeam channels — each worker thread owns
+//!   a shared [`Evaluator`] and scores candidates concurrently;
+//! * a **dedup cache**: "potential NNA/HW candidates are first analyzed
+//!   for similarities to previous evaluations and duplicates are not
+//!   evaluated twice" (Table III note). Cache hits cost no evaluation
+//!   budget;
+//! * **failure isolation**: a panicking evaluation is caught in the
+//!   worker and surfaces as an infeasible measurement, not a crashed
+//!   search.
+//!
+//! With `threads = 1` the whole search is deterministic for a fixed
+//! seed; more threads trade determinism for wall-clock speed (result
+//! arrival order feeds back into breeding).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::fitness::ObjectiveSet;
+use crate::genome::CandidateGenome;
+use crate::measurement::Measurement;
+use crate::space::SearchSpace;
+use crate::workers::Evaluator;
+
+/// How the steady-state loop selects survivors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionMode {
+    /// Weighted-sum scalarization of the objective set (the paper's
+    /// configuration-file fitness path). Cheap and effective when the
+    /// weights express the intended trade.
+    WeightedScalar,
+    /// NSGA-II style survival: the child joins the population, then the
+    /// individual with the worst (non-domination rank, crowding
+    /// distance) is evicted. Maintains a diverse Pareto frontier without
+    /// hand-tuned weights — an extension of the paper's Pareto analysis
+    /// into the selection loop itself.
+    Nsga2,
+}
+
+/// Steady-state GA hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvolutionConfig {
+    /// Population size.
+    pub population: usize,
+    /// Budget of *unique* model evaluations (cache hits are free),
+    /// including the initial population.
+    pub evaluations: usize,
+    /// Tournament size for selection and replacement.
+    pub tournament: usize,
+    /// Probability a child is produced by crossover (otherwise a mutated
+    /// copy of one parent).
+    pub crossover_rate: f64,
+    /// RNG seed for the whole search.
+    pub seed: u64,
+    /// Worker threads. `1` gives a deterministic search.
+    pub threads: usize,
+    /// Survivor-selection strategy.
+    pub selection: SelectionMode,
+}
+
+impl EvolutionConfig {
+    /// Small-budget defaults suitable for interactive runs.
+    pub fn small() -> Self {
+        Self {
+            population: 16,
+            evaluations: 120,
+            tournament: 3,
+            crossover_rate: 0.5,
+            seed: 0,
+            threads: 1,
+            selection: SelectionMode::WeightedScalar,
+        }
+    }
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// An evaluated candidate as held in the population and trace.
+#[derive(Debug, Clone)]
+pub struct Evaluated {
+    /// The candidate's genes.
+    pub genome: CandidateGenome,
+    /// Raw worker measurement.
+    pub measurement: Measurement,
+    /// Scalarized fitness (larger is better).
+    pub fitness: f64,
+}
+
+/// Run-time statistics in the shape of the paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Unique NNA/HW combinations evaluated.
+    pub models_evaluated: usize,
+    /// Candidates served from the dedup cache instead of re-evaluating.
+    pub cache_hits: usize,
+    /// Sum of per-evaluation times, seconds (Table III "Total Evaluation
+    /// Time").
+    pub total_eval_time_s: f64,
+    /// Mean per-evaluation time, seconds (Table III "AVG Model
+    /// Evaluation Time").
+    pub avg_eval_time_s: f64,
+    /// Wall-clock time of the whole search, seconds.
+    pub wall_time_s: f64,
+}
+
+/// Everything a finished search produces.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// Final population, unsorted.
+    pub population: Vec<Evaluated>,
+    /// Every unique evaluation, in completion order — the raw material
+    /// for the paper's scatter plots and Pareto fronts.
+    pub trace: Vec<Evaluated>,
+    /// Run-time statistics.
+    pub stats: EngineStats,
+}
+
+impl EngineOutcome {
+    /// The member with the highest scalar fitness.
+    pub fn best(&self) -> Option<&Evaluated> {
+        self.trace.iter().max_by(|a, b| {
+            a.fitness
+                .partial_cmp(&b.fitness)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+/// The steady-state evolutionary engine.
+pub struct Engine {
+    evaluator: Arc<dyn Evaluator>,
+    space: SearchSpace,
+    objectives: ObjectiveSet,
+    config: EvolutionConfig,
+}
+
+impl Engine {
+    /// Safety valve: stop generating children after this many multiples
+    /// of the evaluation budget, in case mutation keeps producing cached
+    /// duplicates.
+    const MAX_ATTEMPT_FACTOR: usize = 50;
+
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population, evaluations, tournament size, or thread
+    /// count is zero.
+    pub fn new(
+        evaluator: Arc<dyn Evaluator>,
+        space: SearchSpace,
+        objectives: ObjectiveSet,
+        config: EvolutionConfig,
+    ) -> Self {
+        assert!(config.population > 0, "population must be positive");
+        assert!(config.evaluations > 0, "evaluation budget must be positive");
+        assert!(config.tournament > 0, "tournament size must be positive");
+        assert!(config.threads > 0, "need at least one worker thread");
+        Self {
+            evaluator,
+            space,
+            objectives,
+            config,
+        }
+    }
+
+    /// Runs the search to budget exhaustion.
+    pub fn run(&self) -> EngineOutcome {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let cfg = self.config;
+
+        let (req_tx, req_rx) = channel::unbounded::<(usize, CandidateGenome)>();
+        let (res_tx, res_rx) = channel::unbounded::<(usize, CandidateGenome, Measurement)>();
+
+        let mut population: Vec<Evaluated> = Vec::with_capacity(cfg.population);
+        let mut trace: Vec<Evaluated> = Vec::new();
+        let mut cache: HashMap<u64, Measurement> = HashMap::new();
+        let mut cache_hits = 0usize;
+        let mut total_eval_time = 0.0f64;
+
+        std::thread::scope(|scope| {
+            for _ in 0..cfg.threads {
+                let req_rx = req_rx.clone();
+                let res_tx = res_tx.clone();
+                let evaluator = Arc::clone(&self.evaluator);
+                scope.spawn(move || {
+                    for (id, genome) in req_rx.iter() {
+                        let m = catch_unwind(AssertUnwindSafe(|| evaluator.evaluate(&genome)))
+                            .unwrap_or_else(|_| Measurement::infeasible("worker panicked"));
+                        if res_tx.send((id, genome, m)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx); // workers hold the remaining clones
+
+            // Seed genomes for the initial population.
+            let mut seeds: Vec<CandidateGenome> = (0..cfg.population.min(cfg.evaluations))
+                .map(|_| self.space.sample(&mut rng))
+                .collect();
+            seeds.reverse(); // pop() takes them in creation order
+
+            let mut submitted_unique = 0usize;
+            let mut inflight = 0usize;
+            let mut attempts = 0usize;
+            let max_attempts = cfg.evaluations * Self::MAX_ATTEMPT_FACTOR;
+            let mut next_id = 0usize;
+
+            loop {
+                // Fill the in-flight window with fresh candidates.
+                while inflight < cfg.threads
+                    && submitted_unique < cfg.evaluations
+                    && attempts < max_attempts
+                {
+                    let genome = match seeds.pop() {
+                        Some(g) => g,
+                        None => self.breed(&population, &mut rng),
+                    };
+                    attempts += 1;
+                    let key = genome.cache_key();
+                    if let Some(cached) = cache.get(&key) {
+                        // Duplicate: serve from cache, no budget, no
+                        // worker round-trip.
+                        cache_hits += 1;
+                        let eval = self.admit(genome, cached.clone(), &mut population, &mut rng);
+                        // Cached repeats are not re-appended to the
+                        // trace; Table III counts unique models.
+                        let _ = eval;
+                        continue;
+                    }
+                    // Reserve the cache slot so concurrent duplicates
+                    // within the window are caught next time around.
+                    req_tx.send((next_id, genome)).expect("workers alive");
+                    next_id += 1;
+                    submitted_unique += 1;
+                    inflight += 1;
+                }
+
+                if inflight == 0 {
+                    break; // budget exhausted and everything drained
+                }
+
+                let (_, genome, measurement) = res_rx.recv().expect("worker pool alive");
+                inflight -= 1;
+                total_eval_time += measurement.eval_time_s;
+                cache.insert(genome.cache_key(), measurement.clone());
+                let eval = self.admit(genome, measurement, &mut population, &mut rng);
+                trace.push(eval);
+            }
+            drop(req_tx); // shut the pool down
+        });
+
+        let models_evaluated = trace.len();
+        let stats = EngineStats {
+            models_evaluated,
+            cache_hits,
+            total_eval_time_s: total_eval_time,
+            avg_eval_time_s: if models_evaluated > 0 {
+                total_eval_time / models_evaluated as f64
+            } else {
+                0.0
+            },
+            wall_time_s: start.elapsed().as_secs_f64(),
+        };
+        EngineOutcome {
+            population,
+            trace,
+            stats,
+        }
+    }
+
+    /// Scores a measured candidate and inserts it into the population
+    /// (steady-state replacement). Returns the evaluated record.
+    fn admit(
+        &self,
+        genome: CandidateGenome,
+        measurement: Measurement,
+        population: &mut Vec<Evaluated>,
+        rng: &mut StdRng,
+    ) -> Evaluated {
+        let fitness = self.objectives.scalar(&measurement);
+        let eval = Evaluated {
+            genome,
+            measurement,
+            fitness,
+        };
+        if population.len() < self.config.population {
+            population.push(eval.clone());
+            return eval;
+        }
+        match self.config.selection {
+            SelectionMode::WeightedScalar => {
+                // Worst-of-tournament replacement: the child replaces
+                // the weakest of `tournament` random members if it
+                // beats them.
+                let worst_idx = (0..self.config.tournament)
+                    .map(|_| rng.gen_range(0..population.len()))
+                    .min_by(|&a, &b| {
+                        population[a]
+                            .fitness
+                            .partial_cmp(&population[b].fitness)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("tournament >= 1");
+                if eval.fitness > population[worst_idx].fitness {
+                    population[worst_idx] = eval.clone();
+                }
+            }
+            SelectionMode::Nsga2 => {
+                // Child joins, then the (rank, crowding)-worst member
+                // is evicted.
+                population.push(eval.clone());
+                let evict = Self::nsga2_worst(&self.rank_keys(population));
+                population.swap_remove(evict);
+            }
+        }
+        eval
+    }
+
+    /// Oriented objective vectors for ranking; infeasible candidates map
+    /// to `-inf` everywhere so they always land in the last front.
+    fn rank_keys(&self, population: &[Evaluated]) -> Vec<Vec<f64>> {
+        population
+            .iter()
+            .map(|e| {
+                if e.measurement.hw.is_feasible() {
+                    self.objectives.oriented_values(&e.measurement)
+                } else {
+                    vec![f64::NEG_INFINITY; self.objectives.objectives().len()]
+                }
+            })
+            .collect()
+    }
+
+    /// Index of the NSGA-II-worst point: last non-domination front,
+    /// lowest crowding distance within it.
+    fn nsga2_worst(points: &[Vec<f64>]) -> usize {
+        let fronts = crate::pareto::non_dominated_sort(points);
+        let last = fronts.last().expect("nonempty population");
+        let members: Vec<Vec<f64>> = last.iter().map(|&i| points[i].clone()).collect();
+        let crowding = crate::pareto::crowding_distance(&members);
+        last.iter()
+            .copied()
+            .zip(crowding)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .expect("last front nonempty")
+    }
+
+    /// Breeds one child from the current population (or samples fresh if
+    /// the population is still too small).
+    fn breed(&self, population: &[Evaluated], rng: &mut StdRng) -> CandidateGenome {
+        if population.len() < 2 {
+            return self.space.sample(rng);
+        }
+        let a = self.tournament_select(population, rng);
+        let child = if rng.gen_bool(self.config.crossover_rate) {
+            let b = self.tournament_select(population, rng);
+            self.space.crossover(&a.genome, &b.genome, rng)
+        } else {
+            a.genome.clone()
+        };
+        self.space.mutate(&child, rng)
+    }
+
+    fn tournament_select<'a>(
+        &self,
+        population: &'a [Evaluated],
+        rng: &mut StdRng,
+    ) -> &'a Evaluated {
+        let picks: Vec<&Evaluated> = (0..self.config.tournament)
+            .map(|_| &population[rng.gen_range(0..population.len())])
+            .collect();
+        match self.config.selection {
+            SelectionMode::WeightedScalar => picks
+                .into_iter()
+                .max_by(|a, b| {
+                    a.fitness
+                        .partial_cmp(&b.fitness)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("tournament >= 1"),
+            SelectionMode::Nsga2 => {
+                // Crowded tournament: a non-dominated pick wins.
+                let cloned: Vec<Evaluated> = picks.iter().map(|e| (*e).clone()).collect();
+                let keys = self.rank_keys(&cloned);
+                let fronts = crate::pareto::non_dominated_sort(&keys);
+                let winner = fronts[0][0];
+                picks[winner]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::{Objective, ObjectiveSet};
+    use crate::measurement::HwMetrics;
+
+    /// A fast synthetic evaluator: fitness landscape is a function of
+    /// the genome alone, no MLP training. Lets engine tests run in
+    /// microseconds and be exactly repeatable.
+    struct ToyEvaluator {
+        /// Panic on genomes whose first layer has exactly this width
+        /// (failure-injection hook).
+        panic_on_width: Option<usize>,
+    }
+
+    impl Evaluator for ToyEvaluator {
+        fn evaluate(&self, genome: &CandidateGenome) -> Measurement {
+            if let Some(w) = self.panic_on_width {
+                if genome.nna.layers.first().map(|l| l.neurons) == Some(w) {
+                    panic!("injected failure");
+                }
+            }
+            // "Accuracy" peaks when total neurons approach 256.
+            let neurons = genome.nna.total_neurons() as f32;
+            let accuracy = 1.0 - ((neurons - 256.0).abs() / 512.0).min(1.0);
+            Measurement {
+                accuracy,
+                train_accuracy: accuracy,
+                params: neurons as usize * 10,
+                neurons: neurons as usize,
+                hw: HwMetrics::Gpu {
+                    outputs_per_s: 1e6 / (1.0 + neurons as f64),
+                    efficiency: 0.01,
+                    latency_s: 1e-4,
+                    effective_gflops: 1.0,
+                    power_w: 50.0,
+                },
+                eval_time_s: 1e-6,
+            }
+        }
+
+        fn target_name(&self) -> String {
+            "toy".to_string()
+        }
+    }
+
+    fn engine(evals: usize, seed: u64, threads: usize) -> Engine {
+        let cfg = EvolutionConfig {
+            population: 12,
+            evaluations: evals,
+            tournament: 3,
+            crossover_rate: 0.5,
+            seed,
+            threads,
+            selection: SelectionMode::WeightedScalar,
+        };
+        Engine::new(
+            Arc::new(ToyEvaluator {
+                panic_on_width: None,
+            }),
+            SearchSpace::gpu_default(),
+            ObjectiveSet::accuracy_only(),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn respects_evaluation_budget_exactly() {
+        let out = engine(50, 1, 1).run();
+        assert_eq!(out.stats.models_evaluated, 50);
+        assert_eq!(out.trace.len(), 50);
+    }
+
+    #[test]
+    fn search_improves_over_random_start() {
+        let out = engine(150, 2, 1).run();
+        let first_quarter_best = out.trace[..30]
+            .iter()
+            .map(|e| e.fitness)
+            .fold(f64::MIN, f64::max);
+        let overall_best = out.best().unwrap().fitness;
+        assert!(overall_best >= first_quarter_best);
+        // The toy optimum (256 neurons -> accuracy 1.0) should be
+        // approached.
+        assert!(overall_best > 0.9, "best fitness {overall_best}");
+    }
+
+    #[test]
+    fn deterministic_with_one_thread() {
+        let a = engine(60, 7, 1).run();
+        let b = engine(60, 7, 1).run();
+        let fa: Vec<f64> = a.trace.iter().map(|e| e.fitness).collect();
+        let fb: Vec<f64> = b.trace.iter().map(|e| e.fitness).collect();
+        assert_eq!(fa, fb);
+        assert_eq!(a.best().unwrap().genome, b.best().unwrap().genome);
+    }
+
+    #[test]
+    fn cache_prevents_duplicate_evaluations() {
+        // Tiny space: duplicates are inevitable, so the cache must fire.
+        let space = SearchSpace::gpu_default()
+            .with_layers(1, 1)
+            .with_neurons(4, 6);
+        let cfg = EvolutionConfig {
+            population: 8,
+            evaluations: 40,
+            tournament: 3,
+            crossover_rate: 0.5,
+            seed: 3,
+            threads: 1,
+            selection: SelectionMode::WeightedScalar,
+        };
+        let eng = Engine::new(
+            Arc::new(ToyEvaluator {
+                panic_on_width: None,
+            }),
+            space,
+            ObjectiveSet::accuracy_only(),
+            cfg,
+        );
+        let out = eng.run();
+        assert!(
+            out.stats.cache_hits > 0,
+            "expected cache hits in a tiny space"
+        );
+        // Unique evaluations cannot exceed the distinct-genome count:
+        // 3 widths x 4 activations x 2 bias x 8 batches = 192 (bounded).
+        assert!(out.stats.models_evaluated <= 40);
+    }
+
+    #[test]
+    fn worker_panic_becomes_infeasible_candidate() {
+        let space = SearchSpace::gpu_default();
+        let cfg = EvolutionConfig {
+            population: 8,
+            evaluations: 30,
+            tournament: 2,
+            crossover_rate: 0.5,
+            seed: 5,
+            threads: 2,
+            selection: SelectionMode::WeightedScalar,
+        };
+        let eng = Engine::new(
+            // Panic on a width that random sampling will hit eventually;
+            // even if not hit, the search must complete.
+            Arc::new(ToyEvaluator {
+                panic_on_width: Some(100),
+            }),
+            space,
+            ObjectiveSet::accuracy_only(),
+            cfg,
+        );
+        let out = eng.run();
+        assert_eq!(out.stats.models_evaluated, 30);
+        // Any panicked candidates appear as infeasible in the trace.
+        for e in &out.trace {
+            if !e.measurement.hw.is_feasible() {
+                assert_eq!(e.fitness, f64::NEG_INFINITY);
+            }
+        }
+    }
+
+    #[test]
+    fn multithreaded_run_completes_budget() {
+        let out = engine(80, 11, 4).run();
+        assert_eq!(out.stats.models_evaluated, 80);
+        assert!(out.population.len() <= 12);
+        assert!(out.stats.wall_time_s > 0.0);
+    }
+
+    #[test]
+    fn population_respects_capacity() {
+        let out = engine(100, 13, 1).run();
+        assert_eq!(out.population.len(), 12);
+    }
+
+    #[test]
+    fn stats_time_accounting() {
+        let out = engine(25, 17, 1).run();
+        assert!(out.stats.total_eval_time_s > 0.0);
+        assert!((out.stats.avg_eval_time_s - out.stats.total_eval_time_s / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiobjective_search_keeps_throughput_pressure() {
+        let cfg = EvolutionConfig {
+            population: 12,
+            evaluations: 150,
+            tournament: 3,
+            crossover_rate: 0.5,
+            seed: 23,
+            threads: 1,
+            selection: SelectionMode::WeightedScalar,
+        };
+        let accuracy_only = Engine::new(
+            Arc::new(ToyEvaluator {
+                panic_on_width: None,
+            }),
+            SearchSpace::gpu_default(),
+            ObjectiveSet::accuracy_only(),
+            EvolutionConfig { seed: 23, ..cfg },
+        )
+        .run();
+        let combined = Engine::new(
+            Arc::new(ToyEvaluator {
+                panic_on_width: None,
+            }),
+            SearchSpace::gpu_default(),
+            ObjectiveSet::new(vec![
+                Objective::maximize("accuracy").with_weight(0.2),
+                Objective::maximize("log_throughput").with_weight(1.0),
+            ]),
+            cfg,
+        )
+        .run();
+        // Toy throughput falls with neurons, so the throughput-weighted
+        // search should settle on smaller networks.
+        let mean_neurons = |o: &EngineOutcome| {
+            o.population
+                .iter()
+                .map(|e| e.measurement.neurons)
+                .sum::<usize>() as f64
+                / o.population.len() as f64
+        };
+        assert!(mean_neurons(&combined) < mean_neurons(&accuracy_only));
+    }
+
+    #[test]
+    fn nsga2_mode_completes_and_keeps_population_size() {
+        let cfg = EvolutionConfig {
+            population: 10,
+            evaluations: 80,
+            tournament: 3,
+            crossover_rate: 0.5,
+            seed: 31,
+            threads: 1,
+            selection: SelectionMode::Nsga2,
+        };
+        let out = Engine::new(
+            Arc::new(ToyEvaluator {
+                panic_on_width: None,
+            }),
+            SearchSpace::gpu_default(),
+            ObjectiveSet::new(vec![
+                Objective::maximize("accuracy"),
+                Objective::maximize("log_throughput"),
+            ]),
+            cfg,
+        )
+        .run();
+        assert_eq!(out.stats.models_evaluated, 80);
+        assert_eq!(out.population.len(), 10);
+    }
+
+    #[test]
+    fn nsga2_population_is_more_diverse_on_the_front() {
+        // The toy landscape trades accuracy (peak at 256 neurons)
+        // against throughput (falls with neurons). NSGA-II should keep
+        // a wider spread of neuron counts than scalarization collapses
+        // to.
+        let run = |selection: SelectionMode, seed: u64| {
+            let cfg = EvolutionConfig {
+                population: 14,
+                evaluations: 200,
+                tournament: 3,
+                crossover_rate: 0.5,
+                seed,
+                threads: 1,
+                selection,
+            };
+            let out = Engine::new(
+                Arc::new(ToyEvaluator {
+                    panic_on_width: None,
+                }),
+                SearchSpace::gpu_default(),
+                ObjectiveSet::new(vec![
+                    Objective::maximize("accuracy"),
+                    Objective::maximize("log_throughput"),
+                ]),
+                cfg,
+            )
+            .run();
+            let neurons: Vec<f32> = out
+                .population
+                .iter()
+                .map(|e| e.measurement.neurons as f32)
+                .collect();
+            ecad_tensor::stats::std_dev(&neurons)
+        };
+        // Average over a few seeds to damp run-to-run noise.
+        let spread = |mode: SelectionMode| (run(mode, 1) + run(mode, 2) + run(mode, 3)) / 3.0;
+        let nsga = spread(SelectionMode::Nsga2);
+        let scalar = spread(SelectionMode::WeightedScalar);
+        assert!(
+            nsga > scalar * 0.8,
+            "nsga2 spread {nsga} should not collapse below scalar spread {scalar}"
+        );
+    }
+
+    #[test]
+    fn nsga2_deterministic_per_seed() {
+        let run = || {
+            let cfg = EvolutionConfig {
+                population: 8,
+                evaluations: 40,
+                tournament: 2,
+                crossover_rate: 0.5,
+                seed: 5,
+                threads: 1,
+                selection: SelectionMode::Nsga2,
+            };
+            Engine::new(
+                Arc::new(ToyEvaluator {
+                    panic_on_width: None,
+                }),
+                SearchSpace::gpu_default(),
+                ObjectiveSet::accuracy_only(),
+                cfg,
+            )
+            .run()
+            .trace
+            .iter()
+            .map(|e| e.genome.describe())
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be positive")]
+    fn zero_population_rejected() {
+        let cfg = EvolutionConfig {
+            population: 0,
+            ..EvolutionConfig::small()
+        };
+        let _ = Engine::new(
+            Arc::new(ToyEvaluator {
+                panic_on_width: None,
+            }),
+            SearchSpace::gpu_default(),
+            ObjectiveSet::accuracy_only(),
+            cfg,
+        );
+    }
+}

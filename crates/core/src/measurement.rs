@@ -1,0 +1,215 @@
+//! Raw evaluation metrics returned by workers.
+//!
+//! "The Worker returns the raw evaluation information to a Master
+//! process" (§III-A). A [`Measurement`] bundles the accuracy from the
+//! simulation worker with the hardware metrics from whichever hardware
+//! worker scored the candidate; fitness functions then scalarize it.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware metrics for one candidate, per target family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HwMetrics {
+    /// FPGA metrics from the hardware-database and physical workers.
+    Fpga {
+        /// Classification results per second.
+        outputs_per_s: f64,
+        /// Effective / potential performance (§IV-D).
+        efficiency: f64,
+        /// Seconds from run start to first result.
+        latency_s: f64,
+        /// Roofline after bandwidth ratio, GFLOP/s.
+        potential_gflops: f64,
+        /// Achieved GFLOP/s.
+        effective_gflops: f64,
+        /// Whether any layer was bandwidth-stalled.
+        bandwidth_bound: bool,
+        /// Physical worker: estimated chip power, W.
+        power_w: f64,
+        /// Physical worker: estimated Fmax, MHz.
+        fmax_mhz: f64,
+        /// Physical worker: DSP utilization fraction of the device.
+        dsp_util: f64,
+    },
+    /// GPU metrics from the simulation worker.
+    Gpu {
+        /// Classification results per second.
+        outputs_per_s: f64,
+        /// Effective FLOP/s over device peak.
+        efficiency: f64,
+        /// Seconds for one batch.
+        latency_s: f64,
+        /// Achieved GFLOP/s.
+        effective_gflops: f64,
+        /// Board power, W (the paper measured ~50 W average under MLP
+        /// load via nvidia-smi; reported for per-watt objectives, not
+        /// directly comparable to FPGA chip power — §IV).
+        power_w: f64,
+    },
+    /// CPU metrics from the simulation worker.
+    Cpu {
+        /// Classification results per second.
+        outputs_per_s: f64,
+        /// Effective FLOP/s over device peak.
+        efficiency: f64,
+        /// Seconds for one batch.
+        latency_s: f64,
+        /// Achieved GFLOP/s.
+        effective_gflops: f64,
+        /// Package power, W.
+        power_w: f64,
+    },
+    /// The candidate's hardware genes do not fit the device (or training
+    /// failed); it receives zero fitness but stays in the trace.
+    Infeasible {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl HwMetrics {
+    /// Outputs per second; zero when infeasible.
+    pub fn outputs_per_s(&self) -> f64 {
+        match self {
+            HwMetrics::Fpga { outputs_per_s, .. }
+            | HwMetrics::Gpu { outputs_per_s, .. }
+            | HwMetrics::Cpu { outputs_per_s, .. } => *outputs_per_s,
+            HwMetrics::Infeasible { .. } => 0.0,
+        }
+    }
+
+    /// Hardware efficiency; zero when infeasible.
+    pub fn efficiency(&self) -> f64 {
+        match self {
+            HwMetrics::Fpga { efficiency, .. }
+            | HwMetrics::Gpu { efficiency, .. }
+            | HwMetrics::Cpu { efficiency, .. } => *efficiency,
+            HwMetrics::Infeasible { .. } => 0.0,
+        }
+    }
+
+    /// Latency in seconds; infinity when infeasible.
+    pub fn latency_s(&self) -> f64 {
+        match self {
+            HwMetrics::Fpga { latency_s, .. }
+            | HwMetrics::Gpu { latency_s, .. }
+            | HwMetrics::Cpu { latency_s, .. } => *latency_s,
+            HwMetrics::Infeasible { .. } => f64::INFINITY,
+        }
+    }
+
+    /// Estimated power draw in watts; zero when infeasible. FPGA power
+    /// is chip power from the physical worker; GPU/CPU power is the
+    /// board/package figure — the paper notes this asymmetry and leaves
+    /// power out of its conclusions, so per-watt objectives should be
+    /// compared within one platform family only.
+    pub fn power_w(&self) -> f64 {
+        match self {
+            HwMetrics::Fpga { power_w, .. }
+            | HwMetrics::Gpu { power_w, .. }
+            | HwMetrics::Cpu { power_w, .. } => *power_w,
+            HwMetrics::Infeasible { .. } => 0.0,
+        }
+    }
+
+    /// Outputs per second per watt; zero when infeasible.
+    pub fn outputs_per_joule(&self) -> f64 {
+        let p = self.power_w();
+        if p <= 0.0 {
+            return 0.0;
+        }
+        self.outputs_per_s() / p
+    }
+
+    /// Whether the candidate was scoreable at all.
+    pub fn is_feasible(&self) -> bool {
+        !matches!(self, HwMetrics::Infeasible { .. })
+    }
+}
+
+/// Complete raw measurement for one candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Test accuracy from the simulation worker's training run.
+    pub accuracy: f32,
+    /// Training accuracy (overfit diagnostics).
+    pub train_accuracy: f32,
+    /// Trainable parameter count of the candidate topology.
+    pub params: usize,
+    /// Total hidden neurons (the paper's network-size axis).
+    pub neurons: usize,
+    /// Hardware metrics from the matching hardware worker.
+    pub hw: HwMetrics,
+    /// Wall-clock seconds this evaluation took (Table III's
+    /// per-evaluation time).
+    pub eval_time_s: f64,
+}
+
+impl Measurement {
+    /// An infeasible measurement with the given reason; accuracy zero.
+    pub fn infeasible(reason: impl Into<String>) -> Self {
+        Self {
+            accuracy: 0.0,
+            train_accuracy: 0.0,
+            params: 0,
+            neurons: 0,
+            hw: HwMetrics::Infeasible {
+                reason: reason.into(),
+            },
+            eval_time_s: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infeasible_defaults() {
+        let m = Measurement::infeasible("too many DSPs");
+        assert_eq!(m.accuracy, 0.0);
+        assert!(!m.hw.is_feasible());
+        assert_eq!(m.hw.outputs_per_s(), 0.0);
+        assert_eq!(m.hw.efficiency(), 0.0);
+        assert!(m.hw.latency_s().is_infinite());
+    }
+
+    #[test]
+    fn accessors_cover_both_families() {
+        let f = HwMetrics::Fpga {
+            outputs_per_s: 1e6,
+            efficiency: 0.4,
+            latency_s: 1e-5,
+            potential_gflops: 700.0,
+            effective_gflops: 280.0,
+            bandwidth_bound: true,
+            power_w: 27.0,
+            fmax_mhz: 245.0,
+            dsp_util: 0.3,
+        };
+        let g = HwMetrics::Gpu {
+            outputs_per_s: 2e6,
+            efficiency: 0.003,
+            latency_s: 2e-4,
+            effective_gflops: 36.0,
+            power_w: 50.0,
+        };
+        assert_eq!(f.outputs_per_s(), 1e6);
+        assert_eq!(g.outputs_per_s(), 2e6);
+        assert!(f.is_feasible() && g.is_feasible());
+        assert_eq!(g.efficiency(), 0.003);
+        assert_eq!(f.latency_s(), 1e-5);
+        assert_eq!(g.power_w(), 50.0);
+        assert!((g.outputs_per_joule() - 4e4).abs() < 1e-6);
+        let c = HwMetrics::Cpu {
+            outputs_per_s: 1e6,
+            efficiency: 0.02,
+            latency_s: 1e-4,
+            effective_gflops: 20.0,
+            power_w: 100.0,
+        };
+        assert_eq!(c.outputs_per_s(), 1e6);
+        assert_eq!(c.outputs_per_joule(), 1e4);
+    }
+}

@@ -1,0 +1,228 @@
+//! Pareto-dominance utilities.
+//!
+//! "The Pareto frontiers that result after parsing the evolutionary
+//! design space define what the optimal solution is. ... Having the data
+//! to make decisions based on trade-offs is highly valuable." (§III-B)
+//!
+//! Points are vectors of *oriented* objective values (larger is always
+//! better — [`crate::fitness::ObjectiveSet::oriented_values`] produces
+//! this form). Besides plain front extraction, a full NSGA-II style
+//! non-dominated sort and crowding distance are provided for
+//! multi-objective analyses and ablations.
+
+/// Whether `a` Pareto-dominates `b`: at least as good everywhere and
+/// strictly better somewhere.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must align");
+    let mut strictly_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Indices of the non-dominated points (the Pareto front), in input
+/// order.
+pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, p)| j != i && dominates(p, &points[i]))
+        })
+        .collect()
+}
+
+/// NSGA-II fast non-dominated sort: returns fronts of indices, best
+/// front first. Every index appears in exactly one front.
+pub fn non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = points.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
+    let mut domination_count = vec![0usize; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if dominates(&points[i], &points[j]) {
+                dominated_by[i].push(j);
+            } else if dominates(&points[j], &points[i]) {
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+    }
+    fronts
+}
+
+/// NSGA-II crowding distance for the points of one front; boundary
+/// points get `f64::INFINITY`.
+pub fn crowding_distance(points: &[Vec<f64>]) -> Vec<f64> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let dims = points[0].len();
+    let mut dist = vec![0.0f64; n];
+    #[allow(clippy::needless_range_loop)] // d indexes a dimension, not a container
+    for d in 0..dims {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            points[a][d]
+                .partial_cmp(&points[b][d])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let lo = points[order[0]][d];
+        let hi = points[order[n - 1]][d];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[n - 1]] = f64::INFINITY;
+        let range = hi - lo;
+        if range <= 0.0 {
+            continue;
+        }
+        for w in 1..n - 1 {
+            let prev = points[order[w - 1]][d];
+            let next = points[order[w + 1]][d];
+            dist[order[w]] += (next - prev) / range;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominates_requires_strict_improvement() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[2.0, 0.0], &[1.0, 1.0]));
+        assert!(dominates(&[2.0, 2.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn front_of_simple_tradeoff() {
+        let pts = vec![
+            vec![1.0, 5.0], // on front
+            vec![3.0, 3.0], // on front
+            vec![5.0, 1.0], // on front
+            vec![2.0, 2.0], // dominated by (3,3)
+            vec![1.0, 5.0], // duplicate of first: also non-dominated
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn front_of_single_point_is_itself() {
+        assert_eq!(pareto_front(&[vec![1.0]]), vec![0]);
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn sort_partitions_all_points() {
+        let pts = vec![
+            vec![3.0, 3.0],
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![4.0, 0.0],
+        ];
+        let fronts = non_dominated_sort(&pts);
+        let total: usize = fronts.iter().map(|f| f.len()).sum();
+        assert_eq!(total, 4);
+        // (3,3) and (4,0) are mutually non-dominated => front 0.
+        assert_eq!(fronts[0], vec![0, 3]);
+        assert_eq!(fronts[1], vec![2]);
+        assert_eq!(fronts[2], vec![1]);
+    }
+
+    #[test]
+    fn sort_front_zero_matches_pareto_front() {
+        let pts = vec![
+            vec![0.9, 1e5],
+            vec![0.8, 1e7],
+            vec![0.7, 1e6], // dominated by the second
+            vec![0.95, 1e3],
+        ];
+        let mut f0 = non_dominated_sort(&pts)[0].clone();
+        f0.sort_unstable();
+        assert_eq!(f0, pareto_front(&pts));
+    }
+
+    #[test]
+    fn crowding_boundary_points_are_infinite() {
+        let pts = vec![
+            vec![0.0, 3.0],
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![3.0, 0.0],
+        ];
+        let d = crowding_distance(&pts);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+    }
+
+    #[test]
+    fn crowding_prefers_isolated_points() {
+        // Middle point clustered near the left: lower distance than the
+        // isolated one.
+        let pts = vec![
+            vec![0.0, 4.0],
+            vec![0.1, 3.9],
+            vec![0.2, 3.8],
+            vec![3.0, 1.0],
+            vec![4.0, 0.0],
+        ];
+        let d = crowding_distance(&pts);
+        assert!(d[3] > d[1], "isolated {} vs clustered {}", d[3], d[1]);
+    }
+
+    #[test]
+    fn crowding_degenerate_sizes() {
+        assert!(crowding_distance(&[]).is_empty());
+        assert_eq!(crowding_distance(&[vec![1.0]]), vec![f64::INFINITY]);
+        let two = crowding_distance(&[vec![1.0], vec![2.0]]);
+        assert!(two.iter().all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn constant_dimension_does_not_nan() {
+        let pts = vec![vec![1.0, 5.0], vec![1.0, 3.0], vec![1.0, 1.0]];
+        let d = crowding_distance(&pts);
+        assert!(d.iter().all(|x| !x.is_nan()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_dims_panic() {
+        let _ = dominates(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the engine's data structures: genome hashing,
+//! fitness orientation, and Pareto algebra.
+
+use ecad_core::fitness::{Objective, ObjectiveSet};
+use ecad_core::measurement::{HwMetrics, Measurement};
+use ecad_core::pareto;
+use ecad_core::space::SearchSpace;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn meas(acc: f32, outs: f64, latency: f64) -> Measurement {
+    Measurement {
+        accuracy: acc,
+        train_accuracy: acc,
+        params: 100,
+        neurons: 10,
+        hw: HwMetrics::Gpu {
+            outputs_per_s: outs,
+            efficiency: 0.01,
+            latency_s: latency,
+            effective_gflops: 1.0,
+            power_w: 50.0,
+        },
+        eval_time_s: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cache keys are a function of the phenotype: equal genomes hash
+    /// equal; sampled distinct genomes essentially never collide.
+    #[test]
+    fn cache_key_respects_equality(seed in 0u64..1000) {
+        let space = SearchSpace::fpga_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = space.sample(&mut rng);
+        let b = a.clone();
+        prop_assert_eq!(a.cache_key(), b.cache_key());
+        let c = space.sample(&mut rng);
+        if c != a {
+            prop_assert_ne!(a.cache_key(), c.cache_key(), "collision: {} vs {}", a, c);
+        }
+    }
+
+    /// Genome descriptions are injective over sampled genomes (the
+    /// cache hashes descriptions, so equal descriptions must mean equal
+    /// genomes).
+    #[test]
+    fn describe_injective(seed in 0u64..500) {
+        let space = SearchSpace::gpu_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        prop_assert_eq!(a.describe() == b.describe(), a == b);
+    }
+
+    /// Scalar fitness is strictly increasing in accuracy for the
+    /// accuracy objective, holding hardware fixed.
+    #[test]
+    fn scalar_monotone_in_accuracy(a in 0.0f32..1.0, b in 0.0f32..1.0) {
+        prop_assume!((a - b).abs() > 1e-6);
+        let set = ObjectiveSet::accuracy_only();
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(set.scalar(&meas(hi, 1e6, 1e-4)) > set.scalar(&meas(lo, 1e6, 1e-4)));
+    }
+
+    /// A minimizing objective reverses the comparison.
+    #[test]
+    fn minimize_reverses(lat_a in 1e-6f64..1e-1, lat_b in 1e-6f64..1e-1) {
+        prop_assume!((lat_a - lat_b).abs() / lat_a.max(lat_b) > 1e-6);
+        let set = ObjectiveSet::new(vec![Objective::minimize("latency")]);
+        let fast = lat_a.min(lat_b);
+        let slow = lat_a.max(lat_b);
+        prop_assert!(set.scalar(&meas(0.5, 1e6, fast)) > set.scalar(&meas(0.5, 1e6, slow)));
+    }
+
+    /// Dominance is a strict partial order: irreflexive, asymmetric,
+    /// transitive.
+    #[test]
+    fn dominance_partial_order(
+        a in proptest::collection::vec(0.0f64..1.0, 3),
+        b in proptest::collection::vec(0.0f64..1.0, 3),
+        c in proptest::collection::vec(0.0f64..1.0, 3),
+    ) {
+        prop_assert!(!pareto::dominates(&a, &a));
+        if pareto::dominates(&a, &b) {
+            prop_assert!(!pareto::dominates(&b, &a));
+        }
+        if pareto::dominates(&a, &b) && pareto::dominates(&b, &c) {
+            prop_assert!(pareto::dominates(&a, &c));
+        }
+    }
+
+    /// Non-dominated sort: fronts partition the set, and nobody in
+    /// front i is dominated by anyone in front >= i.
+    #[test]
+    fn nds_front_ordering(points in proptest::collection::vec(
+        proptest::collection::vec(0.0f64..1.0, 2), 1..30
+    )) {
+        let fronts = pareto::non_dominated_sort(&points);
+        let total: usize = fronts.iter().map(|f| f.len()).sum();
+        prop_assert_eq!(total, points.len());
+        for (fi, front) in fronts.iter().enumerate() {
+            for &i in front {
+                for later in &fronts[fi..] {
+                    for &j in later {
+                        prop_assert!(
+                            !pareto::dominates(&points[j], &points[i]),
+                            "point in front {fi} dominated by a same-or-later front member"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Crowding distances are non-negative and the extremes of every
+    /// dimension are infinite for fronts of 3+ points.
+    #[test]
+    fn crowding_invariants(points in proptest::collection::vec(
+        proptest::collection::vec(0.0f64..1.0, 2), 3..25
+    )) {
+        let d = pareto::crowding_distance(&points);
+        prop_assert_eq!(d.len(), points.len());
+        for &x in &d {
+            prop_assert!(x >= 0.0);
+        }
+        for dim in 0..2 {
+            let max_idx = (0..points.len())
+                .max_by(|&a, &b| points[a][dim].partial_cmp(&points[b][dim]).unwrap())
+                .unwrap();
+            prop_assert!(d[max_idx].is_infinite());
+        }
+    }
+
+    /// Infeasible measurements always lose to feasible ones under any
+    /// built-in objective set.
+    #[test]
+    fn infeasible_always_loses(acc in 0.0f32..1.0, outs in 1.0f64..1e9) {
+        for set in [ObjectiveSet::accuracy_only(), ObjectiveSet::accuracy_and_throughput()] {
+            let feasible = set.scalar(&meas(acc, outs, 1e-4));
+            let infeasible = set.scalar(&Measurement::infeasible("x"));
+            prop_assert!(feasible > infeasible);
+        }
+    }
+}

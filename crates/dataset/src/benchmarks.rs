@@ -1,0 +1,314 @@
+//! The six paper benchmarks as synthetic stand-ins.
+//!
+//! | Benchmark | Real shape (samples × features, classes) | Paper top acc (ECAD MLP) |
+//! |---|---|---|
+//! | MNIST | 70 000 × 784, 10 | 0.9852 (1-fold) |
+//! | Fashion-MNIST | 70 000 × 784, 10 | 0.8923 (1-fold) |
+//! | Credit-g | 1 000 × 20, 2 | 0.7880 (10-fold) |
+//! | HAR | 10 299 × 561, 6 | 0.9909 (10-fold) |
+//! | Phishing | 11 055 × 30, 2 | 0.9756 (10-fold) |
+//! | Bioresponse | 3 751 × 1 776, 2 | 0.8038 (10-fold) |
+//!
+//! Each stand-in keeps the real feature/class dimensions (so the
+//! hardware co-design search explores the same GEMM shapes the paper
+//! did) and tunes **label noise / class separation / non-linearity** so
+//! that attainable accuracy lands in the published band. Default sample
+//! counts are scaled down for laptop-scale runs; `with_samples` restores
+//! any size, and the `real_samples` field records the original count.
+
+use crate::synth::SyntheticSpec;
+
+/// Identifier for one of the six paper benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// MNIST handwritten digits \[18\] (stand-in).
+    Mnist,
+    /// Fashion-MNIST \[19\] (stand-in).
+    FashionMnist,
+    /// OpenML credit-g (German credit risk) \[20\] (stand-in).
+    CreditG,
+    /// UCI Human Activity Recognition using smartphones \[21\] (stand-in).
+    Har,
+    /// OpenML Phishing websites \[20\] (stand-in).
+    Phishing,
+    /// OpenML Bioresponse \[22\] (stand-in).
+    Bioresponse,
+}
+
+impl Benchmark {
+    /// All six benchmarks in the paper's presentation order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Mnist,
+        Benchmark::FashionMnist,
+        Benchmark::CreditG,
+        Benchmark::Har,
+        Benchmark::Phishing,
+        Benchmark::Bioresponse,
+    ];
+
+    /// The four OpenML datasets evaluated with 10-fold CV in Table I.
+    pub const TEN_FOLD: [Benchmark; 4] = [
+        Benchmark::CreditG,
+        Benchmark::Har,
+        Benchmark::Phishing,
+        Benchmark::Bioresponse,
+    ];
+
+    /// The two pre-split datasets evaluated 1-fold in Table II.
+    pub const ONE_FOLD: [Benchmark; 2] = [Benchmark::Mnist, Benchmark::FashionMnist];
+
+    /// Canonical lowercase name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Mnist => "mnist",
+            Benchmark::FashionMnist => "fashion-mnist",
+            Benchmark::CreditG => "credit-g",
+            Benchmark::Har => "har",
+            Benchmark::Phishing => "phishing",
+            Benchmark::Bioresponse => "bioresponse",
+        }
+    }
+
+    /// Parses a benchmark from its canonical name (case-insensitive;
+    /// accepts `fashion_mnist`/`fashion-mnist` style variants).
+    pub fn from_name(s: &str) -> Option<Benchmark> {
+        let k = s.to_ascii_lowercase().replace('_', "-");
+        Benchmark::ALL.iter().copied().find(|b| b.name() == k)
+    }
+
+    /// Sample count of the real dataset.
+    pub fn real_samples(self) -> usize {
+        match self {
+            Benchmark::Mnist | Benchmark::FashionMnist => 70_000,
+            Benchmark::CreditG => 1_000,
+            Benchmark::Har => 10_299,
+            Benchmark::Phishing => 11_055,
+            Benchmark::Bioresponse => 3_751,
+        }
+    }
+
+    /// Feature count of the real dataset.
+    pub fn n_features(self) -> usize {
+        match self {
+            Benchmark::Mnist | Benchmark::FashionMnist => 784,
+            Benchmark::CreditG => 20,
+            Benchmark::Har => 561,
+            Benchmark::Phishing => 30,
+            Benchmark::Bioresponse => 1_776,
+        }
+    }
+
+    /// Class count of the real dataset.
+    pub fn n_classes(self) -> usize {
+        match self {
+            Benchmark::Mnist | Benchmark::FashionMnist => 10,
+            Benchmark::Har => 6,
+            _ => 2,
+        }
+    }
+
+    /// The paper's published ECAD-MLP accuracy for this benchmark
+    /// (Table I for the 10-fold datasets, Table II for the 1-fold ones).
+    pub fn paper_ecad_accuracy(self) -> f32 {
+        match self {
+            Benchmark::Mnist => 0.9852,
+            Benchmark::FashionMnist => 0.8923,
+            Benchmark::CreditG => 0.7880,
+            Benchmark::Har => 0.9909,
+            Benchmark::Phishing => 0.9756,
+            Benchmark::Bioresponse => 0.8038,
+        }
+    }
+
+    /// The paper's best published MLP-baseline accuracy
+    /// (`MLPClassifier` rows of Tables I/II).
+    pub fn paper_mlp_baseline_accuracy(self) -> f32 {
+        match self {
+            Benchmark::Mnist => 0.9840,
+            Benchmark::FashionMnist => 0.8770,
+            Benchmark::CreditG => 0.7470,
+            Benchmark::Har => 0.1888,
+            Benchmark::Phishing => 0.9733,
+            Benchmark::Bioresponse => 0.5423,
+        }
+    }
+
+    /// The paper's best published accuracy by *any* method.
+    pub fn paper_best_any_accuracy(self) -> f32 {
+        match self {
+            Benchmark::Mnist => 0.9979,
+            Benchmark::FashionMnist => 0.8970,
+            Benchmark::CreditG => 0.7860,
+            Benchmark::Har => 0.9957,
+            Benchmark::Phishing => 0.9753,
+            Benchmark::Bioresponse => 0.8160,
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Default scaled-down sample count used when the full dataset would be
+/// too slow for an interactive run. `SyntheticSpec::with_samples`
+/// overrides it (e.g. `load(b).with_samples(b.real_samples())`).
+pub fn default_samples(b: Benchmark) -> usize {
+    match b {
+        Benchmark::Mnist | Benchmark::FashionMnist => 3_000,
+        Benchmark::CreditG => 1_000, // real size, it is tiny
+        Benchmark::Har => 2_400,
+        Benchmark::Phishing => 2_400,
+        Benchmark::Bioresponse => 1_500,
+    }
+}
+
+/// Builds the synthetic spec for a benchmark with its difficulty profile.
+///
+/// The difficulty parameters were chosen so that a well-tuned MLP lands
+/// near the paper's accuracy band for that dataset (see module docs),
+/// while linear baselines trail it — reproducing the *ordering* of
+/// Tables I/II. Call `.generate()` on the result, or adjust sample count
+/// and seed first.
+///
+/// # Example
+///
+/// ```
+/// use ecad_dataset::benchmarks::{load, Benchmark};
+/// let ds = load(Benchmark::Phishing).with_samples(300).generate();
+/// assert_eq!(ds.n_features(), 30);
+/// ```
+pub fn load(b: Benchmark) -> SyntheticSpec {
+    let base = SyntheticSpec::new(b.name(), default_samples(b), b.n_features(), b.n_classes());
+    match b {
+        // MNIST: easy, highly separable classes, tiny noise floor.
+        Benchmark::Mnist => base
+            .with_informative(20)
+            .with_class_sep(5.6)
+            .with_cluster_spread(0.85)
+            .with_clusters_per_class(2)
+            .with_nonlinearity(0.6)
+            .with_label_noise(0.008),
+        // Fashion-MNIST: same shape, substantially more class overlap.
+        Benchmark::FashionMnist => base
+            .with_informative(20)
+            .with_class_sep(4.8)
+            .with_cluster_spread(0.95)
+            .with_clusters_per_class(2)
+            .with_nonlinearity(0.7)
+            .with_label_noise(0.065),
+        // Credit-g: small, noisy tabular data; accuracy capped ~0.79.
+        Benchmark::CreditG => base
+            .with_informative(12)
+            .with_class_sep(2.4)
+            .with_cluster_spread(1.1)
+            .with_nonlinearity(0.9)
+            .with_label_noise(0.20),
+        // HAR: near-separable sensor features.
+        Benchmark::Har => base
+            .with_informative(20)
+            .with_class_sep(4.5)
+            .with_cluster_spread(0.9)
+            .with_nonlinearity(0.7)
+            .with_label_noise(0.004),
+        // Phishing: clean binary features, small noise floor.
+        Benchmark::Phishing => base
+            .with_informative(16)
+            .with_class_sep(3.6)
+            .with_cluster_spread(1.0)
+            .with_nonlinearity(0.8)
+            .with_label_noise(0.020),
+        // Bioresponse: very high dimensional, heavy noise; cap ~0.80.
+        Benchmark::Bioresponse => base
+            .with_informative(10)
+            .with_class_sep(4.6)
+            .with_cluster_spread(1.0)
+            .with_nonlinearity(1.0)
+            .with_label_noise(0.18),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_have_paper_shapes() {
+        for b in Benchmark::ALL {
+            let ds = load(b).with_samples(60).generate();
+            assert_eq!(ds.n_features(), b.n_features(), "{b}");
+            assert_eq!(ds.n_classes(), b.n_classes(), "{b}");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+        }
+        assert_eq!(
+            Benchmark::from_name("Fashion_MNIST"),
+            Some(Benchmark::FashionMnist)
+        );
+        assert_eq!(Benchmark::from_name("nope"), None);
+    }
+
+    #[test]
+    fn ten_fold_plus_one_fold_covers_all() {
+        let mut names: Vec<&str> = Benchmark::TEN_FOLD
+            .iter()
+            .chain(Benchmark::ONE_FOLD.iter())
+            .map(|b| b.name())
+            .collect();
+        names.sort_unstable();
+        let mut all: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        all.sort_unstable();
+        assert_eq!(names, all);
+    }
+
+    #[test]
+    fn paper_accuracies_are_probabilities() {
+        for b in Benchmark::ALL {
+            for acc in [
+                b.paper_ecad_accuracy(),
+                b.paper_mlp_baseline_accuracy(),
+                b.paper_best_any_accuracy(),
+            ] {
+                assert!((0.0..=1.0).contains(&acc), "{b}: {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn ecad_beats_mlp_baseline_in_paper_numbers() {
+        // Sanity on the transcription of Tables I/II.
+        for b in Benchmark::ALL {
+            assert!(
+                b.paper_ecad_accuracy() > b.paper_mlp_baseline_accuracy(),
+                "{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = load(Benchmark::CreditG).generate();
+        let b = load(Benchmark::CreditG).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_samples_are_scaled_down_but_nonzero() {
+        for b in Benchmark::ALL {
+            assert!(default_samples(b) > 0);
+            assert!(default_samples(b) <= b.real_samples());
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::Har.to_string(), "har");
+    }
+}

@@ -1,0 +1,417 @@
+//! Dependency-free CSV codec.
+//!
+//! The ECAD flow ingests "a Comma Separated Value (CSV) tabular data
+//! format" (§III). This module implements the subset of RFC 4180 needed
+//! for numeric ML tables: comma separation, quoted fields containing
+//! commas/quotes/newlines, CRLF tolerance, and a header row.
+//!
+//! [`read_dataset`]/[`write_dataset`] convert between CSV text and
+//! [`Dataset`], using the convention that the **last column is the class
+//! label** (as integer) and all other columns are `f32` features.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use ecad_tensor::Matrix;
+
+use crate::{Dataset, DatasetError};
+
+/// Error produced while parsing CSV text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// A row had a different number of fields than the header.
+    RaggedRow {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected (from the header).
+        expected: usize,
+    },
+    /// A field could not be parsed as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column index.
+        col: usize,
+        /// The raw field text.
+        text: String,
+    },
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line where the quote opened.
+        line: usize,
+    },
+    /// The input had no data rows.
+    NoData,
+    /// An I/O error occurred (message only, to keep the type `Clone`).
+    Io(String),
+    /// The parsed table violated dataset invariants.
+    Dataset(DatasetError),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => {
+                write!(f, "line {line}: expected {expected} fields, found {found}")
+            }
+            CsvError::BadNumber { line, col, text } => {
+                write!(
+                    f,
+                    "line {line}, column {col}: cannot parse {text:?} as a number"
+                )
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+            CsvError::NoData => write!(f, "csv input contains no data rows"),
+            CsvError::Io(msg) => write!(f, "io error: {msg}"),
+            CsvError::Dataset(e) => write!(f, "invalid dataset: {e}"),
+        }
+    }
+}
+
+impl Error for CsvError {}
+
+impl From<DatasetError> for CsvError {
+    fn from(e: DatasetError) -> Self {
+        CsvError::Dataset(e)
+    }
+}
+
+/// Parses CSV text into rows of string fields.
+///
+/// Handles quoted fields (including embedded commas, doubled quotes and
+/// newlines) and both `\n` and `\r\n` line endings. Empty lines are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns [`CsvError::UnterminatedQuote`] if a quote is left open.
+pub fn parse(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut quote_open_line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut any_field_on_row = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    field.push(c);
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                quote_open_line = line;
+                any_field_on_row = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                any_field_on_row = true;
+            }
+            '\r' => { /* tolerate CRLF */ }
+            '\n' => {
+                line += 1;
+                if any_field_on_row || !field.is_empty() {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                any_field_on_row = false;
+            }
+            _ => {
+                field.push(c);
+                any_field_on_row = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote {
+            line: quote_open_line,
+        });
+    }
+    if any_field_on_row || !field.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Escapes a single field for CSV output, quoting only when necessary.
+pub fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes rows of fields into CSV text (LF line endings).
+pub fn emit<R: AsRef<[String]>>(rows: &[R]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let row = row.as_ref();
+        for (i, f) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape(f));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a dataset from CSV text.
+///
+/// Expects a header row; the last column is the integer class label and
+/// every other column is a float feature. The class count is inferred as
+/// `max(label) + 1`.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] for ragged rows, non-numeric fields, or an empty
+/// table.
+pub fn read_dataset(name: &str, text: &str) -> Result<Dataset, CsvError> {
+    let rows = parse(text)?;
+    if rows.len() < 2 {
+        return Err(CsvError::NoData);
+    }
+    let width = rows[0].len();
+    if width < 2 {
+        return Err(CsvError::NoData);
+    }
+    let n = rows.len() - 1;
+    let mut features = Vec::with_capacity(n * (width - 1));
+    let mut labels = Vec::with_capacity(n);
+    for (i, row) in rows.iter().enumerate().skip(1) {
+        if row.len() != width {
+            return Err(CsvError::RaggedRow {
+                line: i + 1,
+                found: row.len(),
+                expected: width,
+            });
+        }
+        for (c, fv) in row[..width - 1].iter().enumerate() {
+            let v: f32 = fv.trim().parse().map_err(|_| CsvError::BadNumber {
+                line: i + 1,
+                col: c,
+                text: fv.clone(),
+            })?;
+            features.push(v);
+        }
+        let lv = row[width - 1].trim();
+        let label: usize = lv
+            .parse::<f64>()
+            .ok()
+            .filter(|x| x.fract() == 0.0 && *x >= 0.0)
+            .map(|x| x as usize)
+            .ok_or_else(|| CsvError::BadNumber {
+                line: i + 1,
+                col: width - 1,
+                text: lv.to_string(),
+            })?;
+        labels.push(label);
+    }
+    let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+    let features = Matrix::from_vec(n, width - 1, features);
+    Ok(Dataset::new(name, features, labels, n_classes)?)
+}
+
+/// Serializes a dataset to CSV text with a generated header
+/// (`f0,f1,...,label`).
+pub fn write_dataset(ds: &Dataset) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(ds.len() + 1);
+    let mut header: Vec<String> = (0..ds.n_features()).map(|i| format!("f{i}")).collect();
+    header.push("label".to_string());
+    rows.push(header);
+    for r in 0..ds.len() {
+        let mut row: Vec<String> = ds
+            .features()
+            .row(r)
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect();
+        row.push(ds.labels()[r].to_string());
+        rows.push(row);
+    }
+    emit(&rows)
+}
+
+/// Reads a dataset from a CSV file on disk.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Io`] on filesystem errors, otherwise the same
+/// errors as [`read_dataset`]. The dataset name is the file stem.
+pub fn read_dataset_file(path: impl AsRef<Path>) -> Result<Dataset, CsvError> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path).map_err(|e| CsvError::Io(e.to_string()))?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "dataset".to_string());
+    read_dataset(&name, &text)
+}
+
+/// Writes a dataset to a CSV file on disk.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Io`] on filesystem errors.
+pub fn write_dataset_file(ds: &Dataset, path: impl AsRef<Path>) -> Result<(), CsvError> {
+    fs::write(path, write_dataset(ds)).map_err(|e| CsvError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_table() {
+        let rows = parse("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn parse_handles_crlf_and_trailing_newline_absence() {
+        let rows = parse("a,b\r\n1,2").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn parse_quoted_fields() {
+        let rows = parse("\"x,y\",\"he said \"\"hi\"\"\"\n1,2\n").unwrap();
+        assert_eq!(rows[0], vec!["x,y", "he said \"hi\""]);
+    }
+
+    #[test]
+    fn parse_quoted_newline() {
+        let rows = parse("\"line1\nline2\",b\n").unwrap();
+        assert_eq!(rows[0][0], "line1\nline2");
+    }
+
+    #[test]
+    fn parse_unterminated_quote_is_error() {
+        let err = parse("\"oops\n1,2\n").unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { line: 1 }));
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let rows = parse("a,b\n\n1,2\n\n").unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn escape_quotes_when_needed() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let rows = vec![
+            vec!["h1".to_string(), "h,2".to_string()],
+            vec!["1.5".to_string(), "say \"hi\"".to_string()],
+        ];
+        let text = emit(&rows);
+        assert_eq!(parse(&text).unwrap(), rows);
+    }
+
+    #[test]
+    fn read_dataset_infers_classes() {
+        let ds = read_dataset("t", "f0,f1,label\n0.5,1.0,0\n0.1,0.2,2\n").unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.n_classes(), 3);
+        assert_eq!(ds.labels(), &[0, 2]);
+    }
+
+    #[test]
+    fn read_dataset_rejects_ragged() {
+        let err = read_dataset("t", "a,b,label\n1,2,0\n1,0\n").unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { line: 3, .. }));
+    }
+
+    #[test]
+    fn read_dataset_rejects_non_numeric_feature() {
+        let err = read_dataset("t", "a,label\nx,0\n").unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::BadNumber {
+                line: 2,
+                col: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn read_dataset_rejects_fractional_label() {
+        let err = read_dataset("t", "a,label\n1.0,0.5\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadNumber { .. }));
+    }
+
+    #[test]
+    fn read_dataset_rejects_empty() {
+        assert_eq!(
+            read_dataset("t", "a,label\n").unwrap_err(),
+            CsvError::NoData
+        );
+        assert_eq!(read_dataset("t", "").unwrap_err(), CsvError::NoData);
+    }
+
+    #[test]
+    fn dataset_round_trip() {
+        let text = "f0,f1,label\n0.25,-1,1\n3,4.5,0\n";
+        let ds = read_dataset("t", text).unwrap();
+        let out = write_dataset(&ds);
+        let ds2 = read_dataset("t", &out).unwrap();
+        assert_eq!(ds, ds2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ecad_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.csv");
+        let ds = read_dataset("toy", "f0,label\n1,0\n2,1\n").unwrap();
+        write_dataset_file(&ds, &path).unwrap();
+        let back = read_dataset_file(&path).unwrap();
+        assert_eq!(back, ds);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_dataset_file("/nonexistent/definitely/not/here.csv").unwrap_err();
+        assert!(matches!(err, CsvError::Io(_)));
+    }
+}

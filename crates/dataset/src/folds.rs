@@ -1,0 +1,223 @@
+//! K-fold cross-validation.
+//!
+//! Tables I of the paper report "10-fold" accuracy following the OpenML
+//! estimation procedure \[24\]: the data is split into 10 equal train/test
+//! folds and performance is averaged across folds. This module implements
+//! seeded, optionally **stratified** k-fold partitioning (stratification
+//! keeps per-class proportions stable across folds, which matters for the
+//! imbalanced credit-g dataset).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::Dataset;
+
+/// One cross-validation fold: index sets into the original dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices of training samples.
+    pub train: Vec<usize>,
+    /// Indices of held-out test samples.
+    pub test: Vec<usize>,
+}
+
+/// Produces `k` folds over `n` samples with a seeded shuffle.
+///
+/// Every sample appears in exactly one test set; fold sizes differ by at
+/// most one.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > n`.
+pub fn kfold<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<Fold> {
+    assert!(k >= 2, "k must be at least 2");
+    assert!(k <= n, "cannot make {k} folds from {n} samples");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    folds_from_ordering(&idx, k)
+}
+
+/// Produces `k` stratified folds: each fold's test set preserves the
+/// overall class proportions as closely as integer counts allow.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k` exceeds the dataset size.
+pub fn stratified_kfold<R: Rng + ?Sized>(ds: &Dataset, k: usize, rng: &mut R) -> Vec<Fold> {
+    assert!(k >= 2, "k must be at least 2");
+    assert!(
+        k <= ds.len(),
+        "cannot make {k} folds from {} samples",
+        ds.len()
+    );
+    // Group indices by class, shuffle within each class, then deal them
+    // round-robin into folds so every fold gets its share of each class.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); ds.n_classes()];
+    for (i, &l) in ds.labels().iter().enumerate() {
+        by_class[l].push(i);
+    }
+    let mut fold_tests: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut next_fold = 0usize;
+    for class_idx in &mut by_class {
+        class_idx.shuffle(rng);
+        for &i in class_idx.iter() {
+            fold_tests[next_fold].push(i);
+            next_fold = (next_fold + 1) % k;
+        }
+    }
+    let n = ds.len();
+    fold_tests
+        .into_iter()
+        .map(|test| {
+            let in_test: Vec<bool> = {
+                let mut mask = vec![false; n];
+                for &i in &test {
+                    mask[i] = true;
+                }
+                mask
+            };
+            let train = (0..n).filter(|&i| !in_test[i]).collect();
+            Fold { train, test }
+        })
+        .collect()
+}
+
+fn folds_from_ordering(order: &[usize], k: usize) -> Vec<Fold> {
+    let n = order.len();
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let test: Vec<usize> = order[start..start + size].to_vec();
+        let train: Vec<usize> = order[..start]
+            .iter()
+            .chain(&order[start + size..])
+            .copied()
+            .collect();
+        folds.push(Fold { train, test });
+        start += size;
+    }
+    folds
+}
+
+/// Convenience: materializes `(train, test)` dataset pairs for each fold.
+pub fn materialize(ds: &Dataset, folds: &[Fold]) -> Vec<(Dataset, Dataset)> {
+    folds
+        .iter()
+        .map(|f| (ds.subset(&f.train), ds.subset(&f.test)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecad_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize, classes: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 2, |r, c| (r + c) as f32);
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        Dataset::new("toy", x, labels, classes).unwrap()
+    }
+
+    fn check_partition(folds: &[Fold], n: usize) {
+        let mut seen = vec![0usize; n];
+        for f in folds {
+            for &i in &f.test {
+                seen[i] += 1;
+            }
+            // train and test are disjoint and cover everything.
+            let mut all: Vec<usize> = f.train.iter().chain(&f.test).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "every index in exactly one test fold"
+        );
+    }
+
+    #[test]
+    fn kfold_partitions_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = kfold(23, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        check_partition(&folds, 23);
+    }
+
+    #[test]
+    fn kfold_sizes_differ_by_at_most_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let folds = kfold(23, 5, &mut rng);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(sizes.iter().sum::<usize>(), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 2")]
+    fn kfold_rejects_k1() {
+        let _ = kfold(10, 1, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot make")]
+    fn kfold_rejects_k_gt_n() {
+        let _ = kfold(3, 10, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn kfold_deterministic_per_seed() {
+        let a = kfold(50, 10, &mut StdRng::seed_from_u64(7));
+        let b = kfold(50, 10, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stratified_partitions_exactly_once() {
+        let ds = toy(40, 4);
+        let folds = stratified_kfold(&ds, 10, &mut StdRng::seed_from_u64(1));
+        check_partition(&folds, 40);
+    }
+
+    #[test]
+    fn stratified_preserves_class_balance() {
+        let ds = toy(100, 2);
+        let folds = stratified_kfold(&ds, 10, &mut StdRng::seed_from_u64(3));
+        for f in &folds {
+            let c0 = f.test.iter().filter(|&&i| ds.labels()[i] == 0).count();
+            let c1 = f.test.len() - c0;
+            assert!(
+                (c0 as i64 - c1 as i64).abs() <= 1,
+                "fold imbalance: {c0} vs {c1}"
+            );
+        }
+    }
+
+    #[test]
+    fn stratified_with_rare_class() {
+        // 3 samples of class 1 among 30: all folds must still partition.
+        let labels: Vec<usize> = (0..30).map(|i| usize::from(i < 3)).collect();
+        let x = Matrix::zeros(30, 2);
+        let ds = Dataset::new("rare", x, labels, 2).unwrap();
+        let folds = stratified_kfold(&ds, 10, &mut StdRng::seed_from_u64(0));
+        check_partition(&folds, 30);
+    }
+
+    #[test]
+    fn materialize_shapes() {
+        let ds = toy(20, 2);
+        let folds = kfold(20, 4, &mut StdRng::seed_from_u64(0));
+        let pairs = materialize(&ds, &folds);
+        assert_eq!(pairs.len(), 4);
+        for (train, test) in pairs {
+            assert_eq!(train.len(), 15);
+            assert_eq!(test.len(), 5);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-feature standardization.
+//!
+//! MLP training is sensitive to feature scale; the standard practice the
+//! paper's sklearn baselines follow is z-score standardization fit on the
+//! training split only. [`StandardScaler`] reproduces that: `fit` learns
+//! per-column mean/std from the training data, `transform` applies them
+//! to any split. Zero-variance columns pass through unscaled (divisor 1)
+//! rather than producing NaN.
+
+use ecad_tensor::{ops, Matrix};
+use serde::{Deserialize, Serialize};
+
+use crate::Dataset;
+
+/// A fitted z-score standardizer (`x' = (x - mean) / std`).
+///
+/// # Example
+///
+/// ```
+/// use ecad_dataset::scaler::StandardScaler;
+/// use ecad_tensor::Matrix;
+///
+/// let train = Matrix::from_rows(&[[0.0], [2.0]]);
+/// let scaler = StandardScaler::fit(&train);
+/// let scaled = scaler.transform(&train);
+/// assert_eq!(scaled.row(0), &[-1.0]);
+/// assert_eq!(scaled.row(1), &[1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Learns per-column mean and standard deviation from `train`.
+    pub fn fit(train: &Matrix) -> Self {
+        let means = ops::col_means(train);
+        let stds = ops::col_stds(train)
+            .into_iter()
+            .map(|s| if s > 1e-8 { s } else { 1.0 })
+            .collect();
+        Self { means, stds }
+    }
+
+    /// Applies the learned standardization to `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` has a different column count than the fit data.
+    pub fn transform(&self, m: &Matrix) -> Matrix {
+        assert_eq!(
+            m.cols(),
+            self.means.len(),
+            "scaler fit on {} columns, got {}",
+            self.means.len(),
+            m.cols()
+        );
+        Matrix::from_fn(m.rows(), m.cols(), |r, c| {
+            (m[(r, c)] - self.means[c]) / self.stds[c]
+        })
+    }
+
+    /// Inverts the standardization (`x = x' * std + mean`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` has a different column count than the fit data.
+    pub fn inverse_transform(&self, m: &Matrix) -> Matrix {
+        assert_eq!(m.cols(), self.means.len(), "column count mismatch");
+        Matrix::from_fn(m.rows(), m.cols(), |r, c| {
+            m[(r, c)] * self.stds[c] + self.means[c]
+        })
+    }
+
+    /// Learned per-column means.
+    pub fn means(&self) -> &[f32] {
+        &self.means
+    }
+
+    /// Learned per-column standard deviations (zero-variance columns
+    /// report 1.0).
+    pub fn stds(&self) -> &[f32] {
+        &self.stds
+    }
+}
+
+/// Fits a scaler on `train` and returns standardized copies of both
+/// datasets — the fit-on-train-only pattern in one call.
+pub fn standardize_pair(train: &Dataset, test: &Dataset) -> (Dataset, Dataset) {
+    let scaler = StandardScaler::fit(train.features());
+    (
+        train.with_features(scaler.transform(train.features())),
+        test.with_features(scaler.transform(test.features())),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_centers_and_scales() {
+        let train = Matrix::from_rows(&[[1.0, 10.0], [3.0, 30.0]]);
+        let s = StandardScaler::fit(&train);
+        let t = s.transform(&train);
+        // Each column becomes mean 0, std 1.
+        for c in 0..2 {
+            let col = t.col(c);
+            let mean: f32 = col.iter().sum::<f32>() / 2.0;
+            assert!(mean.abs() < 1e-6);
+            assert!((col[0] + 1.0).abs() < 1e-6);
+            assert!((col[1] - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_variance_column_passes_through() {
+        let train = Matrix::from_rows(&[[5.0], [5.0]]);
+        let s = StandardScaler::fit(&train);
+        let t = s.transform(&train);
+        assert!(t.all_finite());
+        assert_eq!(t.row(0), &[0.0]);
+        assert_eq!(s.stds(), &[1.0]);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let train = Matrix::from_rows(&[[1.0, -2.0], [4.0, 6.0], [0.0, 0.5]]);
+        let s = StandardScaler::fit(&train);
+        let back = s.inverse_transform(&s.transform(&train));
+        for (a, b) in back.as_slice().iter().zip(train.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scaler fit on")]
+    fn transform_rejects_width_mismatch() {
+        let s = StandardScaler::fit(&Matrix::zeros(2, 3));
+        let _ = s.transform(&Matrix::zeros(2, 4));
+    }
+
+    #[test]
+    fn standardize_pair_uses_train_statistics_only() {
+        use crate::Dataset;
+        let train = Dataset::new("t", Matrix::from_rows(&[[0.0], [2.0]]), vec![0, 1], 2).unwrap();
+        let test = Dataset::new("t", Matrix::from_rows(&[[4.0]]), vec![0], 2).unwrap();
+        let (_, test_s) = standardize_pair(&train, &test);
+        // Train mean 1, std 1 => 4 maps to 3, not to anything test-local.
+        assert!((test_s.features()[(0, 0)] - 3.0).abs() < 1e-6);
+    }
+}

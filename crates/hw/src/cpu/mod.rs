@@ -1,0 +1,15 @@
+//! CPU comparator model.
+//!
+//! The paper's *simulation worker* covers "instruction-set based
+//! architectures such as CPU and GPU" (§III-B). The CPU model follows
+//! the same per-kernel roofline recipe as the GPU model — BLAS GEMM at
+//! `min(compute, memory)` roofline plus a per-call overhead — with
+//! CPU-shaped parameters: far fewer FLOP/s, far lower call overhead
+//! (a `sgemm` call, not a device launch), and a parallel-efficiency
+//! factor for the multicore fork/join.
+
+mod device;
+mod model;
+
+pub use device::CpuDevice;
+pub use model::{CpuModel, CpuPerf};

@@ -1,0 +1,170 @@
+//! Per-layer CPU timing model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{total_flops, F32_BYTES};
+
+use super::CpuDevice;
+
+/// Aggregate CPU timing result for one candidate MLP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuPerf {
+    /// Modeled wall time for one batch through all layers, s.
+    pub total_time_s: f64,
+    /// Classification results per second.
+    pub outputs_per_s: f64,
+    /// Achieved GFLOP/s over the whole run.
+    pub effective_gflops: f64,
+    /// Effective FLOP/s over device peak.
+    pub efficiency: f64,
+    /// Seconds for one batch (no pipelining across calls).
+    pub latency_s: f64,
+    /// BLAS calls issued (GEMM + bias + activation per layer).
+    pub calls: usize,
+}
+
+/// The CPU analytical timing model for one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    device: CpuDevice,
+}
+
+impl CpuModel {
+    /// Creates a model for `device`.
+    pub fn new(device: CpuDevice) -> Self {
+        Self { device }
+    }
+
+    /// The device this model times against.
+    pub fn device(&self) -> &CpuDevice {
+        &self.device
+    }
+
+    /// Times the GEMM layer sequence `layers` (shapes `(m, k, n)`) with
+    /// per-layer bias flags, mirroring
+    /// [`crate::gpu::GpuModel::evaluate`]'s accounting so CPU and GPU
+    /// numbers are directly comparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty, `with_bias` mismatches, or any
+    /// dimension is zero.
+    pub fn evaluate(&self, layers: &[(usize, usize, usize)], with_bias: &[bool]) -> CpuPerf {
+        assert!(!layers.is_empty(), "an MLP has at least one GEMM layer");
+        assert_eq!(
+            layers.len(),
+            with_bias.len(),
+            "bias flags must match layers"
+        );
+        assert!(
+            layers.iter().all(|&(m, k, n)| m > 0 && k > 0 && n > 0),
+            "GEMM dimensions must be positive"
+        );
+        let sustained = self.device.sustained_flops();
+        let bw = self.device.mem_bytes_per_s();
+        let call = self.device.call_overhead_s;
+
+        let mut time = 0.0f64;
+        let mut calls = 0usize;
+        for (&(m, k, n), &bias) in layers.iter().zip(with_bias) {
+            let (m, k, n) = (m as f64, k as f64, n as f64);
+            let flops = 2.0 * m * k * n;
+            let compute_t = flops / sustained;
+            let bytes = F32_BYTES * (m * k + k * n + m * n);
+            let mem_t = bytes / bw;
+            time += compute_t.max(mem_t) + call;
+            calls += 1;
+            if bias {
+                time += F32_BYTES * (2.0 * m * n + n) / bw + call;
+                calls += 1;
+            }
+            time += F32_BYTES * 2.0 * m * n / bw + call;
+            calls += 1;
+        }
+
+        let flops = total_flops(layers);
+        let effective = flops / time;
+        let batch = layers[0].0 as f64;
+        CpuPerf {
+            total_time_s: time,
+            outputs_per_s: batch / time,
+            effective_gflops: effective / 1e9,
+            efficiency: (effective / self.device.peak_flops()).clamp(0.0, 1.0),
+            latency_s: time,
+            calls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{GpuDevice, GpuModel};
+
+    fn mlp_shapes(batch: usize) -> (Vec<(usize, usize, usize)>, Vec<bool>) {
+        (
+            vec![(batch, 561, 128), (batch, 128, 64), (batch, 64, 6)],
+            vec![true, true, true],
+        )
+    }
+
+    #[test]
+    fn cpu_beats_gpu_at_batch_one() {
+        // Launch overhead dominates tiny batches: the CPU's cheap BLAS
+        // dispatch wins single-sample latency.
+        let (layers, bias) = mlp_shapes(1);
+        let cpu = CpuModel::new(CpuDevice::xeon_22c()).evaluate(&layers, &bias);
+        let gpu = GpuModel::new(GpuDevice::titan_x()).evaluate(&layers, &bias);
+        assert!(cpu.latency_s < gpu.latency_s);
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_heavy_batched_work() {
+        // Once the GEMMs are big enough to hide the framework overhead,
+        // the GPU's order-of-magnitude FLOP advantage shows.
+        let layers = vec![(4096, 561, 512), (4096, 512, 256), (4096, 256, 10)];
+        let bias = vec![true, true, true];
+        let cpu = CpuModel::new(CpuDevice::xeon_22c()).evaluate(&layers, &bias);
+        let gpu = GpuModel::new(GpuDevice::titan_x()).evaluate(&layers, &bias);
+        assert!(gpu.outputs_per_s > cpu.outputs_per_s);
+    }
+
+    #[test]
+    fn cpu_competitive_at_moderate_batches() {
+        // At serving-sized batches the TF dispatch overhead keeps the
+        // GPU within an order of magnitude of a strong CPU — part of
+        // why the paper stresses co-designed hardware for MLPs.
+        let (layers, bias) = mlp_shapes(256);
+        let cpu = CpuModel::new(CpuDevice::xeon_22c()).evaluate(&layers, &bias);
+        let gpu = GpuModel::new(GpuDevice::titan_x()).evaluate(&layers, &bias);
+        let ratio = gpu.outputs_per_s / cpu.outputs_per_s;
+        assert!((0.05..20.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn efficiency_is_bounded_fraction() {
+        let (layers, bias) = mlp_shapes(64);
+        let perf = CpuModel::new(CpuDevice::desktop_8c()).evaluate(&layers, &bias);
+        assert!((0.0..=1.0).contains(&perf.efficiency));
+        assert!(perf.calls == 9);
+    }
+
+    #[test]
+    fn effective_times_time_equals_flops() {
+        let (layers, bias) = mlp_shapes(32);
+        let perf = CpuModel::new(CpuDevice::xeon_22c()).evaluate(&layers, &bias);
+        let implied = perf.effective_gflops * 1e9 * perf.total_time_s;
+        let actual = crate::total_flops(&layers);
+        assert!((implied - actual).abs() / actual < 1e-9);
+    }
+
+    #[test]
+    fn batching_amortizes_call_overhead() {
+        let (l1, b) = mlp_shapes(1);
+        let (l256, _) = mlp_shapes(256);
+        let model = CpuModel::new(CpuDevice::xeon_22c());
+        let one = model.evaluate(&l1, &b);
+        let big = model.evaluate(&l256, &b);
+        assert!(big.outputs_per_s > one.outputs_per_s * 10.0);
+    }
+}

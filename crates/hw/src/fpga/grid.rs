@@ -1,0 +1,296 @@
+//! Systolic-grid configuration — the hardware half of a co-design genome.
+//!
+//! The paper's overlay (§III-C) is a 2D grid of processing elements with
+//! "design space variables that we allow mutations to take place on. The
+//! variables are the number of rows and columns, double buffer cache
+//! sizes for each dimension, called interleaving, and the vector width
+//! of each processing element (PE)."
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use super::FpgaDevice;
+
+/// Error returned when a grid configuration is structurally invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridError {
+    /// A dimension was zero.
+    ZeroDimension,
+    /// The configuration needs more DSP blocks than the device has.
+    TooManyDsps {
+        /// DSPs the grid requires.
+        needed: u32,
+        /// DSPs the device provides.
+        available: u32,
+    },
+    /// The configuration's on-chip buffering exceeds the device's M20Ks.
+    TooManyM20ks {
+        /// M20K blocks the grid requires.
+        needed: u32,
+        /// M20K blocks the device provides.
+        available: u32,
+    },
+    /// The configuration's logic estimate exceeds the device's ALMs.
+    TooManyAlms {
+        /// ALMs the design requires.
+        needed: u32,
+        /// ALMs the device provides.
+        available: u32,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::ZeroDimension => write!(f, "grid dimensions must be positive"),
+            GridError::TooManyDsps { needed, available } => {
+                write!(f, "grid needs {needed} DSP blocks, device has {available}")
+            }
+            GridError::TooManyM20ks { needed, available } => {
+                write!(f, "grid needs {needed} M20K blocks, device has {available}")
+            }
+            GridError::TooManyAlms { needed, available } => {
+                write!(f, "design needs {needed} ALMs, device has {available}")
+            }
+        }
+    }
+}
+
+impl Error for GridError {}
+
+/// A systolic GEMM overlay configuration.
+///
+/// * `rows × cols` processing elements;
+/// * each PE consumes a `vec`-wide dot-product slice per cycle (one
+///   hardened FP32 DSP per lane, so the grid uses `rows·cols·vec` DSPs);
+/// * `interleave_m` / `interleave_n` are the double-buffer depths that
+///   let one loaded tile be reused across that many block rows/columns —
+///   the paper's "interleaving".
+///
+/// The feeder caches stream `CACHE_DEPTH`-deep K-slices of the A and B
+/// tiles through M20K-backed double buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridConfig {
+    rows: u32,
+    cols: u32,
+    interleave_m: u32,
+    interleave_n: u32,
+    vec: u32,
+}
+
+impl GridConfig {
+    /// Words of K-dimension depth each feeder buffer holds.
+    pub const CACHE_DEPTH: u32 = 512;
+
+    /// Creates a grid configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::ZeroDimension`] if any field is zero.
+    /// Device-level feasibility (DSP/M20K budget) is checked separately
+    /// by [`GridConfig::validate_for`] because the same genome may be
+    /// scored against several devices.
+    pub fn new(
+        rows: u32,
+        cols: u32,
+        interleave_m: u32,
+        interleave_n: u32,
+        vec: u32,
+    ) -> Result<Self, GridError> {
+        if rows == 0 || cols == 0 || interleave_m == 0 || interleave_n == 0 || vec == 0 {
+            return Err(GridError::ZeroDimension);
+        }
+        Ok(Self {
+            rows,
+            cols,
+            interleave_m,
+            interleave_n,
+            vec,
+        })
+    }
+
+    /// PE grid rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// PE grid columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Row-dimension interleave (double-buffer depth).
+    pub fn interleave_m(&self) -> u32 {
+        self.interleave_m
+    }
+
+    /// Column-dimension interleave (double-buffer depth).
+    pub fn interleave_n(&self) -> u32 {
+        self.interleave_n
+    }
+
+    /// Vector (dot-product) width of each PE.
+    pub fn vec(&self) -> u32 {
+        self.vec
+    }
+
+    /// DSP blocks consumed: "the utilization of DSPs is the product of
+    /// the grid dimensions and vector width" (§III-C).
+    pub fn dsps_used(&self) -> u32 {
+        self.rows * self.cols * self.vec
+    }
+
+    /// Output tile height: rows of C produced per block
+    /// (`rows · interleave_m`).
+    pub fn block_m(&self) -> u64 {
+        self.rows as u64 * self.interleave_m as u64
+    }
+
+    /// Output tile width: columns of C produced per block
+    /// (`cols · interleave_n`).
+    pub fn block_n(&self) -> u64 {
+        self.cols as u64 * self.interleave_n as u64
+    }
+
+    /// M20K blocks needed for the double-buffered A/B feeders and the C
+    /// drain buffer.
+    ///
+    /// Feeder storage = 2 (double buffer) × (block_m + block_n) ×
+    /// `CACHE_DEPTH` words × 4 bytes; C drain = block_m × block_n words.
+    /// One M20K holds 2.5 KB.
+    pub fn m20ks_used(&self) -> u32 {
+        const M20K_BYTES: u64 = 2560;
+        let feeder_bytes = 2 * (self.block_m() + self.block_n()) * Self::CACHE_DEPTH as u64 * 4;
+        let drain_bytes = self.block_m() * self.block_n() * 4;
+        ((feeder_bytes + drain_bytes).div_ceil(M20K_BYTES)) as u32
+    }
+
+    /// Peak throughput of this grid on `device` in FLOP/s
+    /// (`2 · dsps_used · f_clk`) — the configuration's compute roofline
+    /// before bandwidth.
+    pub fn peak_flops(&self, device: &FpgaDevice) -> f64 {
+        2.0 * self.dsps_used() as f64 * device.clock_hz()
+    }
+
+    /// Checks that the grid fits on `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::TooManyDsps`] / [`GridError::TooManyM20ks`]
+    /// when the grid exceeds the device budget — the engine scores such
+    /// candidates as infeasible rather than panicking.
+    pub fn validate_for(&self, device: &FpgaDevice) -> Result<(), GridError> {
+        if self.dsps_used() > device.dsp_blocks {
+            return Err(GridError::TooManyDsps {
+                needed: self.dsps_used(),
+                available: device.dsp_blocks,
+            });
+        }
+        if self.m20ks_used() > device.m20k_blocks {
+            return Err(GridError::TooManyM20ks {
+                needed: self.m20ks_used(),
+                available: device.m20k_blocks,
+            });
+        }
+        Ok(())
+    }
+
+    /// Compact description, e.g. `8x8x4 il=4x4` (rows × cols × vec).
+    pub fn describe(&self) -> String {
+        format!(
+            "{}x{}x{} il={}x{}",
+            self.rows, self.cols, self.vec, self.interleave_m, self.interleave_n
+        )
+    }
+}
+
+impl fmt::Display for GridConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_dims() {
+        assert_eq!(
+            GridConfig::new(0, 8, 4, 4, 8).unwrap_err(),
+            GridError::ZeroDimension
+        );
+        assert_eq!(
+            GridConfig::new(8, 8, 4, 4, 0).unwrap_err(),
+            GridError::ZeroDimension
+        );
+    }
+
+    #[test]
+    fn dsps_used_is_product() {
+        let g = GridConfig::new(8, 10, 4, 4, 8).unwrap();
+        assert_eq!(g.dsps_used(), 640);
+    }
+
+    #[test]
+    fn block_dims() {
+        let g = GridConfig::new(8, 4, 16, 32, 8).unwrap();
+        assert_eq!(g.block_m(), 128);
+        assert_eq!(g.block_n(), 128);
+    }
+
+    #[test]
+    fn validate_rejects_oversized_grid_for_arria10() {
+        let device = FpgaDevice::arria10_gx1150(1);
+        // 16*16*8 = 2048 DSPs > 1518.
+        let g = GridConfig::new(16, 16, 4, 4, 8).unwrap();
+        assert!(matches!(
+            g.validate_for(&device),
+            Err(GridError::TooManyDsps {
+                needed: 2048,
+                available: 1518
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_paper_scale_grid() {
+        let device = FpgaDevice::arria10_gx1150(1);
+        // 8*8*8 = 512 DSPs, modest buffering.
+        let g = GridConfig::new(8, 8, 4, 4, 8).unwrap();
+        assert!(g.validate_for(&device).is_ok());
+    }
+
+    #[test]
+    fn m20k_estimate_grows_with_interleave() {
+        let small = GridConfig::new(8, 8, 2, 2, 8).unwrap();
+        let big = GridConfig::new(8, 8, 32, 32, 8).unwrap();
+        assert!(big.m20ks_used() > small.m20ks_used());
+    }
+
+    #[test]
+    fn huge_interleave_fails_m20k_budget() {
+        let device = FpgaDevice::arria10_gx1150(1);
+        let g = GridConfig::new(32, 32, 64, 64, 1).unwrap();
+        assert!(matches!(
+            g.validate_for(&device),
+            Err(GridError::TooManyM20ks { .. })
+        ));
+    }
+
+    #[test]
+    fn peak_flops_uses_grid_not_device_dsps() {
+        let device = FpgaDevice::arria10_gx1150(1);
+        let g = GridConfig::new(4, 4, 4, 4, 4).unwrap(); // 64 DSPs
+        assert_eq!(g.peak_flops(&device), 2.0 * 64.0 * 250e6);
+    }
+
+    #[test]
+    fn describe_format() {
+        let g = GridConfig::new(8, 4, 2, 3, 16).unwrap();
+        assert_eq!(g.describe(), "8x4x16 il=2x3");
+        assert_eq!(g.to_string(), g.describe());
+    }
+}

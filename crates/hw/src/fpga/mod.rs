@@ -1,0 +1,12 @@
+//! FPGA overlay model: device catalog, grid genes, performance model,
+//! and the analytical synthesis (resource/Fmax/power) model.
+
+mod device;
+mod grid;
+mod model;
+mod physical;
+
+pub use device::{DdrConfig, FpgaDevice};
+pub use grid::{GridConfig, GridError};
+pub use model::{FpgaModel, FpgaPerf, LayerPerf};
+pub use physical::{PhysicalModel, PhysicalReport, ResourceEstimate};

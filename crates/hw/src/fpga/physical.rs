@@ -1,0 +1,236 @@
+//! The physical worker's analytical synthesis model.
+//!
+//! In the paper, "the physical worker aims to provide the fitness of the
+//! hardware design itself through metrics such as power, logic
+//! utilization, and operation frequency. In the case of Intel FPGAs, the
+//! physical worker responds with ALM, M20K, and DSP utilization, power
+//! estimations, and clock frequency (Fmax)" (§III-B).
+//!
+//! Running Quartus is replaced here by an analytical model (DESIGN.md §2,
+//! substitution 1) calibrated to the paper's reported envelope: across
+//! "many Arria 10 designs", Fmax averaged 250 MHz and chip power ranged
+//! 22.5–31.89 W with a 27 W average. The model charges ALMs for PE
+//! control and feeder logic, derives utilization fractions, degrades
+//! Fmax as the device fills (routing congestion), and scales dynamic
+//! power with active DSPs and clock rate on top of a static floor.
+
+use serde::{Deserialize, Serialize};
+
+use super::{FpgaDevice, GridConfig, GridError};
+
+/// Resource usage of a synthesized overlay configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// Adaptive logic modules used.
+    pub alms: u32,
+    /// M20K memory blocks used.
+    pub m20ks: u32,
+    /// DSP blocks used.
+    pub dsps: u32,
+    /// ALM utilization fraction of the device.
+    pub alm_util: f64,
+    /// M20K utilization fraction of the device.
+    pub m20k_util: f64,
+    /// DSP utilization fraction of the device.
+    pub dsp_util: f64,
+}
+
+/// The physical worker's report for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalReport {
+    /// Resource usage and utilization.
+    pub resources: ResourceEstimate,
+    /// Estimated achievable clock, MHz.
+    pub fmax_mhz: f64,
+    /// Estimated chip power at `fmax`, watts.
+    pub power_w: f64,
+}
+
+/// Analytical synthesis model for one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalModel {
+    device: FpgaDevice,
+}
+
+impl PhysicalModel {
+    /// Static (idle) chip power in watts, calibrated to the paper's
+    /// 22.5 W minimum observation.
+    const STATIC_POWER_W: f64 = 21.0;
+
+    /// Fixed ALM cost of the OpenCL board-support shell.
+    const SHELL_ALMS: u32 = 60_000;
+
+    /// ALMs per PE for control/accumulate logic.
+    const ALMS_PER_PE: u32 = 220;
+
+    /// ALMs per vector lane for operand routing.
+    const ALMS_PER_LANE: u32 = 35;
+
+    /// ALMs per feeder (one per grid row and column).
+    const ALMS_PER_FEEDER: u32 = 900;
+
+    /// Creates a model for `device`.
+    pub fn new(device: FpgaDevice) -> Self {
+        Self { device }
+    }
+
+    /// The device this model targets.
+    pub fn device(&self) -> &FpgaDevice {
+        &self.device
+    }
+
+    /// Estimates resources for `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError`] if the grid does not fit the device's DSP
+    /// or M20K budget, or the ALM estimate exceeds the device.
+    pub fn resources(&self, grid: &GridConfig) -> Result<ResourceEstimate, GridError> {
+        grid.validate_for(&self.device)?;
+        let pes = grid.rows() * grid.cols();
+        let lanes = grid.dsps_used();
+        let feeders = grid.rows() + grid.cols();
+        let alms = Self::SHELL_ALMS
+            + pes * Self::ALMS_PER_PE
+            + lanes * Self::ALMS_PER_LANE
+            + feeders * Self::ALMS_PER_FEEDER;
+        if alms > self.device.alms {
+            return Err(GridError::TooManyAlms {
+                needed: alms,
+                available: self.device.alms,
+            });
+        }
+        let dsps = grid.dsps_used();
+        let m20ks = grid.m20ks_used();
+        Ok(ResourceEstimate {
+            alms,
+            m20ks,
+            dsps,
+            alm_util: alms as f64 / self.device.alms as f64,
+            m20k_util: m20ks as f64 / self.device.m20k_blocks as f64,
+            dsp_util: dsps as f64 / self.device.dsp_blocks as f64,
+        })
+    }
+
+    /// Full synthesis report: resources, Fmax, power.
+    ///
+    /// Fmax starts at the device target and degrades quadratically with
+    /// overall utilization (routing congestion); power is a static floor
+    /// plus dynamic terms for DSP activity, memory, and fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError`] if the grid does not fit the device.
+    pub fn report(&self, grid: &GridConfig) -> Result<PhysicalReport, GridError> {
+        let resources = self.resources(grid)?;
+        let congestion = resources
+            .alm_util
+            .max(resources.dsp_util)
+            .max(resources.m20k_util);
+        // Up to 18% Fmax loss as the device approaches full.
+        let fmax_mhz = self.device.clock_mhz * (1.0 - 0.18 * congestion * congestion);
+        let clock_ratio = fmax_mhz / self.device.clock_mhz;
+        let dynamic = 9.0 * resources.dsp_util * clock_ratio
+            + 2.5 * resources.m20k_util * clock_ratio
+            + 1.5 * resources.alm_util * clock_ratio;
+        let power_w = Self::STATIC_POWER_W + dynamic;
+        Ok(PhysicalReport {
+            resources,
+            fmax_mhz,
+            power_w,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PhysicalModel {
+        PhysicalModel::new(FpgaDevice::arria10_gx1150(1))
+    }
+
+    #[test]
+    fn utilization_fractions_in_unit_interval() {
+        let g = GridConfig::new(8, 8, 4, 4, 8).unwrap();
+        let r = model().resources(&g).unwrap();
+        for u in [r.alm_util, r.m20k_util, r.dsp_util] {
+            assert!((0.0..=1.0).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    fn dsp_count_matches_grid() {
+        let g = GridConfig::new(8, 8, 4, 4, 8).unwrap();
+        assert_eq!(model().resources(&g).unwrap().dsps, 512);
+    }
+
+    #[test]
+    fn bigger_grid_uses_more_alms() {
+        let small = GridConfig::new(4, 4, 2, 2, 4).unwrap();
+        let big = GridConfig::new(12, 12, 4, 4, 8).unwrap();
+        let m = model();
+        assert!(m.resources(&big).unwrap().alms > m.resources(&small).unwrap().alms);
+    }
+
+    #[test]
+    fn power_stays_in_paper_envelope() {
+        // "minimum power 22.5 W, maximum 31.89 W, average 27 W" across
+        // feasible Arria 10 designs.
+        let m = model();
+        let mut powers = Vec::new();
+        for (r, c, il, v) in [
+            (2u32, 2u32, 2u32, 4u32),
+            (4, 4, 4, 4),
+            (8, 8, 4, 8),
+            (10, 12, 8, 8),
+            (16, 8, 8, 8),
+            (12, 12, 4, 8),
+        ] {
+            let g = GridConfig::new(r, c, il, il, v).unwrap();
+            if let Ok(rep) = m.report(&g) {
+                powers.push(rep.power_w);
+            }
+        }
+        assert!(!powers.is_empty());
+        for p in &powers {
+            assert!((21.0..=32.5).contains(p), "power {p} outside envelope");
+        }
+        let spread = powers.iter().cloned().fold(f64::MIN, f64::max)
+            - powers.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            spread > 1.0,
+            "power should vary across configs, spread {spread}"
+        );
+    }
+
+    #[test]
+    fn fmax_degrades_with_utilization() {
+        let m = model();
+        let tiny = m.report(&GridConfig::new(2, 2, 2, 2, 2).unwrap()).unwrap();
+        let full = m
+            .report(&GridConfig::new(13, 12, 4, 4, 8).unwrap())
+            .unwrap();
+        assert!(full.fmax_mhz < tiny.fmax_mhz);
+        assert!(
+            full.fmax_mhz > 200.0,
+            "fmax should stay near the 250 MHz target"
+        );
+    }
+
+    #[test]
+    fn infeasible_grid_is_error() {
+        let g = GridConfig::new(40, 40, 4, 4, 8).unwrap();
+        assert!(model().report(&g).is_err());
+    }
+
+    #[test]
+    fn stratix_reports_higher_fmax_headroom() {
+        let g = GridConfig::new(8, 8, 4, 4, 8).unwrap();
+        let a10 = model().report(&g).unwrap();
+        let s10 = PhysicalModel::new(FpgaDevice::stratix10_2800(4))
+            .report(&g)
+            .unwrap();
+        assert!(s10.fmax_mhz > a10.fmax_mhz);
+    }
+}

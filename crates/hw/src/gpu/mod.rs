@@ -1,0 +1,8 @@
+//! GPU comparator models: device catalog and the per-kernel roofline
+//! timing model matching the paper's TensorFlow-trace methodology.
+
+mod device;
+mod model;
+
+pub use device::GpuDevice;
+pub use model::{GpuModel, GpuPerf};

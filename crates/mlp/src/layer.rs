@@ -1,0 +1,254 @@
+//! A single dense layer with forward and backward passes.
+
+use ecad_tensor::{gemm, init, ops, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Activation;
+
+/// A dense (fully-connected) layer: `y = act(x W + b)`.
+///
+/// Weights are stored `fan_in x fan_out` so the forward pass is a plain
+/// row-major GEMM. He initialization is used for ReLU layers, Xavier for
+/// the saturating activations (see [`crate::Mlp`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    weights: Matrix,
+    bias: Vec<f32>,
+    activation: Activation,
+    use_bias: bool,
+}
+
+/// Gradients produced by a backward pass through one layer.
+#[derive(Debug, Clone)]
+pub struct LayerGrads {
+    /// Gradient of the loss w.r.t. the weights (same shape as weights).
+    pub weights: Matrix,
+    /// Gradient w.r.t. the bias (empty when the layer has no bias).
+    pub bias: Vec<f32>,
+}
+
+impl DenseLayer {
+    /// Creates a layer with activation-appropriate random initialization.
+    pub fn new<R: Rng + ?Sized>(
+        fan_in: usize,
+        fan_out: usize,
+        activation: Activation,
+        use_bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        let weights = match activation {
+            Activation::Relu => init::he(rng, fan_in, fan_out),
+            _ => init::xavier(rng, fan_in, fan_out),
+        };
+        Self {
+            weights,
+            bias: vec![0.0; if use_bias { fan_out } else { 0 }],
+            activation,
+            use_bias,
+        }
+    }
+
+    /// Input width.
+    pub fn fan_in(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Whether the layer applies a bias.
+    pub fn has_bias(&self) -> bool {
+        self.use_bias
+    }
+
+    /// Borrows the weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Borrows the bias vector (empty when `!has_bias()`).
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Forward pass: returns the activated output for a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != fan_in()`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut z = if self.use_bias {
+            gemm::matmul_bias(x, &self.weights, &self.bias)
+        } else {
+            gemm::matmul(x, &self.weights)
+        };
+        let act = self.activation;
+        z.map_inplace(|v| act.apply(v));
+        z
+    }
+
+    /// Backward pass.
+    ///
+    /// Given the layer input `x`, the *activated* output `y` from the
+    /// forward pass, and the upstream gradient `d_out` (w.r.t. `y`),
+    /// returns the gradient w.r.t. `x` plus this layer's parameter
+    /// gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent with the forward pass.
+    pub fn backward(&self, x: &Matrix, y: &Matrix, d_out: &Matrix) -> (Matrix, LayerGrads) {
+        // dZ = dY * act'(y), elementwise.
+        let act = self.activation;
+        let dz = d_out
+            .zip_with(y, "backward", |g, yv| g * act.derivative_from_output(yv))
+            .expect("forward/backward shape mismatch");
+        // dW = X^T dZ ; db = col_sums(dZ) ; dX = dZ W^T.
+        let d_weights = gemm::matmul_at_b(x, &dz);
+        let d_bias = if self.use_bias {
+            ops::col_sums(&dz)
+        } else {
+            Vec::new()
+        };
+        let d_input = gemm::matmul_a_bt(&dz, &self.weights);
+        (
+            d_input,
+            LayerGrads {
+                weights: d_weights,
+                bias: d_bias,
+            },
+        )
+    }
+
+    /// Applies a parameter update: `w -= step_w`, `b -= step_b`.
+    ///
+    /// The optimizer computes the step (which already includes the
+    /// learning rate and any momentum/Adam scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the layer's parameters.
+    pub fn apply_update(&mut self, step_w: &Matrix, step_b: &[f32]) {
+        self.weights
+            .axpy_inplace(-1.0, step_w)
+            .expect("weight update shape mismatch");
+        assert_eq!(step_b.len(), self.bias.len(), "bias update shape mismatch");
+        for (b, s) in self.bias.iter_mut().zip(step_b) {
+            *b -= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer(act: Activation, bias: bool) -> DenseLayer {
+        let mut rng = StdRng::seed_from_u64(42);
+        DenseLayer::new(4, 3, act, bias, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let l = layer(Activation::Relu, true);
+        let x = Matrix::zeros(5, 4);
+        assert_eq!(l.forward(&x).shape(), (5, 3));
+    }
+
+    #[test]
+    fn forward_without_bias_is_pure_gemm() {
+        let l = layer(Activation::Identity, false);
+        let x = Matrix::identity(4);
+        let y = l.forward(&x);
+        assert_eq!(&y, l.weights());
+    }
+
+    #[test]
+    fn relu_forward_is_nonnegative() {
+        let l = layer(Activation::Relu, true);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = ecad_tensor::init::uniform(&mut rng, 8, 4, 3.0);
+        assert!(l.forward(&x).as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    /// Numerical gradient check: perturb each weight, compare loss delta
+    /// against the analytic gradient. This is the canonical backprop
+    /// correctness test.
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        for act in [Activation::Identity, Activation::Tanh, Activation::Sigmoid] {
+            let mut l = layer(act, true);
+            let mut rng = StdRng::seed_from_u64(7);
+            let x = ecad_tensor::init::uniform(&mut rng, 3, 4, 1.0);
+            // Loss = sum(y); then dL/dy = ones.
+            let y = l.forward(&x);
+            let d_out = Matrix::filled(3, 3, 1.0);
+            let (_, grads) = l.backward(&x, &y, &d_out);
+
+            let eps = 1e-3f32;
+            for r in 0..4 {
+                for c in 0..3 {
+                    let orig = l.weights()[(r, c)];
+                    let mut bump = Matrix::zeros(4, 3);
+                    bump[(r, c)] = -eps; // apply_update subtracts
+                    l.apply_update(&bump, &[0.0; 3]);
+                    let up: f32 = l.forward(&x).as_slice().iter().sum();
+                    bump[(r, c)] = 2.0 * eps;
+                    l.apply_update(&bump, &[0.0; 3]);
+                    let down: f32 = l.forward(&x).as_slice().iter().sum();
+                    // restore
+                    bump[(r, c)] = -eps;
+                    l.apply_update(&bump, &[0.0; 3]);
+                    assert!((l.weights()[(r, c)] - orig).abs() < 1e-5);
+
+                    let numeric = (up - down) / (2.0 * eps);
+                    let analytic = grads.weights[(r, c)];
+                    assert!(
+                        (numeric - analytic).abs() < 2e-2 * (1.0 + analytic.abs()),
+                        "{act} w[{r},{c}]: numeric {numeric} analytic {analytic}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bias_gradient_is_column_sum() {
+        let l = layer(Activation::Identity, true);
+        let x = Matrix::filled(4, 4, 0.5);
+        let y = l.forward(&x);
+        let d_out = Matrix::filled(4, 3, 1.0);
+        let (_, grads) = l.backward(&x, &y, &d_out);
+        // Identity activation: db = sum over the 4 rows of ones = 4.
+        assert_eq!(grads.bias, vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn no_bias_layer_has_empty_bias_grads() {
+        let l = layer(Activation::Relu, false);
+        let x = Matrix::zeros(2, 4);
+        let y = l.forward(&x);
+        let (_, grads) = l.backward(&x, &y, &Matrix::zeros(2, 3));
+        assert!(grads.bias.is_empty());
+        assert!(l.bias().is_empty());
+    }
+
+    #[test]
+    fn d_input_shape_matches_x() {
+        let l = layer(Activation::Tanh, true);
+        let x = Matrix::zeros(6, 4);
+        let y = l.forward(&x);
+        let (dx, _) = l.backward(&x, &y, &Matrix::zeros(6, 3));
+        assert_eq!(dx.shape(), x.shape());
+    }
+}

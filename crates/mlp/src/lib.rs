@@ -1,0 +1,49 @@
+//! # ecad-mlp
+//!
+//! Multilayer perceptron training and inference — the "NNA" half of the
+//! ECAD co-design search.
+//!
+//! Each candidate the evolutionary engine proposes is an
+//! [`MlpTopology`]: a stack of dense layers with per-layer neuron count,
+//! activation function and optional bias (exactly the traits the paper
+//! mutates, §III-A). This crate turns a topology into a trainable
+//! [`Mlp`], trains it with minibatch SGD/momentum/Adam against softmax
+//! cross-entropy, and reports test accuracy — the raw measurement the
+//! engine's *simulation worker* returns to the master.
+//!
+//! The same topology also exposes its GEMM decomposition
+//! ([`MlpTopology::gemm_shapes`]), which is what the hardware models in
+//! `ecad-hw` consume: "at the heart of MLP is a general matrix
+//! multiplication" (§I).
+//!
+//! ## Example
+//!
+//! ```
+//! use ecad_dataset::synth::SyntheticSpec;
+//! use ecad_mlp::{Activation, MlpTopology, TrainConfig, Trainer};
+//!
+//! let ds = SyntheticSpec::new("demo", 200, 8, 2).with_seed(1).generate();
+//! let topo = MlpTopology::builder(8, 2)
+//!     .hidden(16, Activation::Relu, true)
+//!     .build();
+//! let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+//! let report = Trainer::new(TrainConfig::fast()).fit(&topo, &ds, &ds, &mut rng)?;
+//! assert!(report.test_accuracy > 0.5);
+//! # Ok::<(), ecad_mlp::TrainError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod activation;
+mod layer;
+mod network;
+mod optimizer;
+mod topology;
+mod trainer;
+
+pub use activation::Activation;
+pub use layer::DenseLayer;
+pub use network::Mlp;
+pub use optimizer::{Adam, OptimizerKind, Sgd};
+pub use topology::{LayerSpec, MlpTopology, TopologyBuilder};
+pub use trainer::{TrainConfig, TrainError, TrainReport, Trainer};

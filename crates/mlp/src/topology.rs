@@ -1,0 +1,267 @@
+//! MLP topology description — the NNA half of a co-design candidate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Activation;
+
+/// One dense layer in a topology: output width, activation, bias flag.
+///
+/// These are exactly the per-layer genes the paper's evolutionary process
+/// mutates (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Number of neurons (the GEMM `n` dimension of this layer).
+    pub neurons: usize,
+    /// Activation applied after the affine transform.
+    pub activation: Activation,
+    /// Whether the layer adds a bias vector.
+    pub bias: bool,
+}
+
+impl LayerSpec {
+    /// Creates a layer spec.
+    pub fn new(neurons: usize, activation: Activation, bias: bool) -> Self {
+        Self {
+            neurons,
+            activation,
+            bias,
+        }
+    }
+}
+
+/// A complete MLP topology: input width, hidden layers, and class count.
+///
+/// The output layer (`n_classes` wide, softmax, with bias) is implicit —
+/// every candidate classifier needs one, so it is not part of the
+/// searchable genome.
+///
+/// # Example
+///
+/// ```
+/// use ecad_mlp::{Activation, MlpTopology};
+///
+/// let t = MlpTopology::builder(784, 10)
+///     .hidden(256, Activation::Relu, true)
+///     .hidden(128, Activation::Relu, true)
+///     .build();
+/// assert_eq!(t.param_count(), 784 * 256 + 256 + 256 * 128 + 128 + 128 * 10 + 10);
+/// assert_eq!(t.gemm_shapes(1), vec![(1, 784, 256), (1, 256, 128), (1, 128, 10)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MlpTopology {
+    input: usize,
+    hidden: Vec<LayerSpec>,
+    n_classes: usize,
+}
+
+impl MlpTopology {
+    /// Starts building a topology for `input` features and `n_classes`
+    /// output classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input == 0` or `n_classes < 2`.
+    pub fn builder(input: usize, n_classes: usize) -> TopologyBuilder {
+        assert!(input > 0, "input width must be positive");
+        assert!(n_classes >= 2, "need at least two classes");
+        TopologyBuilder {
+            input,
+            hidden: Vec::new(),
+            n_classes,
+        }
+    }
+
+    /// Input feature count (the GEMM `k` of the first layer).
+    pub fn input(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden layer specs, in order.
+    pub fn hidden(&self) -> &[LayerSpec] {
+        &self.hidden
+    }
+
+    /// Output class count.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of hidden layers.
+    pub fn depth(&self) -> usize {
+        self.hidden.len()
+    }
+
+    /// Total hidden neurons — the paper's "network size" axis when
+    /// correlating size against accuracy and throughput.
+    pub fn total_neurons(&self) -> usize {
+        self.hidden.iter().map(|l| l.neurons).sum()
+    }
+
+    /// Widths of every affine transform as `(fan_in, fan_out, bias)`,
+    /// including the implicit output layer.
+    pub fn affine_dims(&self) -> Vec<(usize, usize, bool)> {
+        let mut dims = Vec::with_capacity(self.hidden.len() + 1);
+        let mut fan_in = self.input;
+        for l in &self.hidden {
+            dims.push((fan_in, l.neurons, l.bias));
+            fan_in = l.neurons;
+        }
+        dims.push((fan_in, self.n_classes, true));
+        dims
+    }
+
+    /// Trainable parameter count (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.affine_dims()
+            .iter()
+            .map(|&(k, n, b)| k * n + if b { n } else { 0 })
+            .sum()
+    }
+
+    /// GEMM problem sizes `(m, k, n)` for a forward pass at `batch` rows —
+    /// the decomposition the hardware models consume (§III-D: "GEMM
+    /// nomenclature can be used to describe the three key dimensions").
+    pub fn gemm_shapes(&self, batch: usize) -> Vec<(usize, usize, usize)> {
+        self.affine_dims()
+            .iter()
+            .map(|&(k, n, _)| (batch, k, n))
+            .collect()
+    }
+
+    /// Floating-point operations for one forward pass of one sample
+    /// (the `2·m·k·n` GEMM count at `m = 1`, summed over layers).
+    pub fn flops_per_sample(&self) -> u64 {
+        self.gemm_shapes(1)
+            .iter()
+            .map(|&(m, k, n)| ecad_tensor::gemm::gemm_flops(m, k, n))
+            .sum()
+    }
+
+    /// Canonical compact description, e.g. `784-256r+b-10` — stable
+    /// across runs, used for dedup hashing and logs.
+    pub fn describe(&self) -> String {
+        let mut s = format!("{}", self.input);
+        for l in &self.hidden {
+            s.push_str(&format!(
+                "-{}{}{}",
+                l.neurons,
+                &l.activation.name()[..1],
+                if l.bias { "+b" } else { "" }
+            ));
+        }
+        s.push_str(&format!("-{}", self.n_classes));
+        s
+    }
+}
+
+/// Builder returned by [`MlpTopology::builder`].
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    input: usize,
+    hidden: Vec<LayerSpec>,
+    n_classes: usize,
+}
+
+impl TopologyBuilder {
+    /// Appends a hidden layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neurons == 0`.
+    pub fn hidden(mut self, neurons: usize, activation: Activation, bias: bool) -> Self {
+        assert!(neurons > 0, "hidden layer must have at least one neuron");
+        self.hidden.push(LayerSpec::new(neurons, activation, bias));
+        self
+    }
+
+    /// Appends a hidden layer from a [`LayerSpec`].
+    pub fn layer(mut self, spec: LayerSpec) -> Self {
+        assert!(
+            spec.neurons > 0,
+            "hidden layer must have at least one neuron"
+        );
+        self.hidden.push(spec);
+        self
+    }
+
+    /// Finalizes the topology. A topology with zero hidden layers is a
+    /// softmax (multinomial logistic) classifier, which is a legal
+    /// degenerate candidate.
+    pub fn build(self) -> MlpTopology {
+        MlpTopology {
+            input: self.input,
+            hidden: self.hidden,
+            n_classes: self.n_classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> MlpTopology {
+        MlpTopology::builder(10, 3)
+            .hidden(8, Activation::Relu, true)
+            .hidden(4, Activation::Tanh, false)
+            .build()
+    }
+
+    #[test]
+    fn affine_dims_chain_correctly() {
+        assert_eq!(
+            topo().affine_dims(),
+            vec![(10, 8, true), (8, 4, false), (4, 3, true)]
+        );
+    }
+
+    #[test]
+    fn param_count_includes_bias_only_when_set() {
+        // 10*8 + 8 + 8*4 + 0 + 4*3 + 3 = 135
+        assert_eq!(topo().param_count(), 135);
+    }
+
+    #[test]
+    fn gemm_shapes_scale_with_batch() {
+        assert_eq!(
+            topo().gemm_shapes(32),
+            vec![(32, 10, 8), (32, 8, 4), (32, 4, 3)]
+        );
+    }
+
+    #[test]
+    fn flops_per_sample_matches_hand_count() {
+        // 2*(10*8 + 8*4 + 4*3) = 2*124 = 248
+        assert_eq!(topo().flops_per_sample(), 248);
+    }
+
+    #[test]
+    fn total_neurons_sums_hidden_only() {
+        assert_eq!(topo().total_neurons(), 12);
+    }
+
+    #[test]
+    fn zero_hidden_layers_is_logistic_regression() {
+        let t = MlpTopology::builder(5, 2).build();
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.affine_dims(), vec![(5, 2, true)]);
+        assert_eq!(t.param_count(), 12);
+    }
+
+    #[test]
+    fn describe_is_stable_and_readable() {
+        assert_eq!(topo().describe(), "10-8r+b-4t-3");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one neuron")]
+    fn zero_width_layer_rejected() {
+        let _ = MlpTopology::builder(4, 2).hidden(0, Activation::Relu, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn one_class_rejected() {
+        let _ = MlpTopology::builder(4, 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the MLP stack: structural invariants of
+//! topologies, batch-consistency of inference, and gradient sanity.
+
+use ecad_mlp::{Activation, Mlp, MlpTopology, TrainConfig, Trainer};
+use ecad_tensor::{init, ops};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_topology() -> impl Strategy<Value = MlpTopology> {
+    (
+        1usize..20, // input
+        2usize..6,  // classes
+        proptest::collection::vec((1usize..32, 0usize..4, any::<bool>()), 0..4),
+    )
+        .prop_map(|(input, classes, layers)| {
+            let mut b = MlpTopology::builder(input, classes);
+            for (neurons, act, bias) in layers {
+                b = b.hidden(neurons, Activation::ALL[act], bias);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parameter count equals the sum over affine dims; GEMM shapes
+    /// chain (layer i's n == layer i+1's k).
+    #[test]
+    fn topology_structural_invariants(topo in arb_topology()) {
+        let dims = topo.affine_dims();
+        let params: usize = dims.iter().map(|&(k, n, b)| k * n + usize::from(b) * n).sum();
+        prop_assert_eq!(topo.param_count(), params);
+        let shapes = topo.gemm_shapes(8);
+        for w in shapes.windows(2) {
+            prop_assert_eq!(w[0].2, w[1].1, "layer output width must feed the next layer");
+        }
+        prop_assert_eq!(shapes[0].1, topo.input());
+        prop_assert_eq!(shapes.last().unwrap().2, topo.n_classes());
+    }
+
+    /// Instantiated networks have exactly the declared parameter count.
+    #[test]
+    fn network_matches_topology(topo in arb_topology(), seed in 0u64..100) {
+        let net = Mlp::from_topology(&topo, &mut StdRng::seed_from_u64(seed));
+        let stored: usize = net
+            .layers()
+            .iter()
+            .map(|l| l.weights().len() + l.bias().len())
+            .sum();
+        prop_assert_eq!(stored, topo.param_count());
+        prop_assert!(net.is_finite());
+    }
+
+    /// Inference is row-independent: predicting a batch equals
+    /// predicting each row alone.
+    #[test]
+    fn forward_is_batch_consistent(topo in arb_topology(), seed in 0u64..100, rows in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::from_topology(&topo, &mut rng);
+        let x = init::uniform(&mut rng, rows, topo.input(), 2.0);
+        let batch = net.forward(&x);
+        for r in 0..rows {
+            let single = net.forward(&x.select_rows(&[r]));
+            for (a, b) in batch.row(r).iter().zip(single.row(0)) {
+                prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    /// Softmax probabilities from any network are valid distributions.
+    #[test]
+    fn predict_proba_is_distribution(topo in arb_topology(), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::from_topology(&topo, &mut rng);
+        let x = init::uniform(&mut rng, 5, topo.input(), 3.0);
+        let p = net.predict_proba(&x);
+        prop_assert!(p.all_finite());
+        for r in 0..p.rows() {
+            prop_assert!((p.row(r).iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Backprop gradients always have parameter shapes and finite
+    /// values for bounded inputs.
+    #[test]
+    fn backprop_shapes_and_finiteness(topo in arb_topology(), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::from_topology(&topo, &mut rng);
+        let x = init::uniform(&mut rng, 4, topo.input(), 2.0);
+        let labels: Vec<usize> = (0..4).map(|i| i % topo.n_classes()).collect();
+        let targets = ops::one_hot(&labels, topo.n_classes());
+        let (grads, loss) = net.backprop(&x, &targets);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        prop_assert_eq!(grads.len(), net.layers().len());
+        for (g, l) in grads.iter().zip(net.layers()) {
+            prop_assert_eq!(g.weights.shape(), l.weights().shape());
+            prop_assert_eq!(g.bias.len(), l.bias().len());
+            prop_assert!(g.weights.all_finite());
+        }
+    }
+
+    /// Instantiation is a pure function of (topology, seed): same seed,
+    /// same network; different seeds, different weights (with
+    /// overwhelming probability on non-degenerate topologies).
+    #[test]
+    fn instantiation_pure_in_seed(topo in arb_topology(), seed in 0u64..50) {
+        let a = Mlp::from_topology(&topo, &mut StdRng::seed_from_u64(seed));
+        let b = Mlp::from_topology(&topo, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&a, &b);
+        if topo.param_count() > 4 {
+            let c = Mlp::from_topology(&topo, &mut StdRng::seed_from_u64(seed ^ 0xDEAD));
+            prop_assert_ne!(a, c);
+        }
+    }
+
+    /// Training on pure noise never reports accuracy outside [0, 1] and
+    /// never returns non-finite parameters.
+    #[test]
+    fn training_robust_on_noise(seed in 0u64..30) {
+        use ecad_dataset::synth::SyntheticSpec;
+        let ds = SyntheticSpec::new("noise", 60, 5, 2)
+            .with_class_sep(0.0)
+            .with_label_noise(0.45)
+            .with_seed(seed)
+            .generate();
+        let topo = MlpTopology::builder(5, 2).hidden(8, Activation::Relu, true).build();
+        let mut cfg = TrainConfig::fast();
+        cfg.epochs = 4;
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok((net, report)) = Trainer::new(cfg).fit_network(&topo, &ds, &ds, &mut rng) {
+            prop_assert!((0.0..=1.0).contains(&report.test_accuracy));
+            prop_assert!(net.is_finite());
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! General matrix multiplication kernels.
+//!
+//! Two implementations are provided:
+//!
+//! * [`matmul_naive`] — the textbook triple loop, kept as a correctness
+//!   reference for tests and property checks.
+//! * [`matmul`] — a cache-blocked kernel with a packed, transposed copy of
+//!   the right-hand operand so the inner loop is a contiguous dot product.
+//!   This is the kernel the MLP trainer uses.
+//!
+//! Both compute `C = A * B` for row-major operands. Fused variants
+//! ([`matmul_bias`], [`matmul_at_b`], [`matmul_a_bt`]) cover the shapes
+//! backpropagation needs without materializing transposes at call sites.
+
+use crate::Matrix;
+
+/// Tile edge (in elements) for the blocked kernel. 64 keeps three f32
+/// tiles of 64x64 (48 KiB) within a typical L1+L2 footprint.
+const BLOCK: usize = 64;
+
+/// Multiplies `a * b` with the textbook triple loop.
+///
+/// This is the correctness oracle for [`matmul`]; prefer [`matmul`] in
+/// real code.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_naive: inner dimensions differ ({} vs {})",
+        a.cols(),
+        b.rows()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[(i, p)];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// Multiplies `a * b` with the cache-blocked production kernel.
+///
+/// `b` is packed column-major (i.e. transposed) into tiles so that the
+/// innermost loop is a dot product over two contiguous slices, which the
+/// compiler auto-vectorizes.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use ecad_tensor::{Matrix, gemm};
+/// let a = Matrix::from_rows(&[[1.0, 2.0, 3.0]]);
+/// let b = Matrix::from_rows(&[[1.0], [1.0], [1.0]]);
+/// assert_eq!(gemm::matmul(&a, &b)[(0, 0)], 6.0);
+/// ```
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions differ ({} vs {})",
+        a.cols(),
+        b.rows()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+
+    // Pack B transposed: bt[j * k + p] = b[p, j]. One pass, then every
+    // (i, j) output is dot(a.row(i), bt_col(j)) over contiguous memory.
+    let mut bt = vec![0.0f32; n * k];
+    for p in 0..k {
+        let brow = b.row(p);
+        for (j, &v) in brow.iter().enumerate() {
+            bt[j * k + p] = v;
+        }
+    }
+
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for j0 in (0..n).step_by(BLOCK) {
+            let j1 = (j0 + BLOCK).min(n);
+            for i in i0..i1 {
+                let arow = a.row(i);
+                let crow = c.row_mut(i);
+                #[allow(clippy::needless_range_loop)] // index math mirrors the tiling
+                for j in j0..j1 {
+                    let bcol = &bt[j * k..(j + 1) * k];
+                    crow[j] = dot(arow, bcol);
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Computes `a * b + bias` where `bias` is a length-`n` vector broadcast
+/// across rows — the fused layer-forward kernel.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()` or `bias.len() != b.cols()`.
+pub fn matmul_bias(a: &Matrix, b: &Matrix, bias: &[f32]) -> Matrix {
+    assert_eq!(bias.len(), b.cols(), "bias length must equal output width");
+    let mut c = matmul(a, b);
+    for r in 0..c.rows() {
+        let row = c.row_mut(r);
+        for (x, &bv) in row.iter_mut().zip(bias) {
+            *x += bv;
+        }
+    }
+    c
+}
+
+/// Computes `a^T * b` without materializing `a^T`.
+///
+/// Backpropagation uses this shape for weight gradients
+/// (`dW = X^T * dY`).
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at_b: row counts differ ({} vs {})",
+        a.rows(),
+        b.rows()
+    );
+    let (k, m) = a.shape(); // result is m x n
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for p in 0..k {
+        let arow = a.row(p);
+        let brow = b.row(p);
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = c.row_mut(i);
+            for (j, &bv) in brow.iter().enumerate() {
+                crow[j] += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// Computes `a * b^T` without materializing `b^T`.
+///
+/// Backpropagation uses this shape to push deltas through a layer
+/// (`dX = dY * W^T`).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_a_bt: column counts differ ({} vs {})",
+        a.cols(),
+        b.cols()
+    );
+    let m = a.rows();
+    let n = b.rows();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (j, cv) in crow.iter_mut().enumerate().take(n) {
+            *cv = dot(arow, b.row(j));
+        }
+    }
+    c
+}
+
+/// Dot product of two equal-length slices.
+///
+/// Written with a 4-way unrolled accumulator so LLVM vectorizes it; this
+/// is the hot inner loop of every kernel above.
+///
+/// # Panics
+///
+/// Panics (via `debug_assert`) in debug builds if lengths differ; in
+/// release builds the shorter length wins.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let xb = &x[c * 4..c * 4 + 4];
+        let yb = &y[c * 4..c * 4 + 4];
+        acc[0] += xb[0] * yb[0];
+        acc[1] += xb[1] * yb[1];
+        acc[2] += xb[2] * yb[2];
+        acc[3] += xb[3] * yb[3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..x.len().min(y.len()) {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// Number of floating-point operations a GEMM of these dimensions performs
+/// (the conventional `2 * m * k * n` count used throughout the paper's
+/// roofline math).
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_identity() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let i = Matrix::identity(3);
+        assert_eq!(matmul_naive(&a, &i), a);
+        assert_eq!(matmul_naive(&i, &a), a);
+    }
+
+    #[test]
+    fn blocked_matches_naive_small() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = init::uniform(&mut rng, 5, 7, 1.0);
+        let b = init::uniform(&mut rng, 7, 3, 1.0);
+        assert_close(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn blocked_matches_naive_cross_block_boundary() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Shapes straddle the 64-wide tile boundary.
+        let a = init::uniform(&mut rng, 65, 130, 1.0);
+        let b = init::uniform(&mut rng, 130, 67, 1.0);
+        assert_close(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn empty_dims_yield_zero_matrix() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(matmul(&a, &b).shape(), (0, 3));
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (2, 3));
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn dim_mismatch_panics() {
+        let _ = matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn bias_broadcasts_per_row() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[[1.0, 2.0], [3.0, 4.0]]);
+        let c = matmul_bias(&a, &b, &[10.0, 20.0]);
+        assert_eq!(c.row(0), &[11.0, 22.0]);
+        assert_eq!(c.row(1), &[13.0, 24.0]);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = init::uniform(&mut rng, 6, 4, 1.0);
+        let b = init::uniform(&mut rng, 6, 5, 1.0);
+        assert_close(
+            &matmul_at_b(&a, &b),
+            &matmul_naive(&a.transposed(), &b),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = init::uniform(&mut rng, 6, 4, 1.0);
+        let b = init::uniform(&mut rng, 5, 4, 1.0);
+        assert_close(
+            &matmul_a_bt(&a, &b),
+            &matmul_naive(&a, &b.transposed()),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn dot_handles_remainder_lengths() {
+        for n in 0..10 {
+            let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let y = vec![2.0f32; n];
+            let expect: f32 = x.iter().sum::<f32>() * 2.0;
+            assert!((dot(&x, &y) - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn flops_count() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+        assert_eq!(gemm_flops(0, 3, 4), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Random matrix initializers.
+//!
+//! Weight initialization matters for the candidate MLPs the evolutionary
+//! engine trains: poorly scaled weights make deep candidates look
+//! spuriously bad and bias the search. The schemes here are the standard
+//! ones — uniform, Glorot/Xavier, and He — all driven by a caller-supplied
+//! RNG so that a seeded search is fully reproducible.
+
+use rand::Rng;
+
+use crate::Matrix;
+
+/// A matrix with entries drawn uniformly from `[-limit, limit]`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, limit: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+}
+
+/// Glorot/Xavier-uniform initialization: `limit = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Suited to sigmoid/tanh layers; keeps activation variance roughly
+/// constant through depth.
+pub fn xavier<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, fan_in, fan_out, limit)
+}
+
+/// He-uniform initialization: `limit = sqrt(6 / fan_in)`.
+///
+/// Suited to ReLU layers, which halve activation variance.
+pub fn he<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Matrix {
+    let limit = (6.0 / fan_in.max(1) as f32).sqrt();
+    uniform(rng, fan_in, fan_out, limit)
+}
+
+/// A matrix with entries drawn from a standard normal scaled by `sigma`.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, sigma: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| sigma * standard_normal(rng))
+}
+
+/// One draw from a standard normal via the Box–Muller transform.
+///
+/// Implemented locally so the crate only needs `rand`'s core uniform
+/// sampling (no `rand_distr` dependency).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling the half-open interval away from zero.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = uniform(&mut rng, 20, 20, 0.5);
+        assert!(m.as_slice().iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_limit_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let wide = xavier(&mut rng, 1000, 1000);
+        let lim = (6.0f32 / 2000.0).sqrt();
+        assert!(wide.as_slice().iter().all(|&x| x.abs() <= lim + 1e-6));
+    }
+
+    #[test]
+    fn he_limit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = he(&mut rng, 600, 10);
+        let lim = (6.0f32 / 600.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= lim + 1e-6));
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = gaussian(&mut rng, 100, 100, 2.0);
+        let n = m.len() as f32;
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / n;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.4, "var {var}");
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = uniform(&mut StdRng::seed_from_u64(9), 4, 4, 1.0);
+        let b = uniform(&mut StdRng::seed_from_u64(9), 4, 4, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+}

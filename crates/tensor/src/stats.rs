@@ -1,0 +1,174 @@
+//! Small statistics helpers shared by the experiment harness.
+//!
+//! Experiments summarize populations of candidates (accuracy, throughput,
+//! efficiency); the helpers here compute the descriptive statistics the
+//! paper reports — means, percentiles, and simple correlation — without
+//! pulling in a stats crate.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation; 0.0 for fewer than two elements.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mu = mean(xs);
+    (xs.iter().map(|&x| (x - mu) * (x - mu)).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// Minimum; `None` for an empty slice.
+pub fn min(xs: &[f32]) -> Option<f32> {
+    xs.iter().copied().reduce(f32::min)
+}
+
+/// Maximum; `None` for an empty slice.
+pub fn max(xs: &[f32]) -> Option<f32> {
+    xs.iter().copied().reduce(f32::max)
+}
+
+/// Percentile in `[0, 100]` using linear interpolation between ranks.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or any value is NaN.
+pub fn percentile(xs: &[f32], p: f32) -> Option<f32> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f32> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (v.len() - 1) as f32;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f32;
+    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+}
+
+/// Median (the 50th percentile).
+pub fn median(xs: &[f32]) -> Option<f32> {
+    percentile(xs, 50.0)
+}
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns `None` if the series are shorter than 2 or either has zero
+/// variance. The paper correlates accuracy against throughput and network
+/// size against accuracy; this is the statistic behind those claims.
+///
+/// # Panics
+///
+/// Panics if the series differ in length.
+pub fn pearson(xs: &[f32], ys: &[f32]) -> Option<f32> {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal lengths");
+    if xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Summary of a sample: count, mean, standard deviation, min, max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std_dev: f32,
+    /// Smallest observation (0.0 when empty).
+    pub min: f32,
+    /// Largest observation (0.0 when empty).
+    pub max: f32,
+}
+
+impl Summary {
+    /// Computes a summary of `xs`.
+    pub fn of(xs: &[f32]) -> Self {
+        Self {
+            count: xs.len(),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            min: min(xs).unwrap_or(0.0),
+            max: max(xs).unwrap_or(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(min(&[]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(pearson(&[], &[]), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert!((percentile(&xs, 50.0).unwrap() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_odd_length() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let xs = [1.0, 2.0, 3.0];
+        let pos = [10.0, 20.0, 30.0];
+        let neg = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &pos).unwrap() - 1.0).abs() < 1e-6);
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_none() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Algebraic property tests for the tensor substrate.
+
+use ecad_tensor::{gemm, init, ops, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn close(a: f32, b: f32, tol: f32) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+fn matrices(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (
+        init::uniform(&mut rng, m, k, 1.0),
+        init::uniform(&mut rng, k, n, 1.0),
+        init::uniform(&mut rng, k, n, 1.0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Right-distributivity: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..500
+    ) {
+        let (a, b, c) = matrices(m, k, n, seed);
+        let lhs = gemm::matmul(&a, &b.add(&c).unwrap());
+        let rhs = gemm::matmul(&a, &b).add(&gemm::matmul(&a, &c)).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!(close(*x, *y, 1e-4), "{x} vs {y}");
+        }
+    }
+
+    /// Scalar pull-through: (sA)B = s(AB).
+    #[test]
+    fn matmul_commutes_with_scaling(
+        m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..500, s in -3.0f32..3.0
+    ) {
+        let (a, b, _) = matrices(m, k, n, seed);
+        let mut sa = a.clone();
+        sa.scale_inplace(s);
+        let lhs = gemm::matmul(&sa, &b);
+        let mut rhs = gemm::matmul(&a, &b);
+        rhs.scale_inplace(s);
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!(close(*x, *y, 1e-4), "{x} vs {y}");
+        }
+    }
+
+    /// Identity is neutral on both sides.
+    #[test]
+    fn identity_is_neutral(m in 1usize..12, n in 1usize..12, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = init::uniform(&mut rng, m, n, 5.0);
+        prop_assert_eq!(gemm::matmul(&Matrix::identity(m), &a), a.clone());
+        prop_assert_eq!(gemm::matmul(&a, &Matrix::identity(n)), a);
+    }
+
+    /// Softmax is invariant under per-row constant shifts.
+    #[test]
+    fn softmax_shift_invariance(
+        rows in 1usize..6, cols in 1usize..6, shift in -50.0f32..50.0, seed in 0u64..200
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = init::uniform(&mut rng, rows, cols, 4.0);
+        let shifted = logits.map(|x| x + shift);
+        let p1 = ops::softmax_rows(&logits);
+        let p2 = ops::softmax_rows(&shifted);
+        for (x, y) in p1.as_slice().iter().zip(p2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    /// col_sums is linear: sums(A + B) = sums(A) + sums(B).
+    #[test]
+    fn col_sums_linear(rows in 1usize..10, cols in 1usize..10, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = init::uniform(&mut rng, rows, cols, 2.0);
+        let b = init::uniform(&mut rng, rows, cols, 2.0);
+        let lhs = ops::col_sums(&a.add(&b).unwrap());
+        let rhs: Vec<f32> = ops::col_sums(&a)
+            .iter()
+            .zip(ops::col_sums(&b))
+            .map(|(x, y)| x + y)
+            .collect();
+        for (x, y) in lhs.iter().zip(&rhs) {
+            prop_assert!(close(*x, *y, 1e-4));
+        }
+    }
+
+    /// select_rows of all indices is the identity; of reversed indices,
+    /// a double reverse round-trips.
+    #[test]
+    fn select_rows_permutation(rows in 1usize..12, cols in 1usize..6, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = init::uniform(&mut rng, rows, cols, 1.0);
+        let all: Vec<usize> = (0..rows).collect();
+        prop_assert_eq!(a.select_rows(&all), a.clone());
+        let rev: Vec<usize> = (0..rows).rev().collect();
+        prop_assert_eq!(a.select_rows(&rev).select_rows(&rev), a);
+    }
+
+    /// Frobenius norm: homogeneous under scaling and zero only at zero.
+    #[test]
+    fn frobenius_homogeneity(rows in 1usize..8, cols in 1usize..8, s in -4.0f32..4.0, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = init::uniform(&mut rng, rows, cols, 1.0);
+        let mut sa = a.clone();
+        sa.scale_inplace(s);
+        prop_assert!(close(sa.frobenius_norm(), s.abs() * a.frobenius_norm(), 1e-4));
+    }
+
+    /// Accuracy is a fraction of matches and invariant to adding a
+    /// constant to all logits.
+    #[test]
+    fn accuracy_bounds(rows in 1usize..20, classes in 2usize..6, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = init::uniform(&mut rng, rows, classes, 3.0);
+        let labels: Vec<usize> = (0..rows).map(|i| i % classes).collect();
+        let acc = ops::accuracy(&logits, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let shifted = logits.map(|x| x + 7.5);
+        prop_assert_eq!(ops::accuracy(&shifted, &labels), acc);
+    }
+
+    /// Statistics sanity: percentile bounds and mean within [min, max].
+    #[test]
+    fn stats_bounds(xs in proptest::collection::vec(-100.0f32..100.0, 1..50)) {
+        use ecad_tensor::stats;
+        let mn = stats::min(&xs).unwrap();
+        let mx = stats::max(&xs).unwrap();
+        let mean = stats::mean(&xs);
+        prop_assert!(mn - 1e-3 <= mean && mean <= mx + 1e-3);
+        let med = stats::median(&xs).unwrap();
+        prop_assert!(mn <= med && med <= mx);
+        for p in [0.0f32, 25.0, 50.0, 75.0, 100.0] {
+            let v = stats::percentile(&xs, p).unwrap();
+            prop_assert!(mn <= v && v <= mx);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Datacenter ads-ranking scenario: latency-bounded co-design.
+//!
+//! ```sh
+//! cargo run --release --example ads_ranking
+//! ```
+//!
+//! The paper's motivation (§I) is that MLPs dominate datacenter
+//! inference — "Facebook cites the use of MLP for tasks such as
+//! determining which ads to display". An ads ranker cares about a
+//! latency budget per request *and* accuracy; this example shows how to
+//! register a **custom fitness function** (the paper's §III-A
+//! extensibility point) that rewards accuracy only while the candidate
+//! meets a 50 µs latency SLO, and compares what the search picks on an
+//! FPGA vs a GPU.
+
+use ecad_repro::core::fitness::{FitnessRegistry, Objective, ObjectiveSet};
+use ecad_repro::core::prelude::*;
+use ecad_repro::dataset::synth::SyntheticSpec;
+use ecad_repro::hw::fpga::FpgaDevice;
+use ecad_repro::hw::gpu::GpuDevice;
+
+/// Latency SLO for one ranking request batch.
+const SLO_SECONDS: f64 = 50e-6;
+
+fn slo_objectives() -> ObjectiveSet {
+    let mut registry = FitnessRegistry::with_builtins();
+    // Accuracy, hard-gated on the latency SLO: a candidate over budget
+    // is worth nothing to the ranker no matter how accurate.
+    registry.register("accuracy_under_slo", |m| {
+        if m.hw.latency_s() <= SLO_SECONDS {
+            m.accuracy as f64
+        } else {
+            0.0
+        }
+    });
+    ObjectiveSet::with_registry(
+        vec![
+            Objective::maximize("accuracy_under_slo"),
+            Objective::maximize("log_throughput").with_weight(0.02),
+        ],
+        registry,
+    )
+}
+
+fn main() {
+    // An ads-ranking-shaped dataset: wide sparse-ish tabular features,
+    // binary click/no-click labels, noisy ground truth.
+    let dataset = SyntheticSpec::new("ads-ranking", 1200, 120, 2)
+        .with_informative(24)
+        .with_class_sep(2.2)
+        .with_nonlinearity(1.0)
+        .with_label_noise(0.12)
+        .with_seed(2024)
+        .generate();
+    println!(
+        "ads-ranking dataset: {} impressions x {} features (latency SLO {:.0} us)\n",
+        dataset.len(),
+        dataset.n_features(),
+        SLO_SECONDS * 1e6
+    );
+
+    for (label, target) in [
+        (
+            "Arria 10 FPGA",
+            HwTarget::Fpga(FpgaDevice::arria10_gx1150(2)),
+        ),
+        ("Titan X GPU", HwTarget::Gpu(GpuDevice::titan_x())),
+    ] {
+        let result = Search::on_dataset(&dataset)
+            .target(target)
+            .objectives(slo_objectives())
+            .evaluations(50)
+            .population(12)
+            .seed(99)
+            .run();
+
+        // Best candidate that actually meets the SLO.
+        let winner = result
+            .trace()
+            .iter()
+            .filter(|e| e.measurement.hw.is_feasible())
+            .filter(|e| e.measurement.hw.latency_s() <= SLO_SECONDS)
+            .max_by(|a, b| {
+                a.measurement
+                    .accuracy
+                    .partial_cmp(&b.measurement.accuracy)
+                    .unwrap()
+            });
+        println!("{label}:");
+        match winner {
+            Some(e) => {
+                println!("  best under SLO : {}", e.genome);
+                println!("  accuracy       : {:.4}", e.measurement.accuracy);
+                println!(
+                    "  latency        : {:.1} us",
+                    e.measurement.hw.latency_s() * 1e6
+                );
+                println!(
+                    "  outputs/s      : {:.3e}",
+                    e.measurement.hw.outputs_per_s()
+                );
+            }
+            None => {
+                let met = 0;
+                println!("  no candidate met the {SLO_SECONDS:.0e}s SLO ({met} qualifying)");
+            }
+        }
+        let under = result
+            .trace()
+            .iter()
+            .filter(|e| e.measurement.hw.latency_s() <= SLO_SECONDS)
+            .count();
+        println!(
+            "  {under}/{} evaluated candidates met the SLO\n",
+            result.trace().len()
+        );
+    }
+
+    println!(
+        "Reading: the FPGA's small-batch systolic mapping holds latency down, so far\n\
+         more of its design space qualifies — the co-design argument for MLP serving."
+    );
+}

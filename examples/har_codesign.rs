@@ -1,0 +1,95 @@
+//! HAR co-design sweep — the Figure 2 experiment as a walkthrough.
+//!
+//! ```sh
+//! cargo run --release --example har_codesign
+//! ```
+//!
+//! Runs the accuracy × throughput evolutionary search on the Human
+//! Activity Recognition stand-in against both an Arria 10 FPGA and a
+//! Quadro M5000 GPU, then prints the accuracy/throughput scatter and
+//! the paper's two observations: the FPGA trades accuracy for an
+//! order-of-magnitude throughput jump, while the GPU's throughput is
+//! insensitive to how neurons are distributed.
+
+use ecad_repro::core::prelude::*;
+use ecad_repro::dataset::benchmarks::{self, Benchmark};
+use ecad_repro::hw::fpga::FpgaDevice;
+use ecad_repro::hw::gpu::GpuDevice;
+use ecad_repro::tensor::stats;
+
+fn main() {
+    let dataset = benchmarks::load(Benchmark::Har)
+        .with_samples(900)
+        .with_seed(3)
+        .generate();
+    println!(
+        "HAR stand-in: {} windows x {} sensor features, {} activities\n",
+        dataset.len(),
+        dataset.n_features(),
+        dataset.n_classes()
+    );
+
+    let mut scatters = Vec::new();
+    for (label, target) in [
+        (
+            "Arria 10 (Fig 2a)",
+            HwTarget::Fpga(FpgaDevice::arria10_gx1150(1)),
+        ),
+        (
+            "Quadro M5000 (Fig 2b)",
+            HwTarget::Gpu(GpuDevice::quadro_m5000()),
+        ),
+    ] {
+        let result = Search::on_dataset(&dataset)
+            .target(target)
+            .objectives(ObjectiveSet::accuracy_and_throughput())
+            .evaluations(45)
+            .population(12)
+            .seed(31)
+            .run();
+        let points = result.trace_points();
+        println!("{label}: {} candidates evaluated", points.len());
+        println!("  accuracy  outputs/s     neurons  genome");
+        let mut shown: Vec<&TracePoint> = points.iter().filter(|p| p.feasible).collect();
+        shown.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).unwrap());
+        for p in shown.iter().take(8) {
+            println!(
+                "  {:.4}    {:>10.3e}  {:>6}   {}",
+                p.accuracy, p.outputs_per_s, p.neurons, p.genome
+            );
+        }
+        println!();
+        scatters.push((label, points));
+    }
+
+    // The paper's two Fig-2 observations, computed from the scatters.
+    for (label, points) in &scatters {
+        let feasible: Vec<_> = points.iter().filter(|p| p.feasible).collect();
+        let top = feasible
+            .iter()
+            .map(|p| p.accuracy)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let at_top = feasible
+            .iter()
+            .filter(|p| p.accuracy >= top - 0.001)
+            .map(|p| p.outputs_per_s)
+            .fold(0.0f64, f64::max);
+        let notch_down = feasible
+            .iter()
+            .filter(|p| p.accuracy < top - 0.001 && p.accuracy >= top - 0.01)
+            .map(|p| p.outputs_per_s)
+            .fold(0.0f64, f64::max);
+        let xs: Vec<f32> = feasible.iter().map(|p| p.neurons as f32).collect();
+        let ys: Vec<f32> = feasible.iter().map(|p| p.outputs_per_s as f32).collect();
+        let corr = stats::pearson(&xs, &ys).unwrap_or(0.0);
+        println!("{label}:");
+        println!("  top accuracy {top:.4}; outputs/s at top {at_top:.3e}");
+        if notch_down > 0.0 {
+            println!(
+                "  one notch (≤1%) down: {notch_down:.3e} outputs/s ({:.1}x)",
+                notch_down / at_top.max(1.0)
+            );
+        }
+        println!("  corr(total neurons, outputs/s) = {corr:.2}\n");
+    }
+}

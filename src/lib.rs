@@ -1,0 +1,26 @@
+//! # ecad-repro
+//!
+//! Umbrella crate for the ECAD reproduction workspace: re-exports every
+//! member crate under one name so the examples and integration tests
+//! (and downstream users who want the whole stack) need a single
+//! dependency.
+//!
+//! See the repository `README.md` for the architecture overview and
+//! `DESIGN.md` for the paper-to-module map.
+//!
+//! ```
+//! use ecad_repro::dataset::benchmarks::{self, Benchmark};
+//!
+//! let ds = benchmarks::load(Benchmark::Har).with_samples(120).generate();
+//! assert_eq!(ds.n_classes(), 6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ecad_baselines as baselines;
+pub use ecad_bench as bench;
+pub use ecad_core as core;
+pub use ecad_dataset as dataset;
+pub use ecad_hw as hw;
+pub use ecad_mlp as mlp;
+pub use ecad_tensor as tensor;

@@ -1,0 +1,245 @@
+//! End-to-end integration tests: dataset → evolutionary search →
+//! hardware metrics, across crate boundaries.
+
+use ecad_repro::core::config::FlowConfig;
+use ecad_repro::core::prelude::*;
+use ecad_repro::dataset::benchmarks::{self, Benchmark};
+use ecad_repro::hw::fpga::FpgaDevice;
+use ecad_repro::hw::gpu::GpuDevice;
+use ecad_repro::mlp::TrainConfig;
+
+fn small_dataset() -> ecad_repro::dataset::Dataset {
+    benchmarks::load(Benchmark::CreditG)
+        .with_samples(240)
+        .with_seed(5)
+        .generate()
+}
+
+fn fast_trainer() -> TrainConfig {
+    let mut cfg = TrainConfig::fast();
+    cfg.epochs = 6;
+    cfg
+}
+
+#[test]
+fn fpga_search_end_to_end() {
+    let ds = small_dataset();
+    let result = Search::on_dataset(&ds)
+        .target(HwTarget::Fpga(FpgaDevice::arria10_gx1150(1)))
+        .objectives(ObjectiveSet::accuracy_and_throughput())
+        .space(
+            SearchSpace::fpga_default()
+                .with_neurons(4, 48)
+                .with_layers(1, 2),
+        )
+        .evaluations(18)
+        .population(8)
+        .seed(1)
+        .trainer(fast_trainer())
+        .run();
+
+    assert_eq!(result.stats().models_evaluated, 18);
+    let best = result
+        .best_by_accuracy()
+        .expect("feasible candidates exist");
+    assert!(
+        best.measurement.accuracy > 0.5,
+        "accuracy {}",
+        best.measurement.accuracy
+    );
+    assert!(best.measurement.hw.outputs_per_s() > 0.0);
+    // FPGA metrics carry the physical worker's estimates.
+    match &best.measurement.hw {
+        HwMetrics::Fpga {
+            power_w,
+            fmax_mhz,
+            dsp_util,
+            ..
+        } => {
+            assert!(*power_w > 20.0 && *power_w < 35.0, "power {power_w}");
+            assert!(*fmax_mhz > 150.0 && *fmax_mhz <= 250.0, "fmax {fmax_mhz}");
+            assert!((0.0..=1.0).contains(dsp_util));
+        }
+        other => panic!("expected FPGA metrics, got {other:?}"),
+    }
+}
+
+#[test]
+fn gpu_search_end_to_end() {
+    let ds = small_dataset();
+    let result = Search::on_dataset(&ds)
+        .target(HwTarget::Gpu(GpuDevice::titan_x()))
+        .objectives(ObjectiveSet::accuracy_and_throughput())
+        .space(
+            SearchSpace::gpu_default()
+                .with_neurons(4, 48)
+                .with_layers(1, 2),
+        )
+        .evaluations(15)
+        .population(8)
+        .seed(2)
+        .trainer(fast_trainer())
+        .run();
+    let best = result.best().expect("candidates evaluated");
+    assert!(matches!(best.measurement.hw, HwMetrics::Gpu { .. }));
+    // GPU efficiency on small MLPs must be low (the paper's §IV-D).
+    assert!(best.measurement.hw.efficiency() < 0.2);
+}
+
+#[test]
+fn search_is_reproducible_across_runs() {
+    let ds = small_dataset();
+    let run = || {
+        Search::on_dataset(&ds)
+            .space(
+                SearchSpace::fpga_default()
+                    .with_neurons(4, 32)
+                    .with_layers(1, 2),
+            )
+            .evaluations(12)
+            .population(6)
+            .seed(77)
+            .trainer(fast_trainer())
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.trace().len(), b.trace().len());
+    for (x, y) in a.trace().iter().zip(b.trace()) {
+        assert_eq!(x.genome, y.genome);
+        assert_eq!(x.measurement.accuracy, y.measurement.accuracy);
+    }
+}
+
+#[test]
+fn config_file_drives_search() {
+    let text = "
+[nna]
+max_layers = 2
+min_neurons = 4
+max_neurons = 24
+
+[hardware]
+target = fpga
+device = arria10
+ddr_banks = 2
+
+[optimization]
+objectives = accuracy, log_throughput
+weights = 1.0, 0.02
+evaluations = 10
+population = 5
+seed = 9
+epochs = 5
+";
+    let config = FlowConfig::from_ini(text).expect("valid config");
+    let ds = small_dataset();
+    let result = Search::from_config(&config, &ds).run();
+    assert_eq!(result.stats().models_evaluated, 10);
+    assert_eq!(result.target_name(), "Arria 10 GX 1150");
+    // Every evaluated topology respects the configured bounds.
+    for e in result.trace() {
+        assert!(e.genome.nna.layers.len() <= 2);
+        for l in &e.genome.nna.layers {
+            assert!((4..=24).contains(&l.neurons));
+        }
+    }
+}
+
+#[test]
+fn multithreaded_search_completes_and_stays_feasible() {
+    let ds = small_dataset();
+    let result = Search::on_dataset(&ds)
+        .space(
+            SearchSpace::fpga_default()
+                .with_neurons(4, 32)
+                .with_layers(1, 2),
+        )
+        .evaluations(16)
+        .population(8)
+        .seed(3)
+        .threads(4)
+        .trainer(fast_trainer())
+        .run();
+    assert_eq!(result.stats().models_evaluated, 16);
+    assert!(result.best_by_accuracy().is_some());
+}
+
+#[test]
+fn pareto_front_members_are_mutually_non_dominated() {
+    let ds = small_dataset();
+    let result = Search::on_dataset(&ds)
+        .objectives(ObjectiveSet::accuracy_and_throughput())
+        .space(
+            SearchSpace::fpga_default()
+                .with_neurons(4, 48)
+                .with_layers(1, 2),
+        )
+        .evaluations(20)
+        .population(8)
+        .seed(4)
+        .trainer(fast_trainer())
+        .run();
+    let front = result.pareto_accuracy_throughput();
+    assert!(!front.is_empty());
+    for a in &front {
+        for b in &front {
+            let dominates = a.measurement.accuracy >= b.measurement.accuracy
+                && a.measurement.hw.outputs_per_s() >= b.measurement.hw.outputs_per_s()
+                && (a.measurement.accuracy > b.measurement.accuracy
+                    || a.measurement.hw.outputs_per_s() > b.measurement.hw.outputs_per_s());
+            assert!(!dominates, "front contains a dominated member");
+        }
+    }
+}
+
+#[test]
+fn accuracy_only_and_codesign_searches_disagree_on_hardware() {
+    // The co-design claim in one test: adding the throughput objective
+    // changes which hardware configurations survive.
+    let ds = small_dataset();
+    let run = |objectives: ObjectiveSet| {
+        Search::on_dataset(&ds)
+            .objectives(objectives)
+            .space(
+                SearchSpace::fpga_default()
+                    .with_neurons(4, 48)
+                    .with_layers(1, 2),
+            )
+            .evaluations(25)
+            .population(10)
+            .seed(5)
+            .trainer(fast_trainer())
+            .run()
+    };
+    let acc_only = run(ObjectiveSet::accuracy_only());
+    let codesign = run(ObjectiveSet::accuracy_and_throughput());
+    let mean_throughput = |r: &SearchResult| {
+        let v: Vec<f64> = r
+            .trace()
+            .iter()
+            .filter(|e| e.measurement.hw.is_feasible())
+            .map(|e| e.measurement.hw.outputs_per_s())
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    // The later half of a co-design trace should lean faster than the
+    // accuracy-only trace's later half.
+    let half = |r: &SearchResult| {
+        let t = r.trace();
+        let v: Vec<f64> = t[t.len() / 2..]
+            .iter()
+            .filter(|e| e.measurement.hw.is_feasible())
+            .map(|e| e.measurement.hw.outputs_per_s())
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    assert!(
+        half(&codesign) >= half(&acc_only) * 0.5,
+        "codesign {} vs acc-only {} (sanity: both positive: {} {})",
+        half(&codesign),
+        half(&acc_only),
+        mean_throughput(&codesign),
+        mean_throughput(&acc_only)
+    );
+}

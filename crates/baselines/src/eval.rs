@@ -5,7 +5,7 @@
 //! fit on each training split only.
 
 use ecad_dataset::{folds, scaler, Dataset};
-use rand::Rng;
+use rt::rand::Rng;
 
 use crate::Classifier;
 
@@ -76,8 +76,8 @@ mod tests {
     use super::*;
     use crate::DecisionTree;
     use ecad_dataset::synth::SyntheticSpec;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rt::rand::rngs::StdRng;
+    use rt::rand::SeedableRng;
 
     fn ds() -> Dataset {
         SyntheticSpec::new("cv", 200, 6, 2)

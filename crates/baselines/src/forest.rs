@@ -2,8 +2,8 @@
 
 use ecad_dataset::Dataset;
 use ecad_tensor::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rt::rand::rngs::StdRng;
+use rt::rand::{Rng, SeedableRng};
 
 use crate::{Classifier, DecisionTree};
 

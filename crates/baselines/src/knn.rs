@@ -117,7 +117,7 @@ mod tests {
             .with_nonlinearity(0.0)
             .with_seed(3)
             .generate();
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let mut rng = <rt::rand::rngs::StdRng as rt::rand::SeedableRng>::seed_from_u64(0);
         let (train, test) = ds.split(0.3, &mut rng);
         let mut knn = KNearestNeighbors::new(5);
         knn.fit(&train);

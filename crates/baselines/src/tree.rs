@@ -3,9 +3,9 @@
 
 use ecad_dataset::Dataset;
 use ecad_tensor::Matrix;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rt::rand::rngs::StdRng;
+use rt::rand::seq::SliceRandom;
+use rt::rand::SeedableRng;
 
 use crate::Classifier;
 

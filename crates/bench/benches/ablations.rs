@@ -17,7 +17,8 @@
 
 use std::sync::Arc;
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt::bench::{black_box, BenchmarkId, Criterion};
+use rt::{criterion_group, criterion_main};
 use ecad_core::engine::{Engine, EvolutionConfig, SelectionMode};
 use ecad_core::fitness::{Objective, ObjectiveSet};
 use ecad_core::genome::CandidateGenome;

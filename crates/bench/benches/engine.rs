@@ -4,7 +4,8 @@
 
 use std::sync::Arc;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rt::bench::{black_box, Criterion};
+use rt::{criterion_group, criterion_main};
 use ecad_core::engine::{Engine, EvolutionConfig, SelectionMode};
 use ecad_core::fitness::ObjectiveSet;
 use ecad_core::genome::CandidateGenome;
@@ -12,8 +13,8 @@ use ecad_core::measurement::{HwMetrics, Measurement};
 use ecad_core::pareto;
 use ecad_core::space::SearchSpace;
 use ecad_core::workers::Evaluator;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rt::rand::rngs::StdRng;
+use rt::rand::SeedableRng;
 
 struct ToyEvaluator;
 
@@ -72,7 +73,7 @@ fn bench_cache_key(c: &mut Criterion) {
 
 fn bench_pareto(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
-    use rand::Rng;
+    use rt::rand::Rng;
     let points: Vec<Vec<f64>> = (0..1000)
         .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
         .collect();

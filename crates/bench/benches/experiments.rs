@@ -4,7 +4,8 @@
 //! measured. The `experiments` binary runs the same code at quick/full
 //! scale to regenerate the actual tables and figures.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rt::bench::Criterion;
+use rt::{criterion_group, criterion_main};
 use ecad_bench::experiments::{fig2, fig3, fig4, table1, table2, table3, table4};
 use ecad_bench::ExperimentContext;
 

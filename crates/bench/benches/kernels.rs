@@ -3,11 +3,12 @@
 //! These are the hot paths of the simulation worker — per-candidate
 //! evaluation time (the paper's Table III column) is dominated by them.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt::bench::{black_box, BenchmarkId, Criterion};
+use rt::{criterion_group, criterion_main};
 use ecad_mlp::{Activation, Mlp, MlpTopology};
 use ecad_tensor::{gemm, init, ops, Matrix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rt::rand::rngs::StdRng;
+use rt::rand::SeedableRng;
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");

@@ -6,7 +6,8 @@
 //! the models are indeed microsecond-fast, which is what lets the
 //! evolutionary engine score thousands of candidates.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt::bench::{black_box, BenchmarkId, Criterion};
+use rt::{criterion_group, criterion_main};
 use ecad_hw::fpga::{FpgaDevice, FpgaModel, GridConfig, PhysicalModel};
 use ecad_hw::gpu::{GpuDevice, GpuModel};
 

@@ -16,8 +16,8 @@ use ecad_baselines::{Classifier, LogisticRegression};
 use ecad_dataset::benchmarks::{self, Benchmark};
 use ecad_dataset::scaler;
 use ecad_mlp::{Activation, MlpTopology, TrainConfig, Trainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rt::rand::rngs::StdRng;
+use rt::rand::SeedableRng;
 
 fn main() {
     let samples_override: Option<usize> = std::env::args().nth(1).and_then(|s| s.parse().ok());

@@ -17,6 +17,7 @@ use std::process::ExitCode;
 
 use ecad_bench::experiments::{fig2, fig3, fig4, table1, table2, table3, table4};
 use ecad_bench::{ExperimentContext, Scale};
+use rt::json::{Json, ToJson};
 
 const ALL_IDS: [&str; 7] = [
     "table1", "table2", "table3", "table4", "fig2", "fig3", "fig4",
@@ -96,7 +97,7 @@ fn main() -> ExitCode {
     );
     println!("(analytical hardware models + synthetic datasets; see DESIGN.md §2)\n");
 
-    let mut json_docs: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+    let mut json_docs: BTreeMap<String, Json> = BTreeMap::new();
     let mut csv_files: Vec<(String, String)> = Vec::new();
 
     for id in &args.ids {
@@ -111,17 +112,17 @@ fn main() -> ExitCode {
                     wins.iter().filter(|&&w| w).count(),
                     wins.len()
                 );
-                json_docs.insert(id.clone(), serde_json::to_value(&t).unwrap());
+                json_docs.insert(id.clone(), t.to_json());
             }
             "table2" => {
                 let t = table2::run(&args.ctx);
                 println!("{}", t.render());
-                json_docs.insert(id.clone(), serde_json::to_value(&t).unwrap());
+                json_docs.insert(id.clone(), t.to_json());
             }
             "table3" => {
                 let t = table3::run(&args.ctx);
                 println!("{}", t.render());
-                json_docs.insert(id.clone(), serde_json::to_value(&t).unwrap());
+                json_docs.insert(id.clone(), t.to_json());
             }
             "table4" => {
                 let t = table4::run(&args.ctx);
@@ -131,7 +132,7 @@ fn main() -> ExitCode {
                      (paper: majority)\n",
                     100.0 * t.fpga_win_fraction()
                 );
-                json_docs.insert(id.clone(), serde_json::to_value(&t).unwrap());
+                json_docs.insert(id.clone(), t.to_json());
             }
             "fig2" => {
                 let f = fig2::run(&args.ctx);
@@ -142,7 +143,7 @@ fn main() -> ExitCode {
                     f.fpga.step_down_gain, f.gpu.neurons_throughput_correlation
                 );
                 csv_files.push(("fig2.csv".to_string(), f.to_csv()));
-                json_docs.insert(id.clone(), serde_json::to_value(&f).unwrap());
+                json_docs.insert(id.clone(), f.to_json());
             }
             "fig3" => {
                 let f = fig3::run(&args.ctx);
@@ -153,7 +154,7 @@ fn main() -> ExitCode {
                     f.scaling_1_to_4()
                 );
                 csv_files.push(("fig3.csv".to_string(), f.to_csv()));
-                json_docs.insert(id.clone(), serde_json::to_value(&f).unwrap());
+                json_docs.insert(id.clone(), f.to_json());
             }
             "fig4" => {
                 let f = fig4::run(&args.ctx);
@@ -164,7 +165,7 @@ fn main() -> ExitCode {
                     f.efficiency_ratio()
                 );
                 csv_files.push(("fig4.csv".to_string(), f.to_csv()));
-                json_docs.insert(id.clone(), serde_json::to_value(&f).unwrap());
+                json_docs.insert(id.clone(), f.to_json());
             }
             other => unreachable!("validated id {other}"),
         }
@@ -190,12 +191,17 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = &args.json {
-        let doc = serde_json::json!({
-            "scale": format!("{:?}", args.ctx.scale),
-            "seed": args.ctx.seed,
-            "results": json_docs,
-        });
-        if let Err(e) = std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap()) {
+        let results = Json::Object(
+            json_docs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        );
+        let doc = Json::object()
+            .insert("scale", format!("{:?}", args.ctx.scale))
+            .insert("seed", args.ctx.seed)
+            .insert("results", results);
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

@@ -18,7 +18,6 @@ use ecad_core::prelude::*;
 use ecad_dataset::benchmarks::Benchmark;
 use ecad_hw::fpga::FpgaDevice;
 use ecad_hw::gpu::GpuDevice;
-use serde::Serialize;
 
 use crate::context::ExperimentContext;
 use crate::report::{acc, sci, TextTable};
@@ -26,7 +25,7 @@ use crate::report::{acc, sci, TextTable};
 use super::{dataset, run_search};
 
 /// Summary of one platform's scatter.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScatterSummary {
     /// Platform name.
     pub platform: String,
@@ -44,7 +43,7 @@ pub struct ScatterSummary {
 }
 
 /// Full Figure 2 result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2 {
     /// FPGA scatter points (accuracy, outputs/s, neurons).
     pub fpga_points: Vec<TracePoint>,
@@ -165,6 +164,28 @@ pub fn run(ctx: &ExperimentContext) -> Fig2 {
         gpu_points,
         fpga,
         gpu,
+    }
+}
+
+impl rt::json::ToJson for ScatterSummary {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("platform", &self.platform)
+            .insert("top_accuracy", &self.top_accuracy)
+            .insert("throughput_at_top", &self.throughput_at_top)
+            .insert("throughput_one_notch_down", &self.throughput_one_notch_down)
+            .insert("step_down_gain", &self.step_down_gain)
+            .insert("neurons_throughput_correlation", &self.neurons_throughput_correlation)
+    }
+}
+
+impl rt::json::ToJson for Fig2 {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("fpga_points", &self.fpga_points)
+            .insert("gpu_points", &self.gpu_points)
+            .insert("fpga", &self.fpga)
+            .insert("gpu", &self.gpu)
     }
 }
 

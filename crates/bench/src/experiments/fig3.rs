@@ -14,9 +14,8 @@
 use ecad_core::prelude::*;
 use ecad_dataset::benchmarks::Benchmark;
 use ecad_hw::fpga::{FpgaDevice, FpgaModel};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
+use rt::rand::rngs::StdRng;
+use rt::rand::SeedableRng;
 
 use crate::context::ExperimentContext;
 use crate::report::{sci, TextTable};
@@ -24,7 +23,7 @@ use crate::report::{sci, TextTable};
 use super::{dataset, fpga_space, run_search};
 
 /// One (grid, banks) sample of the sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BankPoint {
     /// DDR bank count.
     pub banks: u32,
@@ -39,7 +38,7 @@ pub struct BankPoint {
 }
 
 /// Aggregate per bank count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BankSummary {
     /// DDR bank count.
     pub banks: u32,
@@ -54,7 +53,7 @@ pub struct BankSummary {
 }
 
 /// Full Figure 3 result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3 {
     /// Topology used for the sweep.
     pub topology: String,
@@ -218,6 +217,37 @@ pub fn run(ctx: &ExperimentContext) -> Fig3 {
         topology: topo.describe(),
         points,
         summaries,
+    }
+}
+
+impl rt::json::ToJson for BankPoint {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("banks", &self.banks)
+            .insert("grid", &self.grid)
+            .insert("outputs_per_s", &self.outputs_per_s)
+            .insert("efficiency", &self.efficiency)
+            .insert("bandwidth_bound", &self.bandwidth_bound)
+    }
+}
+
+impl rt::json::ToJson for BankSummary {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("banks", &self.banks)
+            .insert("max_outputs_per_s", &self.max_outputs_per_s)
+            .insert("mean_outputs_per_s", &self.mean_outputs_per_s)
+            .insert("mean_efficiency", &self.mean_efficiency)
+            .insert("bandwidth_bound_fraction", &self.bandwidth_bound_fraction)
+    }
+}
+
+impl rt::json::ToJson for Fig3 {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("topology", &self.topology)
+            .insert("points", &self.points)
+            .insert("summaries", &self.summaries)
     }
 }
 

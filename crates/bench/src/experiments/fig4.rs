@@ -15,7 +15,6 @@ use ecad_core::prelude::*;
 use ecad_dataset::benchmarks::Benchmark;
 use ecad_hw::fpga::FpgaDevice;
 use ecad_hw::gpu::GpuDevice;
-use serde::Serialize;
 
 use crate::context::ExperimentContext;
 use crate::report::{acc, sci, TextTable};
@@ -23,7 +22,7 @@ use crate::report::{acc, sci, TextTable};
 use super::{dataset, run_search};
 
 /// Efficiency summary for one platform.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EfficiencySummary {
     /// Platform name.
     pub platform: String,
@@ -40,7 +39,7 @@ pub struct EfficiencySummary {
 }
 
 /// Full Figure 4 result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4 {
     /// S10 scatter points.
     pub fpga_points: Vec<TracePoint>,
@@ -153,6 +152,28 @@ pub fn run(ctx: &ExperimentContext) -> Fig4 {
         gpu_points,
         fpga,
         gpu,
+    }
+}
+
+impl rt::json::ToJson for EfficiencySummary {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("platform", &self.platform)
+            .insert("top_accuracy", &self.top_accuracy)
+            .insert("throughput_at_top", &self.throughput_at_top)
+            .insert("efficiency_at_top", &self.efficiency_at_top)
+            .insert("mean_efficiency", &self.mean_efficiency)
+            .insert("max_efficiency", &self.max_efficiency)
+    }
+}
+
+impl rt::json::ToJson for Fig4 {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("fpga_points", &self.fpga_points)
+            .insert("gpu_points", &self.gpu_points)
+            .insert("fpga", &self.fpga)
+            .insert("gpu", &self.gpu)
     }
 }
 

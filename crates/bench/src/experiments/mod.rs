@@ -72,8 +72,8 @@ pub fn kfold_topology_accuracy(
     seed: u64,
 ) -> f32 {
     use ecad_dataset::{folds, scaler};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rt::rand::rngs::StdRng;
+    use rt::rand::SeedableRng;
 
     let mut rng = StdRng::seed_from_u64(seed);
     let folds = folds::stratified_kfold(ds, k, &mut rng);

@@ -21,7 +21,6 @@ use ecad_baselines::{
 };
 use ecad_core::prelude::*;
 use ecad_dataset::benchmarks::Benchmark;
-use serde::Serialize;
 
 use crate::context::{ExperimentContext, Scale};
 use crate::report::{acc, TextTable};
@@ -29,7 +28,7 @@ use crate::report::{acc, TextTable};
 use super::{dataset, fold_count, kfold_topology_accuracy, run_search};
 
 /// One dataset row of Table I.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Dataset name.
     pub dataset: String,
@@ -52,7 +51,7 @@ pub struct Table1Row {
 }
 
 /// Full Table I result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1 {
     /// One row per dataset.
     pub rows: Vec<Table1Row>,
@@ -108,7 +107,7 @@ fn run_one(ctx: &ExperimentContext, b: Benchmark) -> Table1Row {
     let ds = dataset(ctx, b);
     let k = fold_count(ctx);
     let seed = ctx.sub_seed(&format!("table1/{b}"));
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let mut rng = <rt::rand::rngs::StdRng as rt::rand::SeedableRng>::seed_from_u64(seed);
 
     // Classical baselines under 10-fold CV.
     let mut results: Vec<(String, f32)> = Vec::new();
@@ -200,6 +199,28 @@ fn run_one(ctx: &ExperimentContext, b: Benchmark) -> Table1Row {
 
 fn score(r: eval::CvResult) -> (String, f32) {
     (r.model.clone(), r.mean_accuracy())
+}
+
+impl rt::json::ToJson for Table1Row {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("dataset", &self.dataset)
+            .insert("best_any_accuracy", &self.best_any_accuracy)
+            .insert("best_any_method", &self.best_any_method)
+            .insert("mlp_baseline_accuracy", &self.mlp_baseline_accuracy)
+            .insert("ecad_accuracy", &self.ecad_accuracy)
+            .insert("ecad_topology", &self.ecad_topology)
+            .insert("paper_best_any", &self.paper_best_any)
+            .insert("paper_mlp", &self.paper_mlp)
+            .insert("paper_ecad", &self.paper_ecad)
+    }
+}
+
+impl rt::json::ToJson for Table1 {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("rows", &self.rows)
+    }
 }
 
 #[cfg(test)]

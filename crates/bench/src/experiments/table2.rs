@@ -13,7 +13,6 @@ use ecad_baselines::{
 use ecad_core::prelude::*;
 use ecad_dataset::benchmarks::Benchmark;
 use ecad_dataset::scaler;
-use serde::Serialize;
 
 use crate::context::{ExperimentContext, Scale};
 use crate::report::{acc, TextTable};
@@ -21,7 +20,7 @@ use crate::report::{acc, TextTable};
 use super::{dataset, run_search};
 
 /// One dataset row of Table II.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Dataset name.
     pub dataset: String,
@@ -44,7 +43,7 @@ pub struct Table2Row {
 }
 
 /// Full Table II result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2 {
     /// One row per dataset (MNIST, Fashion-MNIST).
     pub rows: Vec<Table2Row>,
@@ -90,7 +89,7 @@ pub fn run(ctx: &ExperimentContext) -> Table2 {
 fn run_one(ctx: &ExperimentContext, b: Benchmark) -> Table2Row {
     let ds = dataset(ctx, b);
     let seed = ctx.sub_seed(&format!("table2/{b}"));
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let mut rng = <rt::rand::rngs::StdRng as rt::rand::SeedableRng>::seed_from_u64(seed);
     let (train, test) = ds.split(0.2, &mut rng);
 
     let quick = ctx.scale != Scale::Full;
@@ -122,7 +121,7 @@ fn run_one(ctx: &ExperimentContext, b: Benchmark) -> Table2Row {
     let mlp_topo = ecad_mlp::MlpTopology::builder(ds.n_features(), ds.n_classes())
         .hidden(100, ecad_mlp::Activation::Relu, true)
         .build();
-    let mut mlp_rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0xA);
+    let mut mlp_rng = <rt::rand::rngs::StdRng as rt::rand::SeedableRng>::seed_from_u64(seed ^ 0xA);
     let mlp_baseline_accuracy = ecad_mlp::Trainer::new(ctx.refit_trainer())
         .fit(&mlp_topo, &train_s, &test_s, &mut mlp_rng)
         .map(|r| r.test_accuracy)
@@ -148,7 +147,7 @@ fn run_one(ctx: &ExperimentContext, b: Benchmark) -> Table2Row {
         .map(|nna| {
             let topo = nna.to_topology(ds.n_features(), ds.n_classes());
             let mut refit_rng =
-                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0xB);
+                <rt::rand::rngs::StdRng as rt::rand::SeedableRng>::seed_from_u64(seed ^ 0xB);
             let acc = ecad_mlp::Trainer::new(ctx.refit_trainer())
                 .fit(&topo, &train_s, &test_s, &mut refit_rng)
                 .map(|r| r.test_accuracy)
@@ -174,6 +173,28 @@ fn run_one(ctx: &ExperimentContext, b: Benchmark) -> Table2Row {
         paper_best_any: b.paper_best_any_accuracy(),
         paper_mlp: b.paper_mlp_baseline_accuracy(),
         paper_ecad: b.paper_ecad_accuracy(),
+    }
+}
+
+impl rt::json::ToJson for Table2Row {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("dataset", &self.dataset)
+            .insert("best_any_accuracy", &self.best_any_accuracy)
+            .insert("best_any_method", &self.best_any_method)
+            .insert("mlp_baseline_accuracy", &self.mlp_baseline_accuracy)
+            .insert("ecad_accuracy", &self.ecad_accuracy)
+            .insert("ecad_topology", &self.ecad_topology)
+            .insert("paper_best_any", &self.paper_best_any)
+            .insert("paper_mlp", &self.paper_mlp)
+            .insert("paper_ecad", &self.paper_ecad)
+    }
+}
+
+impl rt::json::ToJson for Table2 {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("rows", &self.rows)
     }
 }
 

@@ -12,7 +12,6 @@
 
 use ecad_core::prelude::*;
 use ecad_dataset::benchmarks::Benchmark;
-use serde::Serialize;
 
 use crate::context::ExperimentContext;
 use crate::report::TextTable;
@@ -20,7 +19,7 @@ use crate::report::TextTable;
 use super::{dataset, run_search};
 
 /// Paper reference values for one dataset's Table III row.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PaperRuntime {
     /// Models evaluated in the paper's run.
     pub models: usize,
@@ -31,7 +30,7 @@ pub struct PaperRuntime {
 }
 
 /// One dataset row of Table III.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Dataset name.
     pub dataset: String,
@@ -48,7 +47,7 @@ pub struct Table3Row {
 }
 
 /// Full Table III result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3 {
     /// One row per benchmark.
     pub rows: Vec<Table3Row>,
@@ -146,6 +145,34 @@ pub fn run(ctx: &ExperimentContext) -> Table3 {
         })
         .collect();
     Table3 { rows }
+}
+
+impl rt::json::ToJson for PaperRuntime {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("models", &self.models)
+            .insert("avg_s", &self.avg_s)
+            .insert("total_s", &self.total_s)
+    }
+}
+
+impl rt::json::ToJson for Table3Row {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("dataset", &self.dataset)
+            .insert("models_evaluated", &self.models_evaluated)
+            .insert("cache_hits", &self.cache_hits)
+            .insert("avg_eval_s", &self.avg_eval_s)
+            .insert("total_eval_s", &self.total_eval_s)
+            .insert("paper", &self.paper)
+    }
+}
+
+impl rt::json::ToJson for Table3 {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("rows", &self.rows)
+    }
 }
 
 #[cfg(test)]

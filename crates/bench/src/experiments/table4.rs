@@ -13,7 +13,6 @@
 use ecad_core::prelude::*;
 use ecad_dataset::benchmarks::Benchmark;
 use ecad_hw::gpu::{GpuDevice, GpuModel};
-use serde::Serialize;
 
 use crate::context::ExperimentContext;
 use crate::report::{acc, sci, TextTable};
@@ -24,7 +23,7 @@ use super::{dataset, run_search};
 const GPU_BATCH: usize = 1024;
 
 /// One Pareto row of Table IV.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table4Row {
     /// Dataset name.
     pub dataset: String,
@@ -39,7 +38,7 @@ pub struct Table4Row {
 }
 
 /// Paper's Table IV reference rows for one dataset.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PaperPareto {
     /// (accuracy, S10 outputs/s, TX outputs/s) for the top-accuracy row.
     pub top: (f32, f64, f64),
@@ -48,7 +47,7 @@ pub struct PaperPareto {
 }
 
 /// Full Table IV result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table4 {
     /// Two rows per dataset.
     pub rows: Vec<Table4Row>,
@@ -181,6 +180,33 @@ pub fn run(ctx: &ExperimentContext) -> Table4 {
         paper.push((b.name().to_string(), paper_pareto(b)));
     }
     Table4 { rows, paper }
+}
+
+impl rt::json::ToJson for Table4Row {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("dataset", &self.dataset)
+            .insert("accuracy", &self.accuracy)
+            .insert("s10_outputs_per_s", &self.s10_outputs_per_s)
+            .insert("tx_outputs_per_s", &self.tx_outputs_per_s)
+            .insert("genome", &self.genome)
+    }
+}
+
+impl rt::json::ToJson for PaperPareto {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("top", &self.top)
+            .insert("fast", &self.fast)
+    }
+}
+
+impl rt::json::ToJson for Table4 {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("rows", &self.rows)
+            .insert("paper", &self.paper)
+    }
 }
 
 #[cfg(test)]

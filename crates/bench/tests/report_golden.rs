@@ -1,0 +1,55 @@
+//! Golden-file test for the experiment report format. The rendered
+//! table layout is part of the repo's reviewable output (tables are
+//! diffed against the paper's numbers by eye), so format drift should
+//! be a deliberate, visible change: update the golden file alongside
+//! any change to `report.rs`.
+
+use ecad_bench::report::{acc, sci, TextTable};
+
+fn render_sample_table() -> String {
+    let mut t = TextTable::new(vec!["Dataset", "Accuracy", "Throughput", "Efficiency"]);
+    t.row(vec![
+        "credit-g".to_string(),
+        acc(0.788),
+        sci(2.45e6),
+        format!("{:.4}", 0.0123),
+    ]);
+    t.row(vec![
+        "har".to_string(),
+        acc(0.99091),
+        sci(7.97e5),
+        format!("{:.4}", 0.4567),
+    ]);
+    t.row(vec![
+        "shuttle".to_string(),
+        acc(0.99890),
+        sci(8.19e3),
+        format!("{:.4}", 1.0),
+    ]);
+    t.render()
+}
+
+#[test]
+fn table_render_matches_golden_file() {
+    let golden = include_str!("golden/table_format.txt");
+    let rendered = render_sample_table();
+    assert_eq!(
+        rendered, golden,
+        "report format drifted from the golden file; if intentional, \
+         update crates/bench/tests/golden/table_format.txt"
+    );
+}
+
+#[test]
+fn golden_file_obeys_its_own_invariants() {
+    // Belt-and-braces: the fixture itself should look like a table the
+    // renderer could have produced (aligned separator, no trailing
+    // whitespace — `render` trims padding at end of line).
+    let golden = include_str!("golden/table_format.txt");
+    let lines: Vec<&str> = golden.lines().collect();
+    assert!(lines.len() >= 3);
+    assert!(lines[1].chars().all(|c| c == '-'));
+    for l in &lines {
+        assert_eq!(l.trim_end(), *l, "golden file has trailing whitespace");
+    }
+}

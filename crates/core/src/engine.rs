@@ -8,7 +8,7 @@
 //!   one member replaced per step, rather than generational sweeps;
 //! * **tournament selection** for parents and worst-of-tournament
 //!   replacement for survivors;
-//! * a **worker pool** over crossbeam channels — each worker thread owns
+//! * a **worker pool** over `rt::sync` channels — each worker thread owns
 //!   a shared [`Evaluator`] and scores candidates concurrently;
 //! * a **dedup cache**: "potential NNA/HW candidates are first analyzed
 //!   for similarities to previous evaluations and duplicates are not
@@ -27,10 +27,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use rt::sync::channel;
+use rt::rand::rngs::StdRng;
+use rt::rand::{Rng, SeedableRng};
 
 use crate::fitness::ObjectiveSet;
 use crate::genome::CandidateGenome;
@@ -39,7 +38,7 @@ use crate::space::SearchSpace;
 use crate::workers::Evaluator;
 
 /// How the steady-state loop selects survivors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SelectionMode {
     /// Weighted-sum scalarization of the objective set (the paper's
     /// configuration-file fitness path). Cheap and effective when the
@@ -54,7 +53,7 @@ pub enum SelectionMode {
 }
 
 /// Steady-state GA hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvolutionConfig {
     /// Population size.
     pub population: usize,
@@ -107,7 +106,7 @@ pub struct Evaluated {
 }
 
 /// Run-time statistics in the shape of the paper's Table III.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineStats {
     /// Unique NNA/HW combinations evaluated.
     pub models_evaluated: usize,

@@ -8,19 +8,18 @@
 //! bias." (§III-A)
 
 use ecad_mlp::{Activation, LayerSpec, MlpTopology};
-use serde::{Deserialize, Serialize};
 
 /// The network half of a candidate: an ordered list of hidden-layer
 /// genes. Input width and class count come from the dataset, so they are
 /// not part of the genome.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NnaGenome {
     /// Hidden layers, in order.
     pub layers: Vec<LayerGene>,
 }
 
 /// One hidden layer's genes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LayerGene {
     /// Neuron count.
     pub neurons: usize,
@@ -66,7 +65,7 @@ impl NnaGenome {
 }
 
 /// The hardware half of a candidate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HwGenome {
     /// An FPGA systolic-grid configuration (§III-C) plus inference batch.
     FpgaGrid {
@@ -125,7 +124,7 @@ impl HwGenome {
 }
 
 /// A complete co-design candidate: NNA genes + hardware genes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CandidateGenome {
     /// Network genes.
     pub nna: NnaGenome,

@@ -18,7 +18,7 @@
 //! * [`fitness`] — user-registrable fitness functions composed into a
 //!   scalar or multi-objective score.
 //! * [`engine`] — the master process: steady-state population,
-//!   tournament selection, a worker pool over crossbeam channels, and
+//!   tournament selection, a worker pool over `rt::sync` channels, and
 //!   the dedup cache ("potential NNA/HW candidates are first analyzed
 //!   for similarities to previous evaluations and duplicates are not
 //!   evaluated twice").

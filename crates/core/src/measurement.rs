@@ -5,10 +5,9 @@
 //! simulation worker with the hardware metrics from whichever hardware
 //! worker scored the candidate; fitness functions then scalarize it.
 
-use serde::{Deserialize, Serialize};
 
 /// Hardware metrics for one candidate, per target family.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum HwMetrics {
     /// FPGA metrics from the hardware-database and physical workers.
     Fpga {
@@ -128,7 +127,7 @@ impl HwMetrics {
 }
 
 /// Complete raw measurement for one candidate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Test accuracy from the simulation worker's training run.
     pub accuracy: f32,

@@ -12,9 +12,8 @@ use std::sync::Arc;
 use ecad_dataset::{scaler, Dataset};
 use ecad_hw::fpga::FpgaDevice;
 use ecad_mlp::TrainConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use rt::rand::rngs::StdRng;
+use rt::rand::SeedableRng;
 
 use crate::config::FlowConfig;
 use crate::engine::{Engine, EngineOutcome, EngineStats, Evaluated, EvolutionConfig};
@@ -25,7 +24,7 @@ use crate::workers::{CodesignEvaluator, HwTarget};
 
 /// One point of the evolutionary trace, in the shape the paper's
 /// scatter figures plot (accuracy vs outputs/s, §IV-B).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TracePoint {
     /// Evaluation index (x-axis of convergence plots).
     pub index: usize,
@@ -41,6 +40,19 @@ pub struct TracePoint {
     pub feasible: bool,
     /// Canonical genome description.
     pub genome: String,
+}
+
+impl rt::json::ToJson for TracePoint {
+    fn to_json(&self) -> rt::json::Json {
+        rt::json::Json::object()
+            .insert("index", self.index)
+            .insert("accuracy", self.accuracy)
+            .insert("outputs_per_s", self.outputs_per_s)
+            .insert("efficiency", self.efficiency)
+            .insert("neurons", self.neurons)
+            .insert("feasible", self.feasible)
+            .insert("genome", &self.genome)
+    }
 }
 
 /// The outcome of a co-design search.

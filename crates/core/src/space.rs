@@ -8,14 +8,13 @@
 //! space, which a property test pins down.
 
 use ecad_mlp::Activation;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rt::rand::seq::SliceRandom;
+use rt::rand::Rng;
 
 use crate::genome::{CandidateGenome, HwGenome, LayerGene, NnaGenome};
 
 /// Which hardware family a search explores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HwFamily {
     /// FPGA systolic grid genes.
     Fpga,
@@ -24,7 +23,7 @@ pub enum HwFamily {
 }
 
 /// Bounds and choice sets for every gene.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchSpace {
     /// Hardware family being searched.
     pub family: HwFamily,
@@ -307,8 +306,8 @@ impl SearchSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rt::rand::rngs::StdRng;
+    use rt::rand::SeedableRng;
 
     #[test]
     fn sample_stays_in_space() {

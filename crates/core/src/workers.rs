@@ -24,8 +24,8 @@ use ecad_hw::cpu::{CpuDevice, CpuModel};
 use ecad_hw::fpga::{FpgaDevice, FpgaModel, GridConfig, PhysicalModel};
 use ecad_hw::gpu::{GpuDevice, GpuModel};
 use ecad_mlp::{TrainConfig, Trainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rt::rand::rngs::StdRng;
+use rt::rand::SeedableRng;
 
 use crate::genome::{CandidateGenome, HwGenome};
 use crate::measurement::{HwMetrics, Measurement};

@@ -1,0 +1,56 @@
+//! Determinism guarantees of the search space: with the workspace's
+//! in-repo RNG (`rt::rand`), sampling and mutation are pure functions
+//! of the seed. This is what makes `--seed` reproduce a whole search.
+
+use ecad_core::space::SearchSpace;
+use rt::rand::rngs::StdRng;
+use rt::rand::SeedableRng;
+
+/// Samples `n` genomes and returns their textual descriptions, which
+/// capture every gene (layers, neurons, activations, hardware config).
+fn sample_sequence(space: &SearchSpace, seed: u64, n: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| space.sample(&mut rng).describe()).collect()
+}
+
+#[test]
+fn same_seed_gives_byte_identical_genome_sequences() {
+    for space in [SearchSpace::fpga_default(), SearchSpace::gpu_default()] {
+        let a = sample_sequence(&space, 42, 64);
+        let b = sample_sequence(&space, 42, 64);
+        assert_eq!(a, b, "same seed must replay the exact genome stream");
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let space = SearchSpace::fpga_default();
+    let a = sample_sequence(&space, 1, 64);
+    let b = sample_sequence(&space, 2, 64);
+    assert_ne!(a, b, "distinct seeds should explore distinct genomes");
+}
+
+#[test]
+fn mutation_is_deterministic_per_seed() {
+    let space = SearchSpace::fpga_default();
+    let parent = space.sample(&mut StdRng::seed_from_u64(7));
+    let mut rng_a = StdRng::seed_from_u64(99);
+    let mut rng_b = StdRng::seed_from_u64(99);
+    for _ in 0..32 {
+        let a = space.mutate(&parent, &mut rng_a);
+        let b = space.mutate(&parent, &mut rng_b);
+        assert_eq!(a.describe(), b.describe());
+        assert_eq!(a.cache_key(), b.cache_key());
+    }
+}
+
+#[test]
+fn cache_keys_replay_with_the_seed() {
+    let space = SearchSpace::gpu_default();
+    let keys = |seed: u64| -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..64).map(|_| space.sample(&mut rng).cache_key()).collect()
+    };
+    assert_eq!(keys(123), keys(123));
+    assert_ne!(keys(123), keys(124));
+}

@@ -1,13 +1,14 @@
 //! Property tests for the engine's data structures: genome hashing,
-//! fitness orientation, and Pareto algebra.
+//! fitness orientation, and Pareto algebra. Runs on `rt::check`.
 
 use ecad_core::fitness::{Objective, ObjectiveSet};
 use ecad_core::measurement::{HwMetrics, Measurement};
 use ecad_core::pareto;
 use ecad_core::space::SearchSpace;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rt::check::vec;
+use rt::rand::rngs::StdRng;
+use rt::rand::SeedableRng;
+use rt::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
 
 fn meas(acc: f32, outs: f64, latency: f64) -> Measurement {
     Measurement {
@@ -26,12 +27,11 @@ fn meas(acc: f32, outs: f64, latency: f64) -> Measurement {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+rt::prop! {
+    #![cases(64)]
 
     /// Cache keys are a function of the phenotype: equal genomes hash
     /// equal; sampled distinct genomes essentially never collide.
-    #[test]
     fn cache_key_respects_equality(seed in 0u64..1000) {
         let space = SearchSpace::fpga_default();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -47,7 +47,6 @@ proptest! {
     /// Genome descriptions are injective over sampled genomes (the
     /// cache hashes descriptions, so equal descriptions must mean equal
     /// genomes).
-    #[test]
     fn describe_injective(seed in 0u64..500) {
         let space = SearchSpace::gpu_default();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -58,7 +57,6 @@ proptest! {
 
     /// Scalar fitness is strictly increasing in accuracy for the
     /// accuracy objective, holding hardware fixed.
-    #[test]
     fn scalar_monotone_in_accuracy(a in 0.0f32..1.0, b in 0.0f32..1.0) {
         prop_assume!((a - b).abs() > 1e-6);
         let set = ObjectiveSet::accuracy_only();
@@ -67,7 +65,6 @@ proptest! {
     }
 
     /// A minimizing objective reverses the comparison.
-    #[test]
     fn minimize_reverses(lat_a in 1e-6f64..1e-1, lat_b in 1e-6f64..1e-1) {
         prop_assume!((lat_a - lat_b).abs() / lat_a.max(lat_b) > 1e-6);
         let set = ObjectiveSet::new(vec![Objective::minimize("latency")]);
@@ -78,11 +75,10 @@ proptest! {
 
     /// Dominance is a strict partial order: irreflexive, asymmetric,
     /// transitive.
-    #[test]
     fn dominance_partial_order(
-        a in proptest::collection::vec(0.0f64..1.0, 3),
-        b in proptest::collection::vec(0.0f64..1.0, 3),
-        c in proptest::collection::vec(0.0f64..1.0, 3),
+        a in vec(0.0f64..1.0, 3),
+        b in vec(0.0f64..1.0, 3),
+        c in vec(0.0f64..1.0, 3),
     ) {
         prop_assert!(!pareto::dominates(&a, &a));
         if pareto::dominates(&a, &b) {
@@ -95,10 +91,7 @@ proptest! {
 
     /// Non-dominated sort: fronts partition the set, and nobody in
     /// front i is dominated by anyone in front >= i.
-    #[test]
-    fn nds_front_ordering(points in proptest::collection::vec(
-        proptest::collection::vec(0.0f64..1.0, 2), 1..30
-    )) {
+    fn nds_front_ordering(points in vec(vec(0.0f64..1.0, 2), 1..30)) {
         let fronts = pareto::non_dominated_sort(&points);
         let total: usize = fronts.iter().map(|f| f.len()).sum();
         prop_assert_eq!(total, points.len());
@@ -118,10 +111,7 @@ proptest! {
 
     /// Crowding distances are non-negative and the extremes of every
     /// dimension are infinite for fronts of 3+ points.
-    #[test]
-    fn crowding_invariants(points in proptest::collection::vec(
-        proptest::collection::vec(0.0f64..1.0, 2), 3..25
-    )) {
+    fn crowding_invariants(points in vec(vec(0.0f64..1.0, 2), 3..25)) {
         let d = pareto::crowding_distance(&points);
         prop_assert_eq!(d.len(), points.len());
         for &x in &d {
@@ -137,7 +127,6 @@ proptest! {
 
     /// Infeasible measurements always lose to feasible ones under any
     /// built-in objective set.
-    #[test]
     fn infeasible_always_loses(acc in 0.0f32..1.0, outs in 1.0f64..1e9) {
         for set in [ObjectiveSet::accuracy_only(), ObjectiveSet::accuracy_and_throughput()] {
             let feasible = set.scalar(&meas(acc, outs, 1e-4));

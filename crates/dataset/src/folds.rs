@@ -7,8 +7,8 @@
 //! keeps per-class proportions stable across folds, which matters for the
 //! imbalanced credit-g dataset).
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use rt::rand::seq::SliceRandom;
+use rt::rand::Rng;
 
 use crate::Dataset;
 
@@ -114,8 +114,8 @@ pub fn materialize(ds: &Dataset, folds: &[Fold]) -> Vec<(Dataset, Dataset)> {
 mod tests {
     use super::*;
     use ecad_tensor::Matrix;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rt::rand::rngs::StdRng;
+    use rt::rand::SeedableRng;
 
     fn toy(n: usize, classes: usize) -> Dataset {
         let x = Matrix::from_fn(n, 2, |r, c| (r + c) as f32);

@@ -8,7 +8,6 @@
 //! rather than producing NaN.
 
 use ecad_tensor::{ops, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::Dataset;
 
@@ -26,7 +25,7 @@ use crate::Dataset;
 /// assert_eq!(scaled.row(0), &[-1.0]);
 /// assert_eq!(scaled.row(1), &[1.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StandardScaler {
     means: Vec<f32>,
     stds: Vec<f32>,

@@ -21,9 +21,8 @@
 //!    published accuracy band.
 
 use ecad_tensor::{init, Matrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use rt::rand::rngs::StdRng;
+use rt::rand::{Rng, SeedableRng};
 
 use crate::Dataset;
 
@@ -41,7 +40,7 @@ use crate::Dataset;
 /// assert_eq!(ds.len(), 100);
 /// assert_eq!(ds.n_classes(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticSpec {
     name: String,
     n_samples: usize,

@@ -2,9 +2,8 @@ use std::error::Error;
 use std::fmt;
 
 use ecad_tensor::Matrix;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rt::rand::seq::SliceRandom;
+use rt::rand::Rng;
 
 /// Error produced while constructing or manipulating a [`Dataset`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,7 +62,7 @@ impl Error for DatasetError {}
 /// assert_eq!(ds.len(), 2);
 /// # Ok::<(), ecad_dataset::DatasetError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     name: String,
     features: Matrix,
@@ -229,8 +228,8 @@ impl Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rt::rand::rngs::StdRng;
+    use rt::rand::SeedableRng;
 
     fn toy(n: usize) -> Dataset {
         let x = Matrix::from_fn(n, 3, |r, c| (r * 3 + c) as f32);

@@ -1,27 +1,32 @@
 //! Property tests for dataset handling: folds, scaling, CSV, and the
-//! synthetic generator.
+//! synthetic generator. Runs on `rt::check`.
 
 use ecad_dataset::{csv, folds, scaler::StandardScaler, synth::SyntheticSpec, Dataset};
 use ecad_tensor::Matrix;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rt::check::vec;
+use rt::rand::rngs::StdRng;
+use rt::rand::SeedableRng;
+use rt::{prop_assert, prop_assert_eq, prop_assume};
 
-fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    (10usize..80, 1usize..12, 2usize..5, 0u64..500).prop_map(|(n, d, c, seed)| {
-        SyntheticSpec::new("prop-ds", n, d, c)
-            .with_seed(seed)
-            .generate()
-    })
+/// Materializes a synthetic dataset from drawn coordinates (the rt
+/// harness has no `prop_map` strategies, so properties draw the spec's
+/// parameters and build the dataset in the body).
+fn make_dataset(n: usize, d: usize, c: usize, seed: u64) -> Dataset {
+    SyntheticSpec::new("prop-ds", n, d, c)
+        .with_seed(seed)
+        .generate()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+rt::prop! {
+    #![cases(64)]
 
     /// Stratified folds keep every class's count within 1 of its fair
     /// share in each test fold.
-    #[test]
-    fn stratified_fold_balance(ds in arb_dataset(), k in 2usize..6, seed in 0u64..100) {
+    fn stratified_fold_balance(
+        n in 10usize..80, d in 1usize..12, c in 2usize..5, ds_seed in 0u64..500,
+        k in 2usize..6, seed in 0u64..100
+    ) {
+        let ds = make_dataset(n, d, c, ds_seed);
         prop_assume!(k <= ds.len());
         let mut rng = StdRng::seed_from_u64(seed);
         let folds = folds::stratified_kfold(&ds, k, &mut rng);
@@ -40,8 +45,10 @@ proptest! {
 
     /// Scaler: transform then inverse-transform is the identity (up to
     /// float tolerance) on the training data.
-    #[test]
-    fn scaler_inverse_round_trip(ds in arb_dataset()) {
+    fn scaler_inverse_round_trip(
+        n in 10usize..80, d in 1usize..12, c in 2usize..5, seed in 0u64..500
+    ) {
+        let ds = make_dataset(n, d, c, seed);
         let s = StandardScaler::fit(ds.features());
         let back = s.inverse_transform(&s.transform(ds.features()));
         for (a, b) in back.as_slice().iter().zip(ds.features().as_slice()) {
@@ -51,8 +58,10 @@ proptest! {
 
     /// Scaled training data has near-zero column means and unit-or-zero
     /// stds.
-    #[test]
-    fn scaler_standardizes(ds in arb_dataset()) {
+    fn scaler_standardizes(
+        n in 10usize..80, d in 1usize..12, c in 2usize..5, seed in 0u64..500
+    ) {
+        let ds = make_dataset(n, d, c, seed);
         let s = StandardScaler::fit(ds.features());
         let t = s.transform(ds.features());
         let means = ecad_tensor::ops::col_means(&t);
@@ -66,8 +75,10 @@ proptest! {
     }
 
     /// Dataset CSV round-trip is exact for synthetic data.
-    #[test]
-    fn dataset_csv_round_trip(ds in arb_dataset()) {
+    fn dataset_csv_round_trip(
+        n in 10usize..80, d in 1usize..12, c in 2usize..5, seed in 0u64..500
+    ) {
+        let ds = make_dataset(n, d, c, seed);
         let text = csv::write_dataset(&ds);
         let back = csv::read_dataset(ds.name(), &text).unwrap();
         prop_assert_eq!(back.labels(), ds.labels());
@@ -75,8 +86,11 @@ proptest! {
     }
 
     /// Splits partition the dataset and preserve feature/label pairing.
-    #[test]
-    fn split_partition(ds in arb_dataset(), frac in 0.1f32..0.9, seed in 0u64..100) {
+    fn split_partition(
+        n in 10usize..80, d in 1usize..12, c in 2usize..5, ds_seed in 0u64..500,
+        frac in 0.1f32..0.9, seed in 0u64..100
+    ) {
+        let ds = make_dataset(n, d, c, ds_seed);
         let mut rng = StdRng::seed_from_u64(seed);
         let (train, test) = ds.split(frac, &mut rng);
         prop_assert_eq!(train.len() + test.len(), ds.len());
@@ -92,8 +106,10 @@ proptest! {
     }
 
     /// Subset then subset composes like index composition.
-    #[test]
-    fn subset_composes(ds in arb_dataset()) {
+    fn subset_composes(
+        n in 10usize..80, d in 1usize..12, c in 2usize..5, seed in 0u64..500
+    ) {
+        let ds = make_dataset(n, d, c, seed);
         prop_assume!(ds.len() >= 4);
         let outer: Vec<usize> = (0..ds.len()).step_by(2).collect();
         let inner: Vec<usize> = (0..outer.len()).rev().collect();
@@ -103,7 +119,6 @@ proptest! {
 
     /// The generator's label-noise knob never moves labels out of range
     /// and flips to a *different* class.
-    #[test]
     fn label_noise_flips_to_other_classes(
         n in 20usize..100, classes in 2usize..5, noise in 0.01f32..0.5, seed in 0u64..100
     ) {
@@ -121,11 +136,8 @@ proptest! {
 
     /// Arbitrary numeric tables survive a CSV round trip through
     /// Dataset conventions (last column integer label).
-    #[test]
     fn numeric_table_round_trip(
-        rows in proptest::collection::vec(
-            (proptest::collection::vec(-1e6f32..1e6, 3), 0usize..4), 1..20
-        )
+        rows in vec((vec(-1e6f32..1e6, 3), 0usize..4), 1..20)
     ) {
         let n = rows.len();
         let mut flat = Vec::new();

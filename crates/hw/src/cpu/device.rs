@@ -1,9 +1,8 @@
 //! CPU device catalog.
 
-use serde::{Deserialize, Serialize};
 
 /// A CPU's roofline attributes for the simulation worker.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuDevice {
     /// Marketing name.
     pub name: String,

@@ -1,13 +1,12 @@
 //! Per-layer CPU timing model.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{total_flops, F32_BYTES};
 
 use super::CpuDevice;
 
 /// Aggregate CPU timing result for one candidate MLP.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuPerf {
     /// Modeled wall time for one batch through all layers, s.
     pub total_time_s: f64,

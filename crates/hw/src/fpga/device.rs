@@ -8,10 +8,9 @@
 //! change the design search space ... is the hardware configuration
 //! used by the hardware database worker" (§III-C).
 
-use serde::{Deserialize, Serialize};
 
 /// External DRAM configuration attached to the accelerator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DdrConfig {
     /// Number of independent DDR banks.
     pub banks: u32,
@@ -36,7 +35,7 @@ impl DdrConfig {
 }
 
 /// An FPGA device plus board attributes relevant to the overlay model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FpgaDevice {
     /// Marketing name, e.g. `"Arria 10 GX 1150"`.
     pub name: String,

@@ -9,7 +9,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use super::FpgaDevice;
 
@@ -71,7 +70,7 @@ impl Error for GridError {}
 ///
 /// The feeder caches stream `CACHE_DEPTH`-deep K-slices of the A and B
 /// tiles through M20K-backed double buffers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GridConfig {
     rows: u32,
     cols: u32,

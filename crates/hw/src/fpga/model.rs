@@ -22,14 +22,13 @@
 //!    partial edge blocks costing full-block cycles (this is where small
 //!    batches on big grids lose efficiency, the co-design signal).
 
-use serde::{Deserialize, Serialize};
 
 use crate::{total_flops, F32_BYTES};
 
 use super::{FpgaDevice, GridConfig, GridError};
 
 /// Per-layer output of the FPGA model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerPerf {
     /// GEMM shape of this layer.
     pub shape: (usize, usize, usize),
@@ -42,7 +41,7 @@ pub struct LayerPerf {
 }
 
 /// Aggregate output of the FPGA model for one candidate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FpgaPerf {
     /// Roofline of the configuration after the bandwidth ratio, in
     /// GFLOP/s — the paper's "potential performance".

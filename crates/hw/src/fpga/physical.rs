@@ -14,12 +14,11 @@
 //! Fmax as the device fills (routing congestion), and scales dynamic
 //! power with active DSPs and clock rate on top of a static floor.
 
-use serde::{Deserialize, Serialize};
 
 use super::{FpgaDevice, GridConfig, GridError};
 
 /// Resource usage of a synthesized overlay configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceEstimate {
     /// Adaptive logic modules used.
     pub alms: u32,
@@ -36,7 +35,7 @@ pub struct ResourceEstimate {
 }
 
 /// The physical worker's report for one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhysicalReport {
     /// Resource usage and utilization.
     pub resources: ResourceEstimate,

@@ -1,9 +1,8 @@
 //! GPU device catalog (§IV): Quadro M5000, Titan X, Radeon VII.
 
-use serde::{Deserialize, Serialize};
 
 /// A GPU device's roofline attributes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuDevice {
     /// Marketing name.
     pub name: String,

@@ -17,14 +17,13 @@
 //!   note (and its caveat that this skews comparisons in the GPU's
 //!   favor).
 
-use serde::{Deserialize, Serialize};
 
 use crate::{total_flops, F32_BYTES};
 
 use super::GpuDevice;
 
 /// Aggregate GPU timing result for one candidate MLP.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuPerf {
     /// Modeled wall time for one batch through all layers, s.
     pub total_time_s: f64,

@@ -1,39 +1,44 @@
 //! Property tests for the hardware models: roofline algebra, resource
-//! monotonicity, and bandwidth behaviour.
+//! monotonicity, and bandwidth behaviour. Runs on `rt::check`.
 
 use ecad_hw::fpga::{FpgaDevice, FpgaModel, GridConfig, PhysicalModel};
 use ecad_hw::gpu::{GpuDevice, GpuModel};
 use ecad_hw::total_flops;
-use proptest::prelude::*;
+use rt::check::{map, select, vec, Gen};
+use rt::prop_assert;
 
-fn arb_grid() -> impl Strategy<Value = GridConfig> {
-    (
-        prop::sample::select(vec![1u32, 2, 4, 8, 16]),
-        prop::sample::select(vec![1u32, 2, 4, 8, 16]),
-        prop::sample::select(vec![1u32, 2, 4, 8, 16]),
-        prop::sample::select(vec![1u32, 2, 4, 8, 16]),
-        prop::sample::select(vec![1u32, 2, 4, 8]),
+fn arb_grid() -> impl Gen<Value = GridConfig> {
+    map(
+        (
+            select(vec![1u32, 2, 4, 8, 16]),
+            select(vec![1u32, 2, 4, 8, 16]),
+            select(vec![1u32, 2, 4, 8, 16]),
+            select(vec![1u32, 2, 4, 8, 16]),
+            select(vec![1u32, 2, 4, 8]),
+        ),
+        |(r, c, im, inn, v)| GridConfig::new(r, c, im, inn, v).expect("nonzero dims"),
     )
-        .prop_map(|(r, c, im, inn, v)| GridConfig::new(r, c, im, inn, v).expect("nonzero dims"))
 }
 
-fn arb_layers() -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
-    proptest::collection::vec((1usize..96, 1usize..768, 2usize..384), 1..4).prop_map(|mut v| {
-        // Chain the shapes so they form a real MLP (n_i == k_{i+1}).
-        for i in 1..v.len() {
-            v[i].1 = v[i - 1].2;
-            v[i].0 = v[0].0;
-        }
-        v
-    })
+fn arb_layers() -> impl Gen<Value = Vec<(usize, usize, usize)>> {
+    map(
+        vec((1usize..96, 1usize..768, 2usize..384), 1..4),
+        |mut v| {
+            // Chain the shapes so they form a real MLP (n_i == k_{i+1}).
+            for i in 1..v.len() {
+                v[i].1 = v[i - 1].2;
+                v[i].0 = v[0].0;
+            }
+            v
+        },
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+rt::prop! {
+    #![cases(64)]
 
     /// effective GFLOP/s x time == workload FLOPs, for every feasible
     /// configuration (the model's books always balance).
-    #[test]
     fn fpga_energy_conservation(grid in arb_grid(), layers in arb_layers(), banks in 1u32..5) {
         let model = FpgaModel::new(FpgaDevice::arria10_gx1150(banks));
         if let Ok(perf) = model.evaluate(&grid, &layers) {
@@ -49,7 +54,6 @@ proptest! {
 
     /// Stratix 10 never underperforms Arria 10 on the same feasible
     /// grid and workload (more DSPs, faster clock, more bandwidth).
-    #[test]
     fn s10_dominates_a10(grid in arb_grid(), layers in arb_layers()) {
         let a10 = FpgaModel::new(FpgaDevice::arria10_gx1150(4));
         let s10 = FpgaModel::new(FpgaDevice::stratix10_2800(4));
@@ -60,7 +64,6 @@ proptest! {
 
     /// Doubling every layer's batch never decreases outputs/s (more
     /// work per block-row fill).
-    #[test]
     fn fpga_batch_monotonicity(grid in arb_grid(), layers in arb_layers()) {
         let model = FpgaModel::new(FpgaDevice::arria10_gx1150(1));
         let doubled: Vec<_> = layers.iter().map(|&(m, k, n)| (m * 2, k, n)).collect();
@@ -72,7 +75,6 @@ proptest! {
 
     /// Resource estimates are monotone: growing any grid dimension
     /// never shrinks DSP or M20K usage.
-    #[test]
     fn resources_monotone(grid in arb_grid()) {
         let bigger = GridConfig::new(
             grid.rows() * 2,
@@ -88,7 +90,6 @@ proptest! {
 
     /// The physical model keeps Fmax positive and below target, power
     /// inside a sane chip envelope, and utilizations in [0, 1].
-    #[test]
     fn physical_report_envelope(grid in arb_grid()) {
         let model = PhysicalModel::new(FpgaDevice::arria10_gx1150(1));
         if let Ok(rep) = model.report(&grid) {
@@ -102,7 +103,6 @@ proptest! {
 
     /// GPU timing: time is additive over layers (running layers
     /// separately sums to running them together).
-    #[test]
     fn gpu_time_additivity(layers in arb_layers()) {
         let model = GpuModel::new(GpuDevice::titan_x());
         let biases = vec![true; layers.len()];
@@ -116,7 +116,6 @@ proptest! {
 
     /// GPU efficiency is bounded and decreases (weakly) when layers
     /// shrink to launch-overhead-dominated sizes.
-    #[test]
     fn gpu_efficiency_bounds(m in 1usize..512, k in 1usize..512, n in 2usize..256) {
         let model = GpuModel::new(GpuDevice::quadro_m5000());
         let perf = model.evaluate(&[(m, k, n)], &[true]);

@@ -5,10 +5,9 @@
 //! and bias"). The output layer always applies softmax, handled by the
 //! trainer, so `Activation` covers hidden layers only.
 
-use serde::{Deserialize, Serialize};
 
 /// A hidden-layer activation function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Activation {
     /// Rectified linear unit, `max(0, x)`.
     Relu,

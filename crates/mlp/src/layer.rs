@@ -1,8 +1,7 @@
 //! A single dense layer with forward and backward passes.
 
 use ecad_tensor::{gemm, init, ops, Matrix};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rt::rand::Rng;
 
 use crate::Activation;
 
@@ -11,7 +10,7 @@ use crate::Activation;
 /// Weights are stored `fan_in x fan_out` so the forward pass is a plain
 /// row-major GEMM. He initialization is used for ReLU layers, Xavier for
 /// the saturating activations (see [`crate::Mlp`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DenseLayer {
     weights: Matrix,
     bias: Vec<f32>,
@@ -150,8 +149,8 @@ impl DenseLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rt::rand::rngs::StdRng;
+    use rt::rand::SeedableRng;
 
     fn layer(act: Activation, bias: bool) -> DenseLayer {
         let mut rng = StdRng::seed_from_u64(42);

@@ -26,7 +26,7 @@
 //! let topo = MlpTopology::builder(8, 2)
 //!     .hidden(16, Activation::Relu, true)
 //!     .build();
-//! let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+//! let mut rng = <rt::rand::rngs::StdRng as rt::rand::SeedableRng>::seed_from_u64(0);
 //! let report = Trainer::new(TrainConfig::fast()).fit(&topo, &ds, &ds, &mut rng)?;
 //! assert!(report.test_accuracy > 0.5);
 //! # Ok::<(), ecad_mlp::TrainError>(())

@@ -1,8 +1,7 @@
 //! The full MLP: a stack of dense layers plus a softmax output head.
 
 use ecad_tensor::{ops, Matrix};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rt::rand::Rng;
 
 use crate::layer::LayerGrads;
 use crate::{Activation, DenseLayer, MlpTopology};
@@ -14,7 +13,7 @@ use crate::{Activation, DenseLayer, MlpTopology};
 /// [`Mlp::predict_proba`]; training couples that softmax with
 /// cross-entropy so the output-layer gradient is simply
 /// `probs - one_hot(targets)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     topology: MlpTopology,
     layers: Vec<DenseLayer>,
@@ -158,8 +157,8 @@ impl Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rt::rand::rngs::StdRng;
+    use rt::rand::SeedableRng;
 
     fn net() -> Mlp {
         let topo = MlpTopology::builder(4, 3)

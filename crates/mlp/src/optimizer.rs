@@ -7,13 +7,12 @@
 //! [`crate::DenseLayer::apply_update`] subtracts from the parameters.
 
 use ecad_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 use crate::layer::LayerGrads;
 use crate::Mlp;
 
 /// Which optimizer the trainer should use.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OptimizerKind {
     /// Stochastic gradient descent with momentum.
     Sgd {
@@ -218,8 +217,8 @@ mod tests {
     use super::*;
     use crate::{Activation, MlpTopology};
     use ecad_tensor::ops;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rt::rand::rngs::StdRng;
+    use rt::rand::SeedableRng;
 
     fn quadratic_setup() -> (Mlp, Matrix, Matrix) {
         // Tiny 1-layer net on a separable problem; loss should drop.

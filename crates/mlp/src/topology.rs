@@ -1,6 +1,5 @@
 //! MLP topology description — the NNA half of a co-design candidate.
 
-use serde::{Deserialize, Serialize};
 
 use crate::Activation;
 
@@ -8,7 +7,7 @@ use crate::Activation;
 ///
 /// These are exactly the per-layer genes the paper's evolutionary process
 /// mutates (§III-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LayerSpec {
     /// Number of neurons (the GEMM `n` dimension of this layer).
     pub neurons: usize,
@@ -47,7 +46,7 @@ impl LayerSpec {
 /// assert_eq!(t.param_count(), 784 * 256 + 256 + 256 * 128 + 128 + 128 * 10 + 10);
 /// assert_eq!(t.gemm_shapes(1), vec![(1, 784, 256), (1, 256, 128), (1, 128, 10)]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MlpTopology {
     input: usize,
     hidden: Vec<LayerSpec>,

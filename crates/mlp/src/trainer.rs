@@ -12,9 +12,8 @@ use std::fmt;
 
 use ecad_dataset::Dataset;
 use ecad_tensor::ops;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rt::rand::seq::SliceRandom;
+use rt::rand::Rng;
 
 use crate::optimizer::OptimizerState;
 use crate::{Mlp, MlpTopology, OptimizerKind};
@@ -68,7 +67,7 @@ impl fmt::Display for TrainError {
 impl Error for TrainError {}
 
 /// Hyperparameters for one training run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
     /// Maximum number of epochs.
     pub epochs: usize,
@@ -123,7 +122,7 @@ impl Default for TrainConfig {
 }
 
 /// Outcome of a training run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
     /// Per-epoch mean training loss.
     pub loss_history: Vec<f32>,
@@ -269,8 +268,8 @@ mod tests {
     use super::*;
     use crate::Activation;
     use ecad_dataset::synth::SyntheticSpec;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rt::rand::rngs::StdRng;
+    use rt::rand::SeedableRng;
 
     fn easy_dataset() -> Dataset {
         SyntheticSpec::new("easy", 300, 6, 2)

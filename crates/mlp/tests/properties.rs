@@ -1,33 +1,36 @@
 //! Property tests for the MLP stack: structural invariants of
 //! topologies, batch-consistency of inference, and gradient sanity.
+//! Runs on `rt::check`.
 
 use ecad_mlp::{Activation, Mlp, MlpTopology, TrainConfig, Trainer};
 use ecad_tensor::{init, ops};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rt::check::{map, select, vec, Gen};
+use rt::rand::rngs::StdRng;
+use rt::rand::SeedableRng;
+use rt::{prop_assert, prop_assert_eq, prop_assert_ne};
 
-fn arb_topology() -> impl Strategy<Value = MlpTopology> {
-    (
-        1usize..20, // input
-        2usize..6,  // classes
-        proptest::collection::vec((1usize..32, 0usize..4, any::<bool>()), 0..4),
-    )
-        .prop_map(|(input, classes, layers)| {
+fn arb_topology() -> impl Gen<Value = MlpTopology> {
+    map(
+        (
+            1usize..20, // input
+            2usize..6,  // classes
+            vec((1usize..32, 0usize..4, select(vec![false, true])), 0..4),
+        ),
+        |(input, classes, layers)| {
             let mut b = MlpTopology::builder(input, classes);
             for (neurons, act, bias) in layers {
                 b = b.hidden(neurons, Activation::ALL[act], bias);
             }
             b.build()
-        })
+        },
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+rt::prop! {
+    #![cases(64)]
 
     /// Parameter count equals the sum over affine dims; GEMM shapes
     /// chain (layer i's n == layer i+1's k).
-    #[test]
     fn topology_structural_invariants(topo in arb_topology()) {
         let dims = topo.affine_dims();
         let params: usize = dims.iter().map(|&(k, n, b)| k * n + usize::from(b) * n).sum();
@@ -41,7 +44,6 @@ proptest! {
     }
 
     /// Instantiated networks have exactly the declared parameter count.
-    #[test]
     fn network_matches_topology(topo in arb_topology(), seed in 0u64..100) {
         let net = Mlp::from_topology(&topo, &mut StdRng::seed_from_u64(seed));
         let stored: usize = net
@@ -55,7 +57,6 @@ proptest! {
 
     /// Inference is row-independent: predicting a batch equals
     /// predicting each row alone.
-    #[test]
     fn forward_is_batch_consistent(topo in arb_topology(), seed in 0u64..100, rows in 1usize..6) {
         let mut rng = StdRng::seed_from_u64(seed);
         let net = Mlp::from_topology(&topo, &mut rng);
@@ -70,7 +71,6 @@ proptest! {
     }
 
     /// Softmax probabilities from any network are valid distributions.
-    #[test]
     fn predict_proba_is_distribution(topo in arb_topology(), seed in 0u64..100) {
         let mut rng = StdRng::seed_from_u64(seed);
         let net = Mlp::from_topology(&topo, &mut rng);
@@ -84,7 +84,6 @@ proptest! {
 
     /// Backprop gradients always have parameter shapes and finite
     /// values for bounded inputs.
-    #[test]
     fn backprop_shapes_and_finiteness(topo in arb_topology(), seed in 0u64..100) {
         let mut rng = StdRng::seed_from_u64(seed);
         let net = Mlp::from_topology(&topo, &mut rng);
@@ -104,7 +103,6 @@ proptest! {
     /// Instantiation is a pure function of (topology, seed): same seed,
     /// same network; different seeds, different weights (with
     /// overwhelming probability on non-degenerate topologies).
-    #[test]
     fn instantiation_pure_in_seed(topo in arb_topology(), seed in 0u64..50) {
         let a = Mlp::from_topology(&topo, &mut StdRng::seed_from_u64(seed));
         let b = Mlp::from_topology(&topo, &mut StdRng::seed_from_u64(seed));
@@ -117,7 +115,6 @@ proptest! {
 
     /// Training on pure noise never reports accuracy outside [0, 1] and
     /// never returns non-finite parameters.
-    #[test]
     fn training_robust_on_noise(seed in 0u64..30) {
         use ecad_dataset::synth::SyntheticSpec;
         let ds = SyntheticSpec::new("noise", 60, 5, 2)

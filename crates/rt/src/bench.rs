@@ -1,0 +1,351 @@
+//! A minimal wall-clock benchmark runner with the criterion surface the
+//! bench targets use: [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros.
+//!
+//! Methodology: each benchmark is first calibrated — the iteration
+//! count is scaled until one batch takes roughly
+//! [`TARGET_SAMPLE`] — then timed for up to `sample_size` batches
+//! (early-stopped at a [`TIME_BUDGET`] per benchmark), and the
+//! min / median / mean per-iteration times are printed. There are no
+//! statistical comparisons against saved baselines; redirect the output
+//! to a file and diff by hand.
+//!
+//! Command-line arguments (via `cargo bench -- <filter>`): any
+//! non-flag argument is a substring filter on benchmark names; the
+//! `--test` flag runs every benchmark body exactly once without timing
+//! (used to smoke-test bench targets quickly).
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that prevents the optimizer from deleting
+/// a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One batch's timing context, passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`; the closure's output is passed
+    /// through [`black_box`] so it cannot be optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark name, optionally parameterized (`"gemm/64"`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `BenchmarkId::new("gemm", 64)` → `gemm/64`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for groups whose name already carries the
+    /// function identity.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(text: &str) -> BenchmarkId {
+        BenchmarkId {
+            text: text.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> BenchmarkId {
+        BenchmarkId { text }
+    }
+}
+
+/// Target wall-clock duration for one calibrated batch.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+/// Hard cap on measurement time per benchmark (calibration excluded).
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+/// Default number of measured batches per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 50;
+
+/// The benchmark runner; holds the name filter and default sample
+/// count. Construct via [`Criterion::default`].
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            filter: None,
+            test_mode: false,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments: non-flag arguments become the
+    /// substring filter, `--test` switches to run-once mode.
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                c.test_mode = true;
+            } else if !arg.starts_with('-') {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    /// Sets the default number of measured batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        assert!(n > 0, "sample size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self, &id.text, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it print as `group/bench`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(needle) => name.contains(needle.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().text);
+        let sample_size = self.sample_size;
+        let saved = self.criterion.sample_size;
+        self.criterion.sample_size = sample_size;
+        run_benchmark(self.criterion, &full, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value, mirroring
+    /// criterion's `bench_with_input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (Nothing to flush; provided for criterion
+    /// call-site compatibility.)
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(criterion: &Criterion, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !criterion.matches(name) {
+        return;
+    }
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    if criterion.test_mode {
+        f(&mut bencher);
+        println!("{name}: ok (test mode, 1 iteration)");
+        return;
+    }
+
+    // Calibrate: grow the batch until it takes about TARGET_SAMPLE.
+    loop {
+        f(&mut bencher);
+        if bencher.elapsed >= TARGET_SAMPLE / 2 || bencher.iters >= 1 << 30 {
+            break;
+        }
+        let per_iter = bencher.elapsed.as_nanos().max(1) / bencher.iters as u128;
+        let wanted = (TARGET_SAMPLE.as_nanos() / per_iter).max(bencher.iters as u128 * 2);
+        bencher.iters = wanted.min(1 << 30) as u64;
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(criterion.sample_size);
+    let started = Instant::now();
+    for _ in 0..criterion.sample_size {
+        f(&mut bencher);
+        per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+        if started.elapsed() > TIME_BUDGET {
+            break;
+        }
+    }
+
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter_ns[0];
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "{name}: median {} (min {}, mean {}; {} samples x {} iters)",
+        format_ns(median),
+        format_ns(min),
+        format_ns(mean),
+        per_iter_ns.len(),
+        bencher.iters,
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, criterion style:
+/// `criterion_group!(benches, bench_a, bench_b);` defines
+/// `fn benches()` that runs each listed `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::bench::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main()` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("gemm", 64).text, "gemm/64");
+        assert_eq!(BenchmarkId::from_parameter(128).text, "128");
+        assert_eq!(BenchmarkId::from("plain").text, "plain");
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let mut c = Criterion::default();
+        c.filter = Some("gemm".to_string());
+        assert!(c.matches("group/gemm/64"));
+        assert!(!c.matches("group/softmax"));
+        c.filter = None;
+        assert!(c.matches("anything"));
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion::default();
+        c.test_mode = true;
+        let mut calls = 0u32;
+        c.bench_function("once", |b| {
+            calls += 1;
+            b.iter(|| ());
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn group_names_prefix_benchmarks() {
+        // Run a real (tiny) measurement through the group path in test
+        // mode to cover name joining and sample-size override.
+        let mut c = Criterion::default();
+        c.test_mode = true;
+        let mut group = c.benchmark_group("kernels");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("double", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,33 @@
+//! # ecad-rt
+//!
+//! The workspace's self-contained runtime substrate. Every other crate
+//! builds on the five modules here instead of crates.io packages, so the
+//! whole reproduction compiles with `cargo build --offline` against an
+//! empty registry — the same spirit in which `ecad_core::config` hand-
+//! rolls its INI parser.
+//!
+//! * [`rand`] — a deterministic PCG64 generator behind the familiar
+//!   `Rng` / `SeedableRng` / `SliceRandom` surface, so genome mutation,
+//!   tournament selection, and dataset synthesis stay seed-reproducible.
+//! * [`sync`] — MPMC channels (bounded and unbounded) for the engine's
+//!   master/worker pool, plus re-exports of the std locks.
+//! * [`json`] — a JSON value type with parser, compact and pretty
+//!   serializers, and the [`json::ToJson`] trait the bench harness uses
+//!   for report emission.
+//! * [`check`] — a property-testing harness: the [`prop!`] macro runs a
+//!   body over generated inputs, shrinks failures, and prints the seed
+//!   so any failure replays exactly.
+//! * [`bench`] — a minimal wall-clock benchmark runner with the
+//!   `criterion_group!` / `criterion_main!` shape the bench targets use.
+//!
+//! The crate has **no dependencies** (not even workspace-internal ones)
+//! and must stay that way: CI builds the workspace `--offline` exactly
+//! to keep it honest.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rand;
+pub mod sync;

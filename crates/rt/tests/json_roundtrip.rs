@@ -1,0 +1,97 @@
+//! Round-trip fixpoint tests for `rt::json`: for any value the
+//! serializer emits, parse(serialize(v)) == v and a second
+//! serialize(parse(serialize(v))) is byte-identical (the printer is a
+//! fixpoint over its own output). Random documents are generated with
+//! `rt::rand`, so this test exercises two rt subsystems at once.
+
+use rt::json::Json;
+use rt::rand::rngs::StdRng;
+use rt::rand::{Rng, SeedableRng};
+
+/// Builds an arbitrary JSON document of bounded depth.
+fn arb_json(rng: &mut StdRng, depth: usize) -> Json {
+    let pick = if depth == 0 { rng.gen_range(0..4) } else { rng.gen_range(0..6) };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_bool(0.5)),
+        2 => {
+            // Mix integers (printed without fraction) and real fractions.
+            if rng.gen_bool(0.5) {
+                Json::Number(rng.gen_range(-1_000_000i64..1_000_000) as f64)
+            } else {
+                Json::Number(rng.gen_range(-1e6..1e6))
+            }
+        }
+        3 => {
+            let len = rng.gen_range(0..12);
+            let s: String = (0..len)
+                .map(|_| {
+                    // Cover escapes: quotes, backslashes, control chars,
+                    // and non-ASCII code points.
+                    match rng.gen_range(0..6) {
+                        0 => '"',
+                        1 => '\\',
+                        2 => '\n',
+                        3 => char::from_u32(rng.gen_range(1u32..32)).unwrap(),
+                        4 => char::from_u32(0x1F600 + rng.gen_range(0u32..16)).unwrap(),
+                        _ => char::from(rng.gen_range(b'a'..=b'z')),
+                    }
+                })
+                .collect();
+            Json::String(s)
+        }
+        4 => {
+            let len = rng.gen_range(0..5);
+            Json::Array((0..len).map(|_| arb_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.gen_range(0..5);
+            Json::Object(
+                (0..len)
+                    .map(|i| (format!("k{i}"), arb_json(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn serialize_parse_serialize_is_a_fixpoint() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for case in 0..256 {
+        let doc = arb_json(&mut rng, 4);
+        let once = doc.to_string();
+        let parsed = Json::parse(&once).unwrap_or_else(|e| {
+            panic!("case {case}: serializer emitted unparseable text {once:?}: {e}")
+        });
+        assert_eq!(parsed, doc, "case {case}: value changed across round trip");
+        assert_eq!(parsed.to_string(), once, "case {case}: printer not a fixpoint");
+    }
+}
+
+#[test]
+fn pretty_printer_is_also_a_fixpoint() {
+    let mut rng = StdRng::seed_from_u64(0xFACE);
+    for case in 0..128 {
+        let doc = arb_json(&mut rng, 3);
+        let pretty = doc.pretty();
+        let parsed = Json::parse(&pretty)
+            .unwrap_or_else(|e| panic!("case {case}: pretty output unparseable: {e}"));
+        assert_eq!(parsed, doc, "case {case}");
+        assert_eq!(parsed.pretty(), pretty, "case {case}");
+    }
+}
+
+#[test]
+fn object_insertion_order_survives_round_trip() {
+    let doc = Json::object()
+        .insert("zulu", 1)
+        .insert("alpha", 2)
+        .insert("mike", 3);
+    let text = doc.pretty();
+    let z = text.find("zulu").unwrap();
+    let a = text.find("alpha").unwrap();
+    let m = text.find("mike").unwrap();
+    assert!(z < a && a < m, "objects must preserve insertion order");
+    assert_eq!(Json::parse(&text).unwrap(), doc);
+}

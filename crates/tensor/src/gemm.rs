@@ -236,8 +236,8 @@ pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
 mod tests {
     use super::*;
     use crate::init;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rt::rand::rngs::StdRng;
+    use rt::rand::SeedableRng;
 
     fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
         assert_eq!(a.shape(), b.shape());

@@ -6,7 +6,7 @@
 //! ones — uniform, Glorot/Xavier, and He — all driven by a caller-supplied
 //! RNG so that a seeded search is fully reproducible.
 
-use rand::Rng;
+use rt::rand::Rng;
 
 use crate::Matrix;
 
@@ -51,8 +51,8 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rt::rand::rngs::StdRng;
+    use rt::rand::SeedableRng;
 
     #[test]
     fn uniform_respects_bounds() {

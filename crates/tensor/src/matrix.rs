@@ -1,7 +1,6 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-use serde::{Deserialize, Serialize};
 
 use crate::ShapeError;
 
@@ -23,7 +22,7 @@ use crate::ShapeError;
 /// assert_eq!(m.row(0), &[0.0, 5.0, 0.0]);
 /// assert_eq!(m.shape(), (2, 3));
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -517,11 +516,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        // Exercised via bincode-free JSON-ish check using serde's derive:
-        // Matrix implements Serialize/Deserialize; a manual round trip
-        // through the serde data model is covered in the bench crate where
-        // serde_json is available. Here we just assert Clone/PartialEq.
+    fn clone_round_trip() {
+        // The workspace carries no serde; persistence goes through the
+        // in-repo `rt::json` (see crates/rt). At this layer we only need
+        // value semantics: Clone must preserve equality.
         let m = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
         assert_eq!(m.clone(), m);
     }

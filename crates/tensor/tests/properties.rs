@@ -1,9 +1,9 @@
-//! Algebraic property tests for the tensor substrate.
+//! Algebraic property tests for the tensor substrate, on `rt::check`.
 
 use ecad_tensor::{gemm, init, ops, Matrix};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rt::rand::rngs::StdRng;
+use rt::rand::SeedableRng;
+use rt::{prop_assert, prop_assert_eq};
 
 fn close(a: f32, b: f32, tol: f32) -> bool {
     (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
@@ -18,11 +18,10 @@ fn matrices(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix, Matrix)
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+rt::prop! {
+    #![cases(64)]
 
     /// Right-distributivity: A(B + C) = AB + AC.
-    #[test]
     fn matmul_distributes_over_addition(
         m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..500
     ) {
@@ -35,7 +34,6 @@ proptest! {
     }
 
     /// Scalar pull-through: (sA)B = s(AB).
-    #[test]
     fn matmul_commutes_with_scaling(
         m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..500, s in -3.0f32..3.0
     ) {
@@ -51,7 +49,6 @@ proptest! {
     }
 
     /// Identity is neutral on both sides.
-    #[test]
     fn identity_is_neutral(m in 1usize..12, n in 1usize..12, seed in 0u64..500) {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = init::uniform(&mut rng, m, n, 5.0);
@@ -60,7 +57,6 @@ proptest! {
     }
 
     /// Softmax is invariant under per-row constant shifts.
-    #[test]
     fn softmax_shift_invariance(
         rows in 1usize..6, cols in 1usize..6, shift in -50.0f32..50.0, seed in 0u64..200
     ) {
@@ -75,7 +71,6 @@ proptest! {
     }
 
     /// col_sums is linear: sums(A + B) = sums(A) + sums(B).
-    #[test]
     fn col_sums_linear(rows in 1usize..10, cols in 1usize..10, seed in 0u64..200) {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = init::uniform(&mut rng, rows, cols, 2.0);
@@ -93,7 +88,6 @@ proptest! {
 
     /// select_rows of all indices is the identity; of reversed indices,
     /// a double reverse round-trips.
-    #[test]
     fn select_rows_permutation(rows in 1usize..12, cols in 1usize..6, seed in 0u64..200) {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = init::uniform(&mut rng, rows, cols, 1.0);
@@ -104,8 +98,9 @@ proptest! {
     }
 
     /// Frobenius norm: homogeneous under scaling and zero only at zero.
-    #[test]
-    fn frobenius_homogeneity(rows in 1usize..8, cols in 1usize..8, s in -4.0f32..4.0, seed in 0u64..100) {
+    fn frobenius_homogeneity(
+        rows in 1usize..8, cols in 1usize..8, s in -4.0f32..4.0, seed in 0u64..100
+    ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = init::uniform(&mut rng, rows, cols, 1.0);
         let mut sa = a.clone();
@@ -115,7 +110,6 @@ proptest! {
 
     /// Accuracy is a fraction of matches and invariant to adding a
     /// constant to all logits.
-    #[test]
     fn accuracy_bounds(rows in 1usize..20, classes in 2usize..6, seed in 0u64..100) {
         let mut rng = StdRng::seed_from_u64(seed);
         let logits = init::uniform(&mut rng, rows, classes, 3.0);
@@ -127,8 +121,7 @@ proptest! {
     }
 
     /// Statistics sanity: percentile bounds and mean within [min, max].
-    #[test]
-    fn stats_bounds(xs in proptest::collection::vec(-100.0f32..100.0, 1..50)) {
+    fn stats_bounds(xs in rt::check::vec(-100.0f32..100.0, 1..50)) {
         use ecad_tensor::stats;
         let mn = stats::min(&xs).unwrap();
         let mx = stats::max(&xs).unwrap();

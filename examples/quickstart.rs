@@ -1,18 +1,33 @@
 //! Quickstart: evolve an MLP + FPGA grid for a tabular dataset.
 //!
 //! ```sh
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- --seed N]
 //! ```
 //!
 //! This is the smallest end-to-end tour of the flow: generate (or load)
 //! a dataset, run a joint accuracy × throughput search against an
 //! Arria 10 model, and inspect the winner and the Pareto frontier.
+//! Two runs with the same `--seed` print the same best genome and
+//! frontier — every random draw goes through the in-repo `rt::rand`.
 
 use ecad_repro::core::prelude::*;
 use ecad_repro::dataset::benchmarks::{self, Benchmark};
 use ecad_repro::hw::fpga::FpgaDevice;
 
+/// Parses `--seed N` from the argument list (default 7).
+fn seed_from_args() -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            let v = args.next().expect("--seed takes a value");
+            return v.parse().expect("--seed takes an unsigned integer");
+        }
+    }
+    7
+}
+
 fn main() {
+    let seed = seed_from_args();
     // 1. A dataset. The flow's real entry point is a CSV export
     //    (`ecad_dataset::csv::read_dataset_file`); here we use the
     //    synthetic credit-g stand-in so the example is self-contained.
@@ -37,7 +52,7 @@ fn main() {
         .objectives(ObjectiveSet::accuracy_and_throughput())
         .evaluations(60)
         .population(12)
-        .seed(7)
+        .seed(seed)
         .run();
 
     // 3. The winner.

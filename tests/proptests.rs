@@ -1,34 +1,36 @@
 //! Property-based tests over the core data structures and invariants,
-//! spanning crate boundaries.
+//! spanning crate boundaries. Runs on `rt::check` (see `crates/rt`),
+//! with 64 cases per property.
 
 use ecad_repro::core::pareto;
 use ecad_repro::core::space::SearchSpace;
 use ecad_repro::dataset::{csv, folds, synth::SyntheticSpec};
 use ecad_repro::hw::fpga::{FpgaDevice, FpgaModel, GridConfig};
 use ecad_repro::hw::gpu::{GpuDevice, GpuModel};
-use ecad_repro::tensor::{gemm, ops, Matrix};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ecad_repro::tensor::{gemm, init, ops, Matrix};
+use rt::check::{ascii_string, vec};
+use rt::rand::rngs::StdRng;
+use rt::rand::SeedableRng;
+use rt::{prop_assert, prop_assert_eq, prop_assume};
 
-fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-10.0f32..10.0, r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data))
-    })
+/// Builds a random matrix from shape-plus-seed coordinates. The rt
+/// harness has no `prop_flat_map`, so properties draw `(rows, cols,
+/// seed)` and materialize the matrix here.
+fn small_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    init::uniform(&mut rng, rows, cols, 10.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+rt::prop! {
+    #![cases(64)]
 
     /// Blocked GEMM agrees with the naive reference on arbitrary shapes.
-    #[test]
     fn gemm_blocked_equals_naive(
         m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0u64..1000
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let a = ecad_repro::tensor::init::uniform(&mut rng, m, k, 2.0);
-        let b = ecad_repro::tensor::init::uniform(&mut rng, k, n, 2.0);
+        let a = init::uniform(&mut rng, m, k, 2.0);
+        let b = init::uniform(&mut rng, k, n, 2.0);
         let fast = gemm::matmul(&a, &b);
         let slow = gemm::matmul_naive(&a, &b);
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
@@ -37,11 +39,12 @@ proptest! {
     }
 
     /// (A·B)ᵀ = Bᵀ·Aᵀ.
-    #[test]
-    fn gemm_transpose_identity(m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..100) {
+    fn gemm_transpose_identity(
+        m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..100
+    ) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let a = ecad_repro::tensor::init::uniform(&mut rng, m, k, 1.0);
-        let b = ecad_repro::tensor::init::uniform(&mut rng, k, n, 1.0);
+        let a = init::uniform(&mut rng, m, k, 1.0);
+        let b = init::uniform(&mut rng, k, n, 1.0);
         let lhs = gemm::matmul(&a, &b).transposed();
         let rhs = gemm::matmul(&b.transposed(), &a.transposed());
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
@@ -50,14 +53,14 @@ proptest! {
     }
 
     /// Transpose is an involution and preserves the multiset of values.
-    #[test]
-    fn transpose_involution(m in small_matrix(12)) {
+    fn transpose_involution(r in 1usize..=12, c in 1usize..=12, seed in 0u64..1000) {
+        let m = small_matrix(r, c, seed);
         prop_assert_eq!(m.transposed().transposed(), m);
     }
 
     /// Softmax rows are probability distributions for any finite input.
-    #[test]
-    fn softmax_rows_are_distributions(m in small_matrix(10)) {
+    fn softmax_rows_are_distributions(r in 1usize..=10, c in 1usize..=10, seed in 0u64..1000) {
+        let m = small_matrix(r, c, seed);
         let p = ops::softmax_rows(&m);
         prop_assert!(p.all_finite());
         for r in 0..p.rows() {
@@ -68,15 +71,13 @@ proptest! {
     }
 
     /// one_hot ∘ argmax is the identity on label vectors.
-    #[test]
-    fn one_hot_argmax_round_trip(labels in proptest::collection::vec(0usize..7, 1..50)) {
+    fn one_hot_argmax_round_trip(labels in vec(0usize..7, 1..50)) {
         let oh = ops::one_hot(&labels, 7);
         prop_assert_eq!(oh.argmax_rows(), labels);
     }
 
     /// K-fold partitions: every index in exactly one test fold, train
     /// and test disjoint and covering.
-    #[test]
     fn kfold_partition_invariants(n in 10usize..120, k in 2usize..10, seed in 0u64..100) {
         prop_assume!(k <= n);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -92,10 +93,7 @@ proptest! {
     }
 
     /// CSV round-trip preserves arbitrary field content.
-    #[test]
-    fn csv_field_round_trip(rows in proptest::collection::vec(
-        proptest::collection::vec("[ -~]{0,12}", 1..5), 1..8
-    )) {
+    fn csv_field_round_trip(rows in vec(vec(ascii_string(0..=12), 1..5), 1..8)) {
         // All rows must have the same width for a rectangular table.
         let width = rows[0].len();
         let rect: Vec<Vec<String>> = rows.into_iter().map(|mut r| {
@@ -114,7 +112,6 @@ proptest! {
     }
 
     /// Mutation and crossover never escape the search space.
-    #[test]
     fn genetic_operators_closed(seed in 0u64..500, steps in 1usize..40) {
         let space = SearchSpace::fpga_default();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -130,10 +127,7 @@ proptest! {
 
     /// Pareto front: every non-front point is dominated by someone;
     /// no front point is dominated by anyone.
-    #[test]
-    fn pareto_front_definition(points in proptest::collection::vec(
-        proptest::collection::vec(0.0f64..1.0, 2..4usize), 1..40
-    )) {
+    fn pareto_front_definition(points in vec(vec(0.0f64..1.0, 2..4usize), 1..40)) {
         let dims = points[0].len();
         let rect: Vec<Vec<f64>> = points.into_iter().map(|mut p| { p.resize(dims, 0.0); p }).collect();
         let front = pareto::pareto_front(&rect);
@@ -145,7 +139,6 @@ proptest! {
 
     /// FPGA model monotonicity: adding DDR banks never lowers
     /// throughput, and effective never exceeds the compute roofline.
-    #[test]
     fn fpga_bandwidth_monotonicity(
         rows_i in 0usize..4, cols_i in 0usize..4, il in 1u32..8, vec_i in 0usize..4,
         m in 1usize..128, k in 1usize..1024, n in 1usize..512
@@ -168,7 +161,6 @@ proptest! {
 
     /// GPU model: more batch never increases per-output cost; efficiency
     /// stays a fraction.
-    #[test]
     fn gpu_batching_monotonicity(k in 1usize..1024, n in 1usize..512) {
         let model = GpuModel::new(GpuDevice::titan_x());
         let mut prev = 0.0f64;
@@ -181,7 +173,6 @@ proptest! {
     }
 
     /// Synthetic datasets always satisfy their spec.
-    #[test]
     fn synthetic_spec_shape_invariants(
         n in 2usize..80, d in 1usize..20, classes in 2usize..6, seed in 0u64..200
     ) {

@@ -55,6 +55,8 @@ impl Evaluator for ToyEvaluator {
                 power_w: 50.0,
             },
             eval_time_s: 0.0,
+            train_time_s: 0.0,
+            hw_time_s: 0.0,
         }
     }
 

@@ -14,7 +14,7 @@ use ecad_core::prelude::*;
 use ecad_dataset::benchmarks::Benchmark;
 
 use crate::context::ExperimentContext;
-use crate::report::TextTable;
+use crate::report::{run_stats_table, RunStatsRow, TextTable};
 
 use super::{dataset, run_search};
 
@@ -38,10 +38,16 @@ pub struct Table3Row {
     pub models_evaluated: usize,
     /// Dedup-cache hits (candidates not re-evaluated).
     pub cache_hits: usize,
+    /// Candidates rejected as infeasible.
+    pub infeasible: usize,
     /// Average per-model evaluation time, seconds.
     pub avg_eval_s: f64,
     /// Total evaluation time, seconds.
     pub total_eval_s: f64,
+    /// Wall-clock spent training, seconds.
+    pub train_s: f64,
+    /// Wall-clock spent in hardware models, seconds.
+    pub hw_s: f64,
     /// Paper's reference row.
     pub paper: PaperRuntime,
 }
@@ -54,31 +60,35 @@ pub struct Table3 {
 }
 
 impl Table3 {
-    /// Renders the table.
+    /// Renders the table: measured statistics in the shared
+    /// [`run_stats_table`] shape, then the paper's reference numbers.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(vec![
-            "Dataset",
-            "Models",
-            "Cache Hits",
-            "AVG Eval (s)",
-            "Total Eval (s)",
-            "Paper Models",
-            "Paper AVG (s)",
-        ]);
+        let measured: Vec<RunStatsRow> = self
+            .rows
+            .iter()
+            .map(|r| RunStatsRow {
+                dataset: r.dataset.clone(),
+                models: r.models_evaluated,
+                cache_hits: r.cache_hits,
+                infeasible: r.infeasible,
+                avg_eval_s: r.avg_eval_s,
+                total_eval_s: r.total_eval_s,
+                train_s: r.train_s,
+                hw_s: r.hw_s,
+            })
+            .collect();
+        let mut paper = TextTable::new(vec!["Dataset", "Paper Models", "Paper AVG (s)"]);
         for r in &self.rows {
-            t.row(vec![
+            paper.row(vec![
                 r.dataset.clone(),
-                r.models_evaluated.to_string(),
-                r.cache_hits.to_string(),
-                format!("{:.3}", r.avg_eval_s),
-                format!("{:.1}", r.total_eval_s),
                 r.paper.models.to_string(),
                 format!("{:.2}", r.paper.avg_s),
             ]);
         }
         format!(
-            "Table III: Run Time Statistics (measured vs paper)\n{}",
-            t.render()
+            "Table III: Run Time Statistics (measured)\n{}\npaper reference:\n{}",
+            run_stats_table(&measured),
+            paper.render()
         )
     }
 }
@@ -138,8 +148,11 @@ pub fn run(ctx: &ExperimentContext) -> Table3 {
                 dataset: b.name().to_string(),
                 models_evaluated: stats.models_evaluated,
                 cache_hits: stats.cache_hits,
+                infeasible: stats.infeasible_count,
                 avg_eval_s: stats.avg_eval_time_s,
                 total_eval_s: stats.total_eval_time_s,
+                train_s: stats.train_time_s,
+                hw_s: stats.hw_time_s,
                 paper: paper_runtime(b),
             }
         })
@@ -162,8 +175,11 @@ impl rt::json::ToJson for Table3Row {
             .insert("dataset", &self.dataset)
             .insert("models_evaluated", &self.models_evaluated)
             .insert("cache_hits", &self.cache_hits)
+            .insert("infeasible", &self.infeasible)
             .insert("avg_eval_s", &self.avg_eval_s)
             .insert("total_eval_s", &self.total_eval_s)
+            .insert("train_s", &self.train_s)
+            .insert("hw_s", &self.hw_s)
             .insert("paper", &self.paper)
     }
 }
@@ -188,8 +204,15 @@ mod tests {
             assert_eq!(r.models_evaluated, ctx.evaluations());
             assert!(r.avg_eval_s > 0.0);
             assert!((r.total_eval_s - r.avg_eval_s * r.models_evaluated as f64).abs() < 1e-6);
+            // The stage split is a decomposition of the evaluation time:
+            // train + hardware-model never exceeds the total.
+            assert!(r.train_s > 0.0);
+            assert!(r.train_s + r.hw_s <= r.total_eval_s + 1e-6);
         }
-        assert!(t.render().contains("har"));
+        let rendered = t.render();
+        assert!(rendered.contains("har"));
+        assert!(rendered.contains("Infeasible"));
+        assert!(rendered.contains("Train (s)"));
     }
 
     #[test]

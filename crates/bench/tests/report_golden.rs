@@ -4,7 +4,7 @@
 //! be a deliberate, visible change: update the golden file alongside
 //! any change to `report.rs`.
 
-use ecad_bench::report::{acc, sci, TextTable};
+use ecad_bench::report::{acc, run_stats_table, sci, RunStatsRow, TextTable};
 
 fn render_sample_table() -> String {
     let mut t = TextTable::new(vec!["Dataset", "Accuracy", "Throughput", "Efficiency"]);
@@ -27,6 +27,42 @@ fn render_sample_table() -> String {
         format!("{:.4}", 1.0),
     ]);
     t.render()
+}
+
+fn render_sample_run_stats() -> String {
+    run_stats_table(&[
+        RunStatsRow {
+            dataset: "credit-g".to_string(),
+            models: 10480,
+            cache_hits: 2315,
+            infeasible: 112,
+            avg_eval_s: 2.242,
+            total_eval_s: 23495.2,
+            train_s: 21034.7,
+            hw_s: 18.3,
+        },
+        RunStatsRow {
+            dataset: "mnist".to_string(),
+            models: 553,
+            cache_hits: 91,
+            infeasible: 4,
+            avg_eval_s: 71.227,
+            total_eval_s: 39388.6,
+            train_s: 39201.0,
+            hw_s: 2.1,
+        },
+    ])
+}
+
+#[test]
+fn run_stats_table_matches_golden_file() {
+    let golden = include_str!("golden/table3_format.txt");
+    assert_eq!(
+        render_sample_run_stats(),
+        golden,
+        "Table III run-stats format drifted from the golden file; if \
+         intentional, update crates/bench/tests/golden/table3_format.txt"
+    );
 }
 
 #[test]

@@ -11,8 +11,6 @@ pub enum ArgError {
     MissingCommand,
     /// The subcommand is not recognized.
     UnknownCommand(String),
-    /// A flag was given without its required value.
-    MissingValue(String),
     /// A flag is not recognized for this subcommand.
     UnknownFlag(String),
     /// A required flag is absent.
@@ -36,7 +34,6 @@ impl fmt::Display for ArgError {
                 )
             }
             ArgError::UnknownCommand(c) => write!(f, "unknown command {c:?}"),
-            ArgError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
             ArgError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
             ArgError::MissingFlag(flag) => write!(f, "required flag {flag} is missing"),
             ArgError::BadValue { flag, value } => {
@@ -58,14 +55,16 @@ pub struct Parsed {
 
 impl Parsed {
     /// Parses `argv` (without the program name). Every non-command
-    /// token must be a `--flag value` pair; boolean flags are expressed
-    /// as `--flag true`-style pairs to keep the grammar regular.
+    /// token is a `--flag` optionally followed by a value; a flag
+    /// followed by another `--flag` (or the end of the line) is a
+    /// boolean switch and gets the value `"true"`, so `--metrics` and
+    /// `--metrics true` are equivalent.
     ///
     /// # Errors
     ///
-    /// Returns [`ArgError`] for a missing command or dangling flag.
+    /// Returns [`ArgError`] for a missing command or stray positional.
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgError> {
-        let mut it = argv.into_iter();
+        let mut it = argv.into_iter().peekable();
         let command = it.next().ok_or(ArgError::MissingCommand)?;
         if command.starts_with('-') {
             return Err(ArgError::MissingCommand);
@@ -75,12 +74,19 @@ impl Parsed {
             let Some(name) = tok.strip_prefix("--") else {
                 return Err(ArgError::UnknownFlag(tok));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
             flags.insert(name.to_string(), value);
         }
         Ok(Self { command, flags })
+    }
+
+    /// Whether a boolean switch is on: present with no value (or any
+    /// value other than `"false"`).
+    pub fn is_set(&self, flag: &str) -> bool {
+        matches!(self.get(flag), Some(v) if v != "false")
     }
 
     /// A flag's raw value, if present.
@@ -218,11 +224,17 @@ mod tests {
     }
 
     #[test]
-    fn dangling_flag_rejected() {
-        assert_eq!(
-            Parsed::parse(argv("search --data")).unwrap_err(),
-            ArgError::MissingValue("--data".to_string())
-        );
+    fn bare_flags_are_boolean_switches() {
+        let p = Parsed::parse(argv("search --metrics --seed 7 --data x.csv")).unwrap();
+        assert!(p.is_set("metrics"));
+        assert_eq!(p.get("metrics"), Some("true"));
+        assert_eq!(p.get_parse("seed", 0u64).unwrap(), 7);
+        assert_eq!(p.get("data"), Some("x.csv"));
+        // Trailing bare flag, explicit values, and absence all behave.
+        let q = Parsed::parse(argv("search --metrics false --trace")).unwrap();
+        assert!(!q.is_set("metrics"));
+        assert!(q.is_set("trace"));
+        assert!(!q.is_set("absent"));
     }
 
     #[test]

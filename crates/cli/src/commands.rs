@@ -45,6 +45,9 @@ impl From<ArgError> for CliError {
 const USAGE: &str = "usage:
   ecad search   --data TABLE.csv [--config ECAD.ini] [--trace OUT.csv]
                 [--seed N] [--threads N] [--evaluations N]
+                [--log-level trace|debug|info|warn|off]
+                [--trace-out OUT.jsonl] [--metrics]
+  ecad trace    --file TRACE.jsonl [--require EVENT1,EVENT2,...]
   ecad datasets [--generate NAME --out FILE [--samples N] [--seed N]]
   ecad devices
   ecad estimate --layers 784,256,10 [--device NAME] [--batch N]
@@ -61,6 +64,7 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
     let parsed = Parsed::parse(argv)?;
     match parsed.command.as_str() {
         "search" => cmd_search(&parsed),
+        "trace" => cmd_trace(&parsed),
         "datasets" => cmd_datasets(&parsed),
         "devices" => Ok(cmd_devices()),
         "estimate" => cmd_estimate(&parsed),
@@ -69,8 +73,52 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
     }
 }
 
+/// Builds the observability handle from the search telemetry flags:
+/// `--log-level` attaches a stderr pretty-printer, `--trace-out` a
+/// deterministic JSONL file sink recording debug and above, and
+/// `--metrics` enables the registry even with no sink. With none of
+/// the three, observability is disabled outright (zero overhead).
+fn build_obs(p: &Parsed) -> Result<rt::obs::Obs, CliError> {
+    use rt::obs::{JsonlSink, Level, Obs, StderrSink};
+    let level_text = p.get("log-level");
+    let trace_out = p.get("trace-out");
+    if level_text.is_none() && trace_out.is_none() && !p.is_set("metrics") {
+        return Ok(Obs::disabled());
+    }
+    let mut builder = Obs::builder();
+    match level_text {
+        None | Some("off") => {}
+        Some(text) => {
+            let level = Level::parse(text).ok_or_else(|| {
+                CliError::Args(ArgError::BadValue {
+                    flag: "--log-level".to_string(),
+                    value: text.to_string(),
+                })
+            })?;
+            builder = builder.sink(StderrSink::new(level));
+        }
+    }
+    if let Some(path) = trace_out {
+        let sink = JsonlSink::create(Level::Debug, std::path::Path::new(path))
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        builder = builder.sink(sink);
+    }
+    Ok(builder.build())
+}
+
 fn cmd_search(p: &Parsed) -> Result<String, CliError> {
-    p.check_allowed(&["data", "config", "trace", "seed", "threads", "evaluations"])?;
+    p.check_allowed(&[
+        "data",
+        "config",
+        "trace",
+        "seed",
+        "threads",
+        "evaluations",
+        "log-level",
+        "trace-out",
+        "metrics",
+    ])?;
+    let obs = build_obs(p)?;
     let data_path = p.require("data")?;
     let dataset = csv::read_dataset_file(data_path).map_err(|e| CliError::Domain(e.to_string()))?;
     let mut config = match p.get("config") {
@@ -84,7 +132,9 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
     config.evolution.threads = p.get_parse("threads", config.evolution.threads)?;
     config.evolution.evaluations = p.get_parse("evaluations", config.evolution.evaluations)?;
 
-    let result = Search::from_config(&config, &dataset).run();
+    let result = Search::from_config(&config, &dataset)
+        .obs(obs.clone())
+        .run();
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -116,12 +166,91 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
     }
     let stats = result.stats();
     out.push_str(&format!(
-        "\n{} models evaluated ({} cache hits), avg {:.3}s/model, wall {:.1}s\n",
-        stats.models_evaluated, stats.cache_hits, stats.avg_eval_time_s, stats.wall_time_s
+        "\n{} models evaluated ({} cache hits, {} infeasible), avg {:.3}s/model, wall {:.1}s\n",
+        stats.models_evaluated,
+        stats.cache_hits,
+        stats.infeasible_count,
+        stats.avg_eval_time_s,
+        stats.wall_time_s
     ));
     if let Some(path) = p.get("trace") {
         std::fs::write(path, result.trace_csv()).map_err(|e| CliError::Io(e.to_string()))?;
         out.push_str(&format!("trace written to {path}\n"));
+    }
+    if p.is_set("metrics") {
+        out.push_str("\nrun metrics (per-stage timing from the span histograms):\n");
+        out.push_str(&rt::obs::summary_table(&obs.snapshot()));
+    }
+    if let Some(path) = p.get("trace-out") {
+        obs.flush();
+        out.push_str(&format!("event trace written to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// `ecad trace`: validates a JSONL event trace written by
+/// `--trace-out`. Every line must parse via `rt::json` with the stable
+/// schema (`seq`/`level`/`target`/`event`/`fields`) and consecutive
+/// sequence numbers; prints a per-event-kind census.
+fn cmd_trace(p: &Parsed) -> Result<String, CliError> {
+    p.check_allowed(&["file", "require"])?;
+    let path = p.require("file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let json = rt::json::Json::parse(line).map_err(|e| {
+            CliError::Domain(format!("{path}:{}: not valid JSON: {e}", i + 1))
+        })?;
+        let field = |key: &str| {
+            json.get(key)
+                .ok_or_else(|| CliError::Domain(format!("{path}:{}: missing {key:?}", i + 1)))
+        };
+        let seq = field("seq")?.as_f64().unwrap_or(-1.0);
+        if seq != i as f64 {
+            return Err(CliError::Domain(format!(
+                "{path}:{}: seq {seq} out of order (expected {i})",
+                i + 1
+            )));
+        }
+        let level = field("level")?
+            .as_str()
+            .map(str::to_string)
+            .unwrap_or_default();
+        if rt::obs::Level::parse(&level).is_none() {
+            return Err(CliError::Domain(format!(
+                "{path}:{}: unknown level {level:?}",
+                i + 1
+            )));
+        }
+        field("target")?;
+        field("fields")?;
+        let event = field("event")?
+            .as_str()
+            .map(str::to_string)
+            .unwrap_or_default();
+        match counts.iter_mut().find(|(name, _)| *name == event) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((event, 1)),
+        }
+        lines += 1;
+    }
+
+    if let Some(required) = p.get("require") {
+        for want in required.split(',').map(str::trim).filter(|w| !w.is_empty()) {
+            if !counts.iter().any(|(name, _)| name == want) {
+                return Err(CliError::Domain(format!(
+                    "{path}: required event kind {want:?} never occurs"
+                )));
+            }
+        }
+    }
+
+    let mut out = format!("{path}: {lines} events, all lines parse\n\n");
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (name, n) in &counts {
+        out.push_str(&format!("  {n:>6}  {name}\n"));
     }
     Ok(out)
 }
@@ -447,5 +576,82 @@ mod tests {
             run(argv("search")),
             Err(CliError::Args(ArgError::MissingFlag("data")))
         ));
+    }
+
+    /// End-to-end observability path: a seeded search with
+    /// `--trace-out` and `--metrics` writes a JSONL event stream the
+    /// `trace` subcommand accepts, and prints the metrics table.
+    #[test]
+    fn search_emits_jsonl_trace_and_metrics() {
+        let dir = std::env::temp_dir().join("ecad_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("toy.csv");
+        let cfg = dir.join("toy.ini");
+        let ds = ecad_dataset::synth::SyntheticSpec::new("toy", 120, 6, 2)
+            .with_seed(1)
+            .generate();
+        csv::write_dataset_file(&ds, &data).unwrap();
+        std::fs::write(
+            &cfg,
+            "[nna]\nmax_layers = 1\nmax_neurons = 12\n[optimization]\nevaluations = 6\npopulation = 4\nepochs = 3\n",
+        )
+        .unwrap();
+        let jsonl = dir.join("events.jsonl");
+        let out = run(argv(&format!(
+            "search --data {} --config {} --seed 5 --threads 1 --trace-out {} --metrics",
+            data.display(),
+            cfg.display(),
+            jsonl.display()
+        )))
+        .unwrap();
+        assert!(out.contains("run metrics"));
+        assert!(out.contains("span.train_s"));
+        assert!(out.contains("engine.models_evaluated"));
+        assert!(out.contains("event trace written"));
+
+        // The emitted stream satisfies the validator, including the
+        // lifecycle kinds the engine promises.
+        let report = run(argv(&format!(
+            "trace --file {} --require search_start,submit,evaluated,search_end",
+            jsonl.display()
+        )))
+        .unwrap();
+        assert!(report.contains("all lines parse"));
+        assert!(report.contains("search_start"));
+
+        // A kind that never occurs is an error.
+        let err = run(argv(&format!(
+            "trace --file {} --require no_such_event",
+            jsonl.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("no_such_event"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_rejects_malformed_lines() {
+        let dir = std::env::temp_dir().join("ecad_cli_trace_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "{\"seq\":0,\"level\":\"info\",\"target\":\"t\",\"event\":\"a\",\"fields\":{}}\nnot json\n").unwrap();
+        let err = run(argv(&format!("trace --file {}", bad.display()))).unwrap_err();
+        assert!(err.to_string().contains(":2"));
+
+        let gap = dir.join("gap.jsonl");
+        std::fs::write(
+            &gap,
+            "{\"seq\":1,\"level\":\"info\",\"target\":\"t\",\"event\":\"a\",\"fields\":{}}\n",
+        )
+        .unwrap();
+        let err = run(argv(&format!("trace --file {}", gap.display()))).unwrap_err();
+        assert!(err.to_string().contains("out of order"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn search_rejects_bad_log_level() {
+        let err = run(argv("search --data x.csv --log-level loud")).unwrap_err();
+        assert!(matches!(err, CliError::Args(ArgError::BadValue { .. })));
     }
 }

@@ -27,13 +27,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
+use rt::obs::Obs;
 use rt::sync::channel;
 use rt::rand::rngs::StdRng;
 use rt::rand::{Rng, SeedableRng};
 
 use crate::fitness::ObjectiveSet;
 use crate::genome::CandidateGenome;
-use crate::measurement::Measurement;
+use crate::measurement::{InfeasibleReason, Measurement};
 use crate::space::SearchSpace;
 use crate::workers::Evaluator;
 
@@ -120,6 +121,14 @@ pub struct EngineStats {
     pub avg_eval_time_s: f64,
     /// Wall-clock time of the whole search, seconds.
     pub wall_time_s: f64,
+    /// Unique evaluations that came back infeasible (device-fit,
+    /// training failure, target mismatch, or worker panic).
+    pub infeasible_count: usize,
+    /// Sum of per-evaluation seconds spent in the simulation worker's
+    /// training stage.
+    pub train_time_s: f64,
+    /// Sum of per-evaluation seconds spent in the hardware models.
+    pub hw_time_s: f64,
 }
 
 /// Everything a finished search produces.
@@ -151,6 +160,7 @@ pub struct Engine {
     space: SearchSpace,
     objectives: ObjectiveSet,
     config: EvolutionConfig,
+    obs: Obs,
 }
 
 impl Engine {
@@ -180,7 +190,18 @@ impl Engine {
             space,
             objectives,
             config,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle. Every master-loop decision
+    /// (breeding, cache hits, tournament and replacement picks) and
+    /// per-evaluation outcome is narrated through it as structured
+    /// events, and the run's counters and timing histograms land in its
+    /// metrics registry. Disabled by default.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Runs the search to budget exhaustion.
@@ -188,6 +209,25 @@ impl Engine {
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let cfg = self.config;
+
+        rt::info!(
+            self.obs,
+            "search_start",
+            target = self.evaluator.target_name(),
+            population = cfg.population,
+            evaluations = cfg.evaluations,
+            tournament = cfg.tournament,
+            seed = cfg.seed,
+            threads = cfg.threads,
+            selection = match cfg.selection {
+                SelectionMode::WeightedScalar => "weighted-scalar",
+                SelectionMode::Nsga2 => "nsga2",
+            },
+        );
+        let evaluated_counter = self.obs.counter("engine.models_evaluated");
+        let cache_hit_counter = self.obs.counter("engine.cache_hits");
+        let infeasible_counter = self.obs.counter("engine.infeasible");
+        let eval_hist = self.obs.histogram("engine.eval_time_s");
 
         let (req_tx, req_rx) = channel::unbounded::<(usize, CandidateGenome)>();
         let (res_tx, res_rx) = channel::unbounded::<(usize, CandidateGenome, Measurement)>();
@@ -197,16 +237,31 @@ impl Engine {
         let mut cache: HashMap<u64, Measurement> = HashMap::new();
         let mut cache_hits = 0usize;
         let mut total_eval_time = 0.0f64;
+        let mut infeasible_count = 0usize;
+        let mut train_time = 0.0f64;
+        let mut hw_time = 0.0f64;
 
         std::thread::scope(|scope| {
-            for _ in 0..cfg.threads {
+            for worker in 0..cfg.threads {
                 let req_rx = req_rx.clone();
                 let res_tx = res_tx.clone();
                 let evaluator = Arc::clone(&self.evaluator);
+                let obs = self.obs.clone();
                 scope.spawn(move || {
                     for (id, genome) in req_rx.iter() {
-                        let m = catch_unwind(AssertUnwindSafe(|| evaluator.evaluate(&genome)))
-                            .unwrap_or_else(|_| Measurement::infeasible("worker panicked"));
+                        let m = {
+                            let _span = rt::span!(obs, "evaluate", worker = worker, id = id);
+                            catch_unwind(AssertUnwindSafe(|| evaluator.evaluate(&genome)))
+                                .unwrap_or_else(|_| {
+                                    rt::warn!(
+                                        obs,
+                                        "infeasible",
+                                        stage = "worker",
+                                        reason = InfeasibleReason::WorkerPanic.kind(),
+                                    );
+                                    Measurement::infeasible(InfeasibleReason::WorkerPanic)
+                                })
+                        };
                         if res_tx.send((id, genome, m)).is_err() {
                             break;
                         }
@@ -243,12 +298,24 @@ impl Engine {
                         // Duplicate: serve from cache, no budget, no
                         // worker round-trip.
                         cache_hits += 1;
+                        cache_hit_counter.inc();
+                        rt::debug!(self.obs, "cache_hit", key = format!("{key:016x}"));
                         let eval = self.admit(genome, cached.clone(), &mut population, &mut rng);
                         // Cached repeats are not re-appended to the
                         // trace; Table III counts unique models.
                         let _ = eval;
                         continue;
                     }
+                    // Emit before handing the genome to the pool: with
+                    // one thread the master then blocks on recv, so the
+                    // worker's own events always land after this line —
+                    // the property that makes seeded traces replayable.
+                    rt::debug!(
+                        self.obs,
+                        "submit",
+                        id = next_id,
+                        key = format!("{key:016x}"),
+                    );
                     // Reserve the cache slot so concurrent duplicates
                     // within the window are caught next time around.
                     req_tx.send((next_id, genome)).expect("workers alive");
@@ -261,17 +328,41 @@ impl Engine {
                     break; // budget exhausted and everything drained
                 }
 
-                let (_, genome, measurement) = res_rx.recv().expect("worker pool alive");
+                let (id, genome, measurement) = res_rx.recv().expect("worker pool alive");
                 inflight -= 1;
                 total_eval_time += measurement.eval_time_s;
+                train_time += measurement.train_time_s;
+                hw_time += measurement.hw_time_s;
+                evaluated_counter.inc();
+                eval_hist.record(measurement.eval_time_s);
+                if !measurement.hw.is_feasible() {
+                    infeasible_count += 1;
+                    infeasible_counter.inc();
+                }
                 cache.insert(genome.cache_key(), measurement.clone());
                 let eval = self.admit(genome, measurement, &mut population, &mut rng);
+                rt::info!(
+                    self.obs,
+                    "evaluated",
+                    id = id,
+                    accuracy = eval.measurement.accuracy,
+                    fitness = eval.fitness,
+                    feasible = eval.measurement.hw.is_feasible(),
+                );
                 trace.push(eval);
             }
             drop(req_tx); // shut the pool down
         });
 
         let models_evaluated = trace.len();
+        rt::info!(
+            self.obs,
+            "search_end",
+            models_evaluated = models_evaluated,
+            cache_hits = cache_hits,
+            infeasible = infeasible_count,
+        );
+        self.obs.flush();
         let stats = EngineStats {
             models_evaluated,
             cache_hits,
@@ -282,6 +373,9 @@ impl Engine {
                 0.0
             },
             wall_time_s: start.elapsed().as_secs_f64(),
+            infeasible_count,
+            train_time_s: train_time,
+            hw_time_s: hw_time,
         };
         EngineOutcome {
             population,
@@ -323,7 +417,15 @@ impl Engine {
                             .unwrap_or(std::cmp::Ordering::Equal)
                     })
                     .expect("tournament >= 1");
-                if eval.fitness > population[worst_idx].fitness {
+                let replaced = eval.fitness > population[worst_idx].fitness;
+                rt::trace!(
+                    self.obs,
+                    "replace",
+                    victim = worst_idx,
+                    victim_fitness = population[worst_idx].fitness,
+                    replaced = replaced,
+                );
+                if replaced {
                     population[worst_idx] = eval.clone();
                 }
             }
@@ -332,6 +434,7 @@ impl Engine {
                 // is evicted.
                 population.push(eval.clone());
                 let evict = Self::nsga2_worst(&self.rank_keys(population));
+                rt::trace!(self.obs, "replace", victim = evict, replaced = true);
                 population.swap_remove(evict);
             }
         }
@@ -372,13 +475,16 @@ impl Engine {
     /// the population is still too small).
     fn breed(&self, population: &[Evaluated], rng: &mut StdRng) -> CandidateGenome {
         if population.len() < 2 {
+            rt::trace!(self.obs, "breed", method = "sample");
             return self.space.sample(rng);
         }
         let a = self.tournament_select(population, rng);
         let child = if rng.gen_bool(self.config.crossover_rate) {
+            rt::trace!(self.obs, "breed", method = "crossover");
             let b = self.tournament_select(population, rng);
             self.space.crossover(&a.genome, &b.genome, rng)
         } else {
+            rt::trace!(self.obs, "breed", method = "mutate");
             a.genome.clone()
         };
         self.space.mutate(&child, rng)
@@ -392,7 +498,7 @@ impl Engine {
         let picks: Vec<&Evaluated> = (0..self.config.tournament)
             .map(|_| &population[rng.gen_range(0..population.len())])
             .collect();
-        match self.config.selection {
+        let winner = match self.config.selection {
             SelectionMode::WeightedScalar => picks
                 .into_iter()
                 .max_by(|a, b| {
@@ -406,10 +512,16 @@ impl Engine {
                 let cloned: Vec<Evaluated> = picks.iter().map(|e| (*e).clone()).collect();
                 let keys = self.rank_keys(&cloned);
                 let fronts = crate::pareto::non_dominated_sort(&keys);
-                let winner = fronts[0][0];
-                picks[winner]
+                picks[fronts[0][0]]
             }
-        }
+        };
+        rt::trace!(
+            self.obs,
+            "tournament",
+            size = self.config.tournament,
+            winner_fitness = winner.fitness,
+        );
+        winner
     }
 }
 
@@ -451,6 +563,8 @@ mod tests {
                     power_w: 50.0,
                 },
                 eval_time_s: 1e-6,
+                train_time_s: 6e-7,
+                hw_time_s: 4e-7,
             }
         }
 
@@ -594,6 +708,79 @@ mod tests {
         let out = engine(25, 17, 1).run();
         assert!(out.stats.total_eval_time_s > 0.0);
         assert!((out.stats.avg_eval_time_s - out.stats.total_eval_time_s / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_track_stage_times_and_infeasibles() {
+        let out = engine(25, 17, 1).run();
+        // The toy evaluator reports fixed per-stage times and never
+        // fails, so the totals are exact multiples.
+        assert_eq!(out.stats.infeasible_count, 0);
+        assert!((out.stats.train_time_s - 25.0 * 6e-7).abs() < 1e-12);
+        assert!((out.stats.hw_time_s - 25.0 * 4e-7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_run_emits_lifecycle_events_and_counters() {
+        let ring = rt::obs::RingSink::new(rt::obs::Level::Trace, 8192);
+        let obs = rt::obs::Obs::builder().sink(Arc::clone(&ring)).build();
+        let space = SearchSpace::gpu_default()
+            .with_layers(1, 1)
+            .with_neurons(4, 6); // tiny space forces cache hits
+        let cfg = EvolutionConfig {
+            population: 8,
+            evaluations: 40,
+            tournament: 3,
+            crossover_rate: 0.5,
+            seed: 3,
+            threads: 1,
+            selection: SelectionMode::WeightedScalar,
+        };
+        let out = Engine::new(
+            Arc::new(ToyEvaluator {
+                panic_on_width: None,
+            }),
+            space,
+            ObjectiveSet::accuracy_only(),
+            cfg,
+        )
+        .with_obs(obs.clone())
+        .run();
+
+        let events = ring.snapshot();
+        let has = |name: &str| events.iter().any(|e| e.name == name);
+        for required in [
+            "search_start",
+            "submit",
+            "evaluated",
+            "cache_hit",
+            "breed",
+            "tournament",
+            "replace",
+            "search_end",
+        ] {
+            assert!(has(required), "missing event kind {required:?}");
+        }
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("submit"), out.stats.models_evaluated);
+        assert_eq!(count("evaluated"), out.stats.models_evaluated);
+        assert_eq!(count("cache_hit"), out.stats.cache_hits);
+
+        // The acceptance identity: counters sum to models + cache hits.
+        let metric = |name: &str| {
+            obs.snapshot()
+                .iter()
+                .find_map(|(n, v)| match (n == name, v) {
+                    (true, rt::obs::MetricValue::Counter(c)) => Some(*c),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("no counter {name:?}"))
+        };
+        assert_eq!(
+            metric("engine.models_evaluated") + metric("engine.cache_hits"),
+            (out.stats.models_evaluated + out.stats.cache_hits) as u64
+        );
+        assert_eq!(metric("engine.infeasible"), out.stats.infeasible_count as u64);
     }
 
     #[test]

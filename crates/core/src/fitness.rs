@@ -256,6 +256,8 @@ mod tests {
                 power_w: 50.0,
             },
             eval_time_s: 0.1,
+            train_time_s: 0.08,
+            hw_time_s: 0.02,
         }
     }
 

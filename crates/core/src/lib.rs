@@ -59,7 +59,7 @@ pub mod prelude {
     pub use crate::engine::{EngineStats, EvolutionConfig, SelectionMode};
     pub use crate::fitness::{FitnessRegistry, Objective, ObjectiveSet};
     pub use crate::genome::{CandidateGenome, HwGenome, NnaGenome};
-    pub use crate::measurement::{HwMetrics, Measurement};
+    pub use crate::measurement::{HwMetrics, InfeasibleReason, Measurement};
     pub use crate::pareto::pareto_front;
     pub use crate::search::{Search, SearchResult, TracePoint};
     pub use crate::space::SearchSpace;

@@ -5,6 +5,76 @@
 //! simulation worker with the hardware metrics from whichever hardware
 //! worker scored the candidate; fitness functions then scalarize it.
 
+use std::fmt;
+
+/// Why a candidate could not be scored.
+///
+/// Infeasible candidates are common in a co-design search — the paper's
+/// runs reject many grids that exceed the Arria 10's DSP or M20K
+/// budget — so the frequent reasons are interned variants that cost no
+/// allocation on the hot path. [`InfeasibleReason::Other`] keeps a
+/// free-form escape hatch for rare cases. [`InfeasibleReason::kind`]
+/// gives the stable label used as a structured telemetry field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InfeasibleReason {
+    /// The hardware genes exceed the device's resources (DSPs, M20Ks,
+    /// ALMs, or a zero-sized grid).
+    DeviceFit,
+    /// The simulation worker's training run failed (shape mismatch or
+    /// divergence).
+    TrainingFailure,
+    /// The genome's hardware family does not match the search target
+    /// (e.g. a batch-only genome scored against an FPGA target).
+    TargetMismatch,
+    /// The evaluating worker thread panicked.
+    WorkerPanic,
+    /// Anything else, spelled out.
+    Other(String),
+}
+
+impl InfeasibleReason {
+    /// Stable machine-readable label: `"device-fit"`,
+    /// `"training-failure"`, `"target-mismatch"`, `"worker-panic"`, or
+    /// `"other"`. Telemetry events carry this as the `reason` field so
+    /// traces can be grouped without parsing prose.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InfeasibleReason::DeviceFit => "device-fit",
+            InfeasibleReason::TrainingFailure => "training-failure",
+            InfeasibleReason::TargetMismatch => "target-mismatch",
+            InfeasibleReason::WorkerPanic => "worker-panic",
+            InfeasibleReason::Other(_) => "other",
+        }
+    }
+}
+
+impl fmt::Display for InfeasibleReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfeasibleReason::DeviceFit => {
+                f.write_str("hardware genes do not fit the device")
+            }
+            InfeasibleReason::TrainingFailure => f.write_str("training failed"),
+            InfeasibleReason::TargetMismatch => {
+                f.write_str("genome family does not match the search target")
+            }
+            InfeasibleReason::WorkerPanic => f.write_str("worker panicked"),
+            InfeasibleReason::Other(text) => f.write_str(text),
+        }
+    }
+}
+
+impl From<&str> for InfeasibleReason {
+    fn from(text: &str) -> Self {
+        InfeasibleReason::Other(text.to_string())
+    }
+}
+
+impl From<String> for InfeasibleReason {
+    fn from(text: String) -> Self {
+        InfeasibleReason::Other(text)
+    }
+}
 
 /// Hardware metrics for one candidate, per target family.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,8 +131,9 @@ pub enum HwMetrics {
     /// The candidate's hardware genes do not fit the device (or training
     /// failed); it receives zero fitness but stays in the trace.
     Infeasible {
-        /// Human-readable reason.
-        reason: String,
+        /// Why — interned for the common cases so the hot path does
+        /// not allocate.
+        reason: InfeasibleReason,
     },
 }
 
@@ -142,11 +213,16 @@ pub struct Measurement {
     /// Wall-clock seconds this evaluation took (Table III's
     /// per-evaluation time).
     pub eval_time_s: f64,
+    /// Seconds of `eval_time_s` spent in the simulation worker's
+    /// training run.
+    pub train_time_s: f64,
+    /// Seconds of `eval_time_s` spent in the hardware model.
+    pub hw_time_s: f64,
 }
 
 impl Measurement {
     /// An infeasible measurement with the given reason; accuracy zero.
-    pub fn infeasible(reason: impl Into<String>) -> Self {
+    pub fn infeasible(reason: impl Into<InfeasibleReason>) -> Self {
         Self {
             accuracy: 0.0,
             train_accuracy: 0.0,
@@ -156,6 +232,16 @@ impl Measurement {
                 reason: reason.into(),
             },
             eval_time_s: 0.0,
+            train_time_s: 0.0,
+            hw_time_s: 0.0,
+        }
+    }
+
+    /// The infeasibility reason, when the candidate was not scoreable.
+    pub fn infeasible_reason(&self) -> Option<&InfeasibleReason> {
+        match &self.hw {
+            HwMetrics::Infeasible { reason } => Some(reason),
+            _ => None,
         }
     }
 }
@@ -172,6 +258,36 @@ mod tests {
         assert_eq!(m.hw.outputs_per_s(), 0.0);
         assert_eq!(m.hw.efficiency(), 0.0);
         assert!(m.hw.latency_s().is_infinite());
+        assert_eq!(m.eval_time_s, 0.0);
+        assert_eq!(m.train_time_s, 0.0);
+        assert_eq!(m.hw_time_s, 0.0);
+        // A free-form &str lands in the Other escape hatch.
+        assert_eq!(
+            m.infeasible_reason(),
+            Some(&InfeasibleReason::Other("too many DSPs".to_string()))
+        );
+    }
+
+    #[test]
+    fn interned_reasons_have_stable_kinds() {
+        let cases = [
+            (InfeasibleReason::DeviceFit, "device-fit"),
+            (InfeasibleReason::TrainingFailure, "training-failure"),
+            (InfeasibleReason::TargetMismatch, "target-mismatch"),
+            (InfeasibleReason::WorkerPanic, "worker-panic"),
+            (InfeasibleReason::Other("weird".into()), "other"),
+        ];
+        for (reason, kind) in cases {
+            assert_eq!(reason.kind(), kind);
+            assert!(!reason.to_string().is_empty());
+        }
+        let m = Measurement::infeasible(InfeasibleReason::DeviceFit);
+        assert_eq!(m.infeasible_reason().unwrap().kind(), "device-fit");
+        assert!(m
+            .infeasible_reason()
+            .unwrap()
+            .to_string()
+            .contains("do not fit"));
     }
 
     #[test]

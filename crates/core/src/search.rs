@@ -191,6 +191,7 @@ pub struct Search {
     trainer: TrainConfig,
     standardize: bool,
     presplit: bool,
+    obs: rt::obs::Obs,
 }
 
 impl Search {
@@ -213,6 +214,7 @@ impl Search {
             trainer: TrainConfig::fast(),
             standardize: true,
             presplit: false,
+            obs: rt::obs::Obs::disabled(),
         }
     }
 
@@ -297,6 +299,15 @@ impl Search {
         self
     }
 
+    /// Attaches an observability handle, threaded through the engine
+    /// and evaluator: structured events flow to its sinks and run
+    /// metrics (counters, per-stage timing histograms) land in its
+    /// registry. Disabled by default.
+    pub fn obs(mut self, obs: rt::obs::Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Runs the search.
     pub fn run(self) -> SearchResult {
         let (mut train, mut test) = if self.presplit {
@@ -329,13 +340,15 @@ impl Search {
             self.trainer,
             self.target.clone(),
             self.evolution.seed,
-        );
+        )
+        .with_obs(self.obs.clone());
         let engine = Engine::new(
             Arc::new(evaluator),
             space,
             self.objectives.clone(),
             self.evolution,
-        );
+        )
+        .with_obs(self.obs.clone());
         let outcome = engine.run();
         SearchResult {
             outcome,

@@ -27,8 +27,10 @@ use ecad_mlp::{TrainConfig, Trainer};
 use rt::rand::rngs::StdRng;
 use rt::rand::SeedableRng;
 
+use rt::obs::Obs;
+
 use crate::genome::{CandidateGenome, HwGenome};
-use crate::measurement::{HwMetrics, Measurement};
+use crate::measurement::{HwMetrics, InfeasibleReason, Measurement};
 
 /// Which hardware the search scores candidates against.
 #[derive(Debug, Clone)]
@@ -79,6 +81,7 @@ pub struct CodesignEvaluator {
     trainer: TrainConfig,
     target: HwTarget,
     seed: u64,
+    obs: Obs,
 }
 
 impl CodesignEvaluator {
@@ -100,7 +103,16 @@ impl CodesignEvaluator {
             trainer,
             target,
             seed,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle: per-stage spans (`train`,
+    /// `hw_model`), structured infeasibility events, and hardware-model
+    /// telemetry all flow through it. Disabled by default.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The train split.
@@ -134,26 +146,29 @@ impl CodesignEvaluator {
                 let grid = match GridConfig::new(*rows, *cols, *interleave_m, *interleave_n, *vec) {
                     Ok(g) => g,
                     Err(e) => {
+                        rt::warn!(self.obs, "fpga_unfit", detail = e.to_string());
                         return HwMetrics::Infeasible {
-                            reason: e.to_string(),
-                        }
+                            reason: InfeasibleReason::DeviceFit,
+                        };
                     }
                 };
                 let model = FpgaModel::new(device.clone());
-                let perf = match model.evaluate(&grid, shapes) {
+                let perf = match model.evaluate_observed(&grid, shapes, &self.obs) {
                     Ok(p) => p,
-                    Err(e) => {
+                    Err(_) => {
+                        // evaluate_observed already narrated the error.
                         return HwMetrics::Infeasible {
-                            reason: e.to_string(),
-                        }
+                            reason: InfeasibleReason::DeviceFit,
+                        };
                     }
                 };
                 let physical = match PhysicalModel::new(device.clone()).report(&grid) {
                     Ok(r) => r,
                     Err(e) => {
+                        rt::warn!(self.obs, "fpga_unfit", detail = e.to_string());
                         return HwMetrics::Infeasible {
-                            reason: e.to_string(),
-                        }
+                            reason: InfeasibleReason::DeviceFit,
+                        };
                     }
                 };
                 HwMetrics::Fpga {
@@ -169,7 +184,7 @@ impl CodesignEvaluator {
                 }
             }
             (HwTarget::Gpu(device), HwGenome::GpuBatch { .. }) => {
-                let perf = GpuModel::new(device.clone()).evaluate(shapes, biases);
+                let perf = GpuModel::new(device.clone()).evaluate_observed(shapes, biases, &self.obs);
                 HwMetrics::Gpu {
                     outputs_per_s: perf.outputs_per_s,
                     efficiency: perf.efficiency,
@@ -183,7 +198,7 @@ impl CodesignEvaluator {
                 }
             }
             (HwTarget::Cpu(device), HwGenome::GpuBatch { .. }) => {
-                let perf = CpuModel::new(device.clone()).evaluate(shapes, biases);
+                let perf = CpuModel::new(device.clone()).evaluate_observed(shapes, biases, &self.obs);
                 HwMetrics::Cpu {
                     outputs_per_s: perf.outputs_per_s,
                     efficiency: perf.efficiency,
@@ -192,12 +207,10 @@ impl CodesignEvaluator {
                     power_w: 0.35 * device.tdp_w + 0.65 * device.tdp_w * perf.efficiency.min(1.0),
                 }
             }
-            (HwTarget::Fpga(_), HwGenome::GpuBatch { .. }) => HwMetrics::Infeasible {
-                reason: "batch-only genome scored against an FPGA target".to_string(),
-            },
-            (HwTarget::Gpu(_) | HwTarget::Cpu(_), HwGenome::FpgaGrid { .. }) => {
+            (HwTarget::Fpga(_), HwGenome::GpuBatch { .. })
+            | (HwTarget::Gpu(_) | HwTarget::Cpu(_), HwGenome::FpgaGrid { .. }) => {
                 HwMetrics::Infeasible {
-                    reason: "FPGA genome scored against an instruction-set target".to_string(),
+                    reason: InfeasibleReason::TargetMismatch,
                 }
             }
         }
@@ -211,15 +224,29 @@ impl Evaluator for CodesignEvaluator {
             .nna
             .to_topology(self.train.n_features(), self.train.n_classes());
         let mut rng = StdRng::seed_from_u64(self.seed ^ genome.cache_key());
-        let report =
-            match Trainer::new(self.trainer).fit(&topology, &self.train, &self.test, &mut rng) {
-                Ok(r) => r,
-                Err(e) => {
-                    let mut m = Measurement::infeasible(format!("training failed: {e}"));
-                    m.eval_time_s = start.elapsed().as_secs_f64();
-                    return m;
-                }
-            };
+
+        let train_start = Instant::now();
+        let fit = {
+            let _span = rt::span!(self.obs, "train", neurons = topology.total_neurons());
+            Trainer::new(self.trainer).fit(&topology, &self.train, &self.test, &mut rng)
+        };
+        let train_time_s = train_start.elapsed().as_secs_f64();
+        let report = match fit {
+            Ok(r) => r,
+            Err(e) => {
+                rt::warn!(
+                    self.obs,
+                    "infeasible",
+                    stage = "train",
+                    reason = InfeasibleReason::TrainingFailure.kind(),
+                    detail = e.to_string(),
+                );
+                let mut m = Measurement::infeasible(InfeasibleReason::TrainingFailure);
+                m.eval_time_s = start.elapsed().as_secs_f64();
+                m.train_time_s = train_time_s;
+                return m;
+            }
+        };
 
         let batch = genome.hw.batch() as usize;
         let shapes = topology.gemm_shapes(batch);
@@ -227,7 +254,20 @@ impl Evaluator for CodesignEvaluator {
         // always-biased output head.
         let mut biases: Vec<bool> = genome.nna.layers.iter().map(|l| l.bias).collect();
         biases.push(true);
-        let hw = self.hw_metrics(genome, &shapes, &biases);
+        let hw_start = Instant::now();
+        let hw = {
+            let _span = rt::span!(self.obs, "hw_model", batch = batch);
+            self.hw_metrics(genome, &shapes, &biases)
+        };
+        let hw_time_s = hw_start.elapsed().as_secs_f64();
+        if let HwMetrics::Infeasible { reason } = &hw {
+            rt::warn!(
+                self.obs,
+                "infeasible",
+                stage = "hw_model",
+                reason = reason.kind(),
+            );
+        }
 
         Measurement {
             accuracy: report.test_accuracy,
@@ -236,6 +276,8 @@ impl Evaluator for CodesignEvaluator {
             neurons: topology.total_neurons(),
             hw,
             eval_time_s: start.elapsed().as_secs_f64(),
+            train_time_s,
+            hw_time_s,
         }
     }
 

@@ -1,0 +1,136 @@
+//! End-to-end telemetry tests: a seeded single-threaded search must
+//! emit a byte-identical JSONL event stream run-to-run (the property
+//! that makes traces diffable and replayable), and a multi-threaded
+//! run must keep its atomic counters consistent with the engine's own
+//! statistics.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use ecad_core::prelude::*;
+use ecad_core::space::SearchSpace;
+use ecad_mlp::TrainConfig;
+use ecad_dataset::synth::SyntheticSpec;
+use ecad_dataset::Dataset;
+use rt::obs::{JsonlSink, Level, MetricValue, Obs};
+
+/// A `Write` target shared with the test so the sink's output can be
+/// inspected after the search drops it.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn dataset() -> Dataset {
+    SyntheticSpec::new("obs-test", 150, 6, 2)
+        .with_class_sep(3.0)
+        .with_seed(0)
+        .generate()
+}
+
+fn search(ds: &Dataset, threads: usize, obs: Obs) -> ecad_core::search::SearchResult {
+    let mut trainer = TrainConfig::fast();
+    trainer.epochs = 8;
+    Search::on_dataset(ds)
+        .space(
+            SearchSpace::fpga_default()
+                .with_neurons(4, 32)
+                .with_layers(1, 2),
+        )
+        .evaluations(20)
+        .population(8)
+        .seed(7)
+        .threads(threads)
+        .trainer(trainer)
+        .obs(obs)
+        .run()
+}
+
+fn traced_run(ds: &Dataset) -> String {
+    let buf = SharedBuf::default();
+    let obs = Obs::builder()
+        .sink(JsonlSink::to_writer(Level::Debug, Box::new(buf.clone())))
+        .build();
+    let result = search(ds, 1, obs.clone());
+    assert_eq!(result.stats().models_evaluated, 20);
+    obs.flush();
+    buf.contents()
+}
+
+#[test]
+fn single_thread_trace_is_byte_identical_across_runs() {
+    let ds = dataset();
+    let a = traced_run(&ds);
+    let b = traced_run(&ds);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same-seed single-thread traces must be identical");
+
+    // And the stream is well-formed JSONL with dense sequence numbers.
+    for (i, line) in a.lines().enumerate() {
+        let json = rt::json::Json::parse(line).expect("every line parses");
+        assert_eq!(json.get("seq").and_then(|s| s.as_f64()), Some(i as f64));
+    }
+    let kinds: Vec<&str> = a
+        .lines()
+        .map(|l| {
+            let start = l.find("\"event\":\"").unwrap() + 9;
+            let rest = &l[start..];
+            &rest[..rest.find('"').unwrap()]
+        })
+        .collect();
+    assert_eq!(kinds.first(), Some(&"search_start"));
+    assert_eq!(kinds.last(), Some(&"search_end"));
+    assert!(kinds.contains(&"submit"));
+    assert!(kinds.contains(&"evaluated"));
+}
+
+#[test]
+fn multithreaded_counters_sum_to_engine_stats() {
+    let ds = dataset();
+    let obs = Obs::builder().build(); // metrics registry only, no sinks
+    let result = search(&ds, 4, obs.clone());
+    let stats = result.stats();
+
+    let counter = |name: &str| -> u64 {
+        obs.snapshot()
+            .into_iter()
+            .find_map(|(n, v)| match v {
+                MetricValue::Counter(c) if n == name => Some(c),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    assert_eq!(counter("engine.models_evaluated"), stats.models_evaluated as u64);
+    assert_eq!(counter("engine.cache_hits"), stats.cache_hits as u64);
+    assert_eq!(counter("engine.infeasible"), stats.infeasible_count as u64);
+
+    // The per-evaluation histogram saw exactly one sample per unique
+    // model, and the span histograms captured the stage split.
+    let hist = |name: &str| {
+        obs.snapshot()
+            .into_iter()
+            .find_map(|(n, v)| match v {
+                MetricValue::Histogram(h) if n == name => Some(h),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("missing histogram {name}"))
+    };
+    assert_eq!(hist("engine.eval_time_s").count, stats.models_evaluated as u64);
+    assert_eq!(hist("span.train_s").count, stats.models_evaluated as u64);
+    assert!(hist("span.train_s").sum > 0.0);
+}

@@ -24,6 +24,8 @@ fn meas(acc: f32, outs: f64, latency: f64) -> Measurement {
             power_w: 50.0,
         },
         eval_time_s: 0.0,
+        train_time_s: 0.0,
+        hw_time_s: 0.0,
     }
 }
 

@@ -93,6 +93,26 @@ impl CpuModel {
             calls,
         }
     }
+
+    /// Like [`CpuModel::evaluate`], emitting a debug `cpu_model` event
+    /// through `obs` with the headline numbers (BLAS call count,
+    /// efficiency).
+    pub fn evaluate_observed(
+        &self,
+        layers: &[(usize, usize, usize)],
+        with_bias: &[bool],
+        obs: &rt::obs::Obs,
+    ) -> CpuPerf {
+        let perf = self.evaluate(layers, with_bias);
+        rt::debug!(
+            obs,
+            "cpu_model",
+            device = self.device.name.as_str(),
+            calls = perf.calls,
+            efficiency = perf.efficiency,
+        );
+        perf
+    }
 }
 
 #[cfg(test)]

@@ -119,6 +119,27 @@ impl GpuModel {
             kernels,
         }
     }
+
+    /// Like [`GpuModel::evaluate`], emitting a debug `gpu_model` event
+    /// through `obs` with the headline numbers (kernel count,
+    /// efficiency) — the paper's 0.3 %-efficiency observation, visible
+    /// per candidate.
+    pub fn evaluate_observed(
+        &self,
+        layers: &[(usize, usize, usize)],
+        with_bias: &[bool],
+        obs: &rt::obs::Obs,
+    ) -> GpuPerf {
+        let perf = self.evaluate(layers, with_bias);
+        rt::debug!(
+            obs,
+            "gpu_model",
+            device = self.device.name.as_str(),
+            kernels = perf.kernels,
+            efficiency = perf.efficiency,
+        );
+        perf
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,10 @@
 //!   so any failure replays exactly.
 //! * [`bench`] — a minimal wall-clock benchmark runner with the
 //!   `criterion_group!` / `criterion_main!` shape the bench targets use.
+//! * [`obs`] — structured tracing and metrics: leveled events with
+//!   key=value fields routed to pluggable sinks (stderr, JSONL, ring
+//!   buffer), spans with monotonic timing, and an atomic registry of
+//!   counters/gauges/histograms for the engine's worker pool.
 //!
 //! The crate has **no dependencies** (not even workspace-internal ones)
 //! and must stay that way: CI builds the workspace `--offline` exactly
@@ -29,5 +33,6 @@
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod obs;
 pub mod rand;
 pub mod sync;

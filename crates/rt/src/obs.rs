@@ -1,0 +1,1181 @@
+//! Structured tracing and metrics for the ECAD stack.
+//!
+//! The paper's master "orchestrates the evaluation process" across
+//! simulation, hardware-database, and physical workers (§III-A) and
+//! reports Table III run statistics; this module is the telemetry
+//! substrate that makes those numbers observable *while* a search runs
+//! instead of only after it finishes. Like the rest of `rt`, it has no
+//! external dependencies.
+//!
+//! Three coordinated pieces:
+//!
+//! * **Events** — leveled ([`Level`]) records with a static event name
+//!   and `key = value` fields ([`Value`]), emitted through the
+//!   [`crate::trace!`] / [`crate::debug!`] / [`crate::info!`] /
+//!   [`crate::warn!`] macros and routed to pluggable [`Sink`]s: a
+//!   stderr pretty-printer ([`StderrSink`]), a JSONL writer built on
+//!   [`crate::json`] ([`JsonlSink`]), and an in-memory ring buffer for
+//!   tests ([`RingSink`]).
+//! * **Spans** — [`crate::span!`] returns a guard that measures the
+//!   enclosed scope with a monotonic clock; on drop it records the
+//!   duration into a log-scale histogram named `span.<name>_s` and
+//!   emits a close event. Wall-clock durations never enter the JSONL
+//!   stream by default, so traces stay byte-identical across same-seed
+//!   runs.
+//! * **Metrics** — a registry of named counters, gauges, and log-scale
+//!   histograms (p50/p90/p99) whose hot paths are single atomic
+//!   operations, safe across the engine's `std::thread::scope` worker
+//!   pool.
+//!
+//! The [`Obs`] handle ties the three together. A disabled handle
+//! ([`Obs::disabled`]) costs one branch per call site, so library code
+//! can be instrumented unconditionally.
+//!
+//! ## JSONL schema
+//!
+//! [`JsonlSink`] writes one compact JSON object per line:
+//!
+//! ```text
+//! {"seq":3,"level":"debug","target":"ecad_core::engine","event":"cache_hit","fields":{"key":"9a…"}}
+//! ```
+//!
+//! `seq` is a per-sink monotonic sequence number assigned under the
+//! writer lock, so line order always matches `seq` order. `fields`
+//! preserves emission order. Timing (`elapsed_us`) appears only when
+//! the sink was built [`JsonlSink::with_timing`], because wall-clock
+//! values are inherently non-deterministic.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+
+// ---------------------------------------------------------------------------
+// Levels
+// ---------------------------------------------------------------------------
+
+/// Event severity, ordered from most verbose to most important.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Fine-grained detail: tournament picks, replacement victims.
+    Trace,
+    /// Per-step decisions: breeding, cache hits, submissions.
+    Debug,
+    /// Run milestones: search start/end, evaluated candidates.
+    Info,
+    /// Surprising but survivable: infeasible candidates, worker panics.
+    Warn,
+}
+
+impl Level {
+    /// Stable lowercase name (`"trace"`, `"debug"`, `"info"`, `"warn"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+
+    /// Parses a level name; `None` for anything unrecognized.
+    pub fn parse(text: &str) -> Option<Level> {
+        match text {
+            "trace" => Some(Level::Trace),
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field values
+// ---------------------------------------------------------------------------
+
+/// A structured field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A boolean field.
+    Bool(bool),
+    /// An unsigned integer field.
+    U64(u64),
+    /// A signed integer field.
+    I64(i64),
+    /// A floating-point field.
+    F64(f64),
+    /// A string field.
+    Str(String),
+}
+
+impl Value {
+    /// Converts to a JSON value. Integers above 2^53 would lose
+    /// precision as JSON numbers, so they degrade to decimal strings.
+    pub fn to_json(&self) -> Json {
+        const EXACT: u64 = 1 << 53;
+        match self {
+            Value::Bool(b) => Json::Bool(*b),
+            Value::U64(x) if *x <= EXACT => Json::Number(*x as f64),
+            Value::U64(x) => Json::String(x.to_string()),
+            Value::I64(x) if x.unsigned_abs() <= EXACT => Json::Number(*x as f64),
+            Value::I64(x) => Json::String(x.to_string()),
+            Value::F64(x) => Json::Number(*x),
+            Value::Str(s) => Json::String(s.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::U64(x) => write!(f, "{x}"),
+            Value::I64(x) => write!(f, "{x}"),
+            Value::F64(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($($t:ty => $variant:ident as $cast:ty),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value {
+                Value::$variant(x as $cast)
+            }
+        }
+    )*};
+}
+
+value_from! {
+    bool => Bool as bool,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64,
+    i64 => I64 as i64, isize => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64,
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::Str(s.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// One structured telemetry record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Emitting module (`module_path!()` at the call site).
+    pub target: &'static str,
+    /// Stable event kind, e.g. `"cache_hit"`.
+    pub name: &'static str,
+    /// `key = value` fields in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+    /// Wall-clock duration for span-close events. Kept outside
+    /// `fields` so deterministic sinks can drop it wholesale.
+    pub elapsed_s: Option<f64>,
+}
+
+impl Event {
+    /// The JSONL representation. `seq` is the sink's line number;
+    /// timing is included only when `include_timing` is set.
+    pub fn to_json(&self, seq: u64, include_timing: bool) -> Json {
+        let mut fields = Json::object();
+        for (k, v) in &self.fields {
+            fields = fields.insert(k, v.to_json());
+        }
+        let mut obj = Json::object()
+            .insert("seq", seq)
+            .insert("level", self.level.as_str())
+            .insert("target", self.target)
+            .insert("event", self.name)
+            .insert("fields", fields);
+        if include_timing {
+            if let Some(s) = self.elapsed_s {
+                obj = obj.insert("elapsed_us", s * 1e6);
+            }
+        }
+        obj
+    }
+
+    /// A human-oriented single-line rendering for the stderr sink.
+    pub fn pretty(&self) -> String {
+        let mut out = format!("{:>5} {} {}", self.level, self.target, self.name);
+        for (k, v) in &self.fields {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v.to_string());
+        }
+        if let Some(s) = self.elapsed_s {
+            out.push_str(&format!(" ({:.3} ms)", s * 1e3));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Where events go. Implementations must be thread-safe: the engine's
+/// worker pool records from multiple threads.
+pub trait Sink: Send + Sync {
+    /// Least severe level this sink wants; events below it are skipped.
+    fn min_level(&self) -> Level {
+        Level::Trace
+    }
+
+    /// Records one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+/// Pretty-prints events to stderr — the human-facing sink the CLI's
+/// `--log-level` flag controls. Never writes to stdout, which is
+/// reserved for report output.
+#[derive(Debug)]
+pub struct StderrSink {
+    min: Level,
+}
+
+impl StderrSink {
+    /// A stderr sink that shows `min` and above.
+    pub fn new(min: Level) -> Self {
+        Self { min }
+    }
+}
+
+impl Sink for StderrSink {
+    fn min_level(&self) -> Level {
+        self.min
+    }
+
+    fn record(&self, event: &Event) {
+        eprintln!("{}", event.pretty());
+    }
+}
+
+struct JsonlInner {
+    out: Box<dyn Write + Send>,
+    seq: u64,
+}
+
+/// Writes one compact JSON object per event (JSONL) through
+/// [`crate::json`], so traces are machine-parsable with the same
+/// parser that reads them back. Sequence numbers are assigned under
+/// the writer lock, keeping line order and `seq` order identical.
+pub struct JsonlSink {
+    min: Level,
+    include_timing: bool,
+    inner: Mutex<JsonlInner>,
+}
+
+impl JsonlSink {
+    /// A JSONL sink over an arbitrary writer (tests use an in-memory
+    /// buffer), recording `min` and above, timing excluded.
+    pub fn to_writer(min: Level, out: Box<dyn Write + Send>) -> Self {
+        Self {
+            min,
+            include_timing: false,
+            inner: Mutex::new(JsonlInner { out, seq: 0 }),
+        }
+    }
+
+    /// A JSONL sink writing to the file at `path` (truncating any
+    /// existing file), recording `min` and above.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create(min: Level, path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(
+            min,
+            Box::new(std::io::BufWriter::new(file)),
+        ))
+    }
+
+    /// Includes span timing (`elapsed_us`) in the output. Off by
+    /// default: wall-clock values make traces non-reproducible.
+    pub fn with_timing(mut self, include: bool) -> Self {
+        self.include_timing = include;
+        self
+    }
+}
+
+impl Sink for JsonlSink {
+    fn min_level(&self) -> Level {
+        self.min
+    }
+
+    fn record(&self, event: &Event) {
+        let mut inner = self.inner.lock().expect("jsonl sink poisoned");
+        let seq = inner.seq;
+        inner.seq += 1;
+        let line = event.to_json(seq, self.include_timing).to_string();
+        let _ = writeln!(inner.out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.inner.lock().expect("jsonl sink poisoned").out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A fixed-capacity in-memory ring buffer of events, built for tests
+/// and post-mortem inspection. Slot reservation is a single wait-free
+/// `fetch_add`; each slot carries its own lock, contended only when
+/// the buffer wraps onto a slot mid-write.
+pub struct RingSink {
+    min: Level,
+    slots: Vec<Mutex<Option<Event>>>,
+    cursor: AtomicUsize,
+}
+
+impl RingSink {
+    /// A ring of `capacity` slots recording `min` and above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(min: Level, capacity: usize) -> Arc<Self> {
+        assert!(capacity > 0, "ring buffer needs at least one slot");
+        Arc::new(Self {
+            min,
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+        })
+    }
+
+    /// Events recorded so far (saturating at capacity once wrapped).
+    pub fn len(&self) -> usize {
+        self.cursor.load(Ordering::Acquire).min(self.slots.len())
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cursor.load(Ordering::Acquire) == 0
+    }
+
+    /// The buffered events, oldest first. After a wrap, only the most
+    /// recent `capacity` events survive.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let total = self.cursor.load(Ordering::Acquire);
+        let cap = self.slots.len();
+        let start = total.saturating_sub(cap);
+        (start..total)
+            .filter_map(|i| self.slots[i % cap].lock().expect("ring slot").clone())
+            .collect()
+    }
+}
+
+impl Sink for RingSink {
+    fn min_level(&self) -> Level {
+        self.min
+    }
+
+    fn record(&self, event: &Event) {
+        let i = self.cursor.fetch_add(1, Ordering::AcqRel) % self.slots.len();
+        *self.slots[i].lock().expect("ring slot") = Some(event.clone());
+    }
+}
+
+impl Sink for Arc<RingSink> {
+    fn min_level(&self) -> Level {
+        self.as_ref().min_level()
+    }
+
+    fn record(&self, event: &Event) {
+        self.as_ref().record(event);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Atomically adds to an f64 stored as bits in an `AtomicU64`.
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f64::from_bits(current) + v;
+        match cell.compare_exchange_weak(
+            current,
+            next.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// A monotonically increasing counter. Handles are cheap clones of one
+/// shared atomic; increments are single `fetch_add`s.
+#[derive(Clone)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (zero on a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-write-wins floating-point gauge.
+#[derive(Clone)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (zero on a disabled handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |cell| f64::from_bits(cell.load(Ordering::Relaxed)))
+    }
+}
+
+/// Buckets per octave (factor-of-two range) in [`Histogram`]. Four
+/// sub-buckets bound any reported quantile within ±9 % of the true
+/// value — plenty for p50/p90/p99 timing summaries.
+const HIST_SUB: f64 = 4.0;
+/// Smallest representable histogram value: one nanosecond when values
+/// are seconds. With 256 buckets the range tops out near 1.8e10.
+const HIST_MIN: f64 = 1e-9;
+/// Bucket count; values above the range clamp into the last bucket.
+const HIST_BUCKETS: usize = 256;
+
+/// A log-scale histogram: fixed buckets at ratio 2^(1/4), recorded
+/// with one atomic increment, summarized as p50/p90/p99. Designed for
+/// durations in seconds but accepts any positive value.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        if !(v > HIST_MIN) {
+            return 0;
+        }
+        (((v / HIST_MIN).log2() * HIST_SUB) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Geometric midpoint of bucket `i`, the value quantiles report.
+    fn bucket_value(i: usize) -> f64 {
+        HIST_MIN * 2f64.powf((i as f64 + 0.5) / HIST_SUB)
+    }
+
+    /// Records one observation. Non-finite and non-positive values
+    /// land in the lowest bucket and contribute zero to the sum.
+    pub fn record(&self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), accurate to one bucket
+    /// (±9 %). Zero when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_value(i);
+            }
+        }
+        Self::bucket_value(HIST_BUCKETS - 1)
+    }
+
+    /// A point-in-time summary.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Frozen histogram statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Arithmetic mean (exact, from the true sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A histogram handle, cheap to clone and record through.
+#[derive(Clone)]
+pub struct HistogramHandle(Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    /// Current summary (empty on a disabled handle).
+    pub fn summary(&self) -> HistogramSummary {
+        self.0.as_ref().map_or(
+            HistogramSummary {
+                count: 0,
+                sum: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+            },
+            |h| h.summary(),
+        )
+    }
+}
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A point-in-time metric reading, as returned by [`Obs::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// The registry of named metrics. Registration takes a lock once per
+/// handle; recording through a handle is lock-free.
+#[derive(Default)]
+pub struct Metrics {
+    registry: Mutex<HashMap<String, Metric>>,
+}
+
+impl Metrics {
+    fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut reg = self.registry.lock().expect("metrics registry");
+        match reg
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    fn gauge(&self, name: &str) -> Arc<AtomicU64> {
+        let mut reg = self.registry.lock().expect("metrics registry");
+        match reg
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits()))))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut reg = self.registry.lock().expect("metrics registry");
+        match reg
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let reg = self.registry.lock().expect("metrics registry");
+        let mut out: Vec<(String, MetricValue)> = reg
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                    Metric::Gauge(g) => {
+                        MetricValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed)))
+                    }
+                    Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Obs handle
+// ---------------------------------------------------------------------------
+
+struct ObsInner {
+    level: Level,
+    sinks: Vec<Box<dyn Sink>>,
+    metrics: Metrics,
+}
+
+/// The observability handle threaded through the stack: a level gate,
+/// a set of sinks, and a metrics registry behind one `Arc`. Cloning is
+/// a reference-count bump; the default handle is disabled and costs a
+/// single branch per instrumentation site.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Obs(disabled)"),
+            Some(inner) => write!(
+                f,
+                "Obs(level={}, sinks={})",
+                inner.level,
+                inner.sinks.len()
+            ),
+        }
+    }
+}
+
+impl Obs {
+    /// The no-op handle: no sinks, no metrics, near-zero cost.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Starts building an enabled handle.
+    pub fn builder() -> ObsBuilder {
+        ObsBuilder { sinks: Vec::new() }
+    }
+
+    /// Whether anything is listening at all (sinks or metrics).
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether an event at `level` would reach at least one sink.
+    /// Instrumentation sites gate field construction on this.
+    pub fn is_enabled(&self, level: Level) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => !inner.sinks.is_empty() && level >= inner.level,
+        }
+    }
+
+    /// Emits an event; prefer the [`crate::info!`]-family macros which
+    /// gate on [`Obs::is_enabled`] before building fields.
+    pub fn emit(
+        &self,
+        level: Level,
+        target: &'static str,
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        self.dispatch(Event {
+            level,
+            target,
+            name,
+            fields,
+            elapsed_s: None,
+        });
+    }
+
+    fn dispatch(&self, event: Event) {
+        if let Some(inner) = &self.inner {
+            for sink in &inner.sinks {
+                if event.level >= sink.min_level() {
+                    sink.record(&event);
+                }
+            }
+        }
+    }
+
+    /// Opens a span: the returned guard measures until drop, records
+    /// the duration into the histogram `span.<name>_s`, and emits a
+    /// close event at `level`. Prefer the [`crate::span!`] macro.
+    pub fn span(
+        &self,
+        level: Level,
+        target: &'static str,
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) -> Span {
+        if self.inner.is_none() {
+            return Span { state: None };
+        }
+        let hist = self.histogram(&format!("span.{name}_s"));
+        Span {
+            state: Some(SpanState {
+                obs: self.clone(),
+                level,
+                target,
+                name,
+                fields,
+                hist,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// A counter handle for `name` (no-op when disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|i| i.metrics.counter(name)))
+    }
+
+    /// A gauge handle for `name` (no-op when disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|i| i.metrics.gauge(name)))
+    }
+
+    /// A histogram handle for `name` (no-op when disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        HistogramHandle(self.inner.as_ref().map(|i| i.metrics.histogram(name)))
+    }
+
+    /// All registered metrics, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.metrics.snapshot())
+    }
+
+    /// Flushes every sink (call before reading a trace file back).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in &inner.sinks {
+                sink.flush();
+            }
+        }
+    }
+}
+
+/// Builder for an enabled [`Obs`] handle.
+pub struct ObsBuilder {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl ObsBuilder {
+    /// Adds a sink.
+    pub fn sink(mut self, sink: impl Sink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Finishes the handle. The effective level is the most verbose
+    /// of the sinks' levels (metrics work even with zero sinks).
+    pub fn build(self) -> Obs {
+        let level = self
+            .sinks
+            .iter()
+            .map(|s| s.min_level())
+            .min()
+            .unwrap_or(Level::Warn);
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                level,
+                sinks: self.sinks,
+                metrics: Metrics::default(),
+            })),
+        }
+    }
+}
+
+struct SpanState {
+    obs: Obs,
+    level: Level,
+    target: &'static str,
+    name: &'static str,
+    fields: Vec<(&'static str, Value)>,
+    hist: HistogramHandle,
+    start: Instant,
+}
+
+/// A live span; dropping it records the elapsed time. See
+/// [`Obs::span`].
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            let elapsed = state.start.elapsed().as_secs_f64();
+            state.hist.record(elapsed);
+            if state.obs.is_enabled(state.level) {
+                state.obs.dispatch(Event {
+                    level: state.level,
+                    target: state.target,
+                    name: state.name,
+                    fields: state.fields,
+                    elapsed_s: Some(elapsed),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Summary rendering
+// ---------------------------------------------------------------------------
+
+/// Renders a metrics snapshot as an aligned text table — the CLI's
+/// `--metrics` end-of-run summary. Histogram quantiles print in
+/// milliseconds.
+pub fn summary_table(entries: &[(String, MetricValue)]) -> String {
+    let mut rows: Vec<[String; 6]> = vec![[
+        "metric".into(),
+        "count".into(),
+        "total".into(),
+        "p50 (ms)".into(),
+        "p90 (ms)".into(),
+        "p99 (ms)".into(),
+    ]];
+    let ms = |s: f64| format!("{:.3}", s * 1e3);
+    for (name, value) in entries {
+        rows.push(match value {
+            MetricValue::Counter(c) => [
+                name.clone(),
+                c.to_string(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ],
+            MetricValue::Gauge(g) => [
+                name.clone(),
+                String::new(),
+                format!("{g}"),
+                String::new(),
+                String::new(),
+                String::new(),
+            ],
+            MetricValue::Histogram(h) => [
+                name.clone(),
+                h.count.to_string(),
+                format!("{:.3}s", h.sum),
+                ms(h.p50),
+                ms(h.p90),
+                ms(h.p99),
+            ],
+        });
+    }
+    let mut widths = [0usize; 6];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            // Right-align numeric columns, left-align names.
+            if i == 0 {
+                line.push_str(cell);
+                line.extend(std::iter::repeat_n(' ', w - cell.len()));
+            } else {
+                line.extend(std::iter::repeat_n(' ', w - cell.len()));
+                line.push_str(cell);
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+            out.extend(std::iter::repeat_n('-', total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Emits a structured event at an explicit [`Level`]; the
+/// `trace!`/`debug!`/`info!`/`warn!` macros are the usual front ends.
+#[macro_export]
+macro_rules! obs_event {
+    ($obs:expr, $level:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {{
+        let obs_ref = &$obs;
+        if obs_ref.is_enabled($level) {
+            obs_ref.emit(
+                $level,
+                module_path!(),
+                $name,
+                vec![$((stringify!($k), $crate::obs::Value::from($v))),*],
+            );
+        }
+    }};
+}
+
+/// Emits a [`Level::Trace`] event: `rt::trace!(obs, "tournament", winner = i)`.
+#[macro_export]
+macro_rules! trace {
+    ($obs:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::obs_event!($obs, $crate::obs::Level::Trace, $name $(, $k = $v)*)
+    };
+}
+
+/// Emits a [`Level::Debug`] event: `rt::debug!(obs, "cache_hit", key = k)`.
+#[macro_export]
+macro_rules! debug {
+    ($obs:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::obs_event!($obs, $crate::obs::Level::Debug, $name $(, $k = $v)*)
+    };
+}
+
+/// Emits a [`Level::Info`] event: `rt::info!(obs, "search_start", seed = s)`.
+#[macro_export]
+macro_rules! info {
+    ($obs:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::obs_event!($obs, $crate::obs::Level::Info, $name $(, $k = $v)*)
+    };
+}
+
+/// Emits a [`Level::Warn`] event: `rt::warn!(obs, "infeasible", reason = r)`.
+#[macro_export]
+macro_rules! warn {
+    ($obs:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::obs_event!($obs, $crate::obs::Level::Warn, $name $(, $k = $v)*)
+    };
+}
+
+/// Opens a span: `let _span = rt::span!(obs, "train", worker = id);`
+/// On drop, the elapsed time lands in the `span.train_s` histogram and
+/// a `train` close event is emitted at [`Level::Debug`].
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $obs.span(
+            $crate::obs::Level::Debug,
+            module_path!(),
+            $name,
+            vec![$((stringify!($k), $crate::obs::Value::from($v))),*],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_and_named() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        for l in [Level::Trace, Level::Debug, Level::Info, Level::Warn] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn disabled_obs_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_active());
+        assert!(!obs.is_enabled(Level::Warn));
+        crate::warn!(obs, "nothing", x = 1);
+        let c = obs.counter("a");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        assert!(obs.snapshot().is_empty());
+        let _span = crate::span!(obs, "noop");
+    }
+
+    #[test]
+    fn event_json_stringifies_large_integers() {
+        let big = u64::MAX;
+        let e = Event {
+            level: Level::Info,
+            target: "t",
+            name: "n",
+            fields: vec![("k", Value::U64(big))],
+            elapsed_s: None,
+        };
+        let json = e.to_json(0, false);
+        let field = json.get("fields").and_then(|f| f.get("k")).unwrap();
+        assert_eq!(field.as_str(), Some(big.to_string().as_str()));
+    }
+
+    #[test]
+    fn histogram_bucket_error_is_bounded() {
+        // A bucket spans a 2^(1/4) ratio; its geometric midpoint is
+        // within 2^(1/8) ≈ 9% of any member.
+        for v in [1e-6, 3.7e-4, 0.42, 12.0] {
+            let h = Histogram::new();
+            h.record(v);
+            let q = h.quantile(0.5);
+            assert!((q / v).log2().abs() <= 0.5 / HIST_SUB + 1e-9, "{q} vs {v}");
+        }
+    }
+
+    #[test]
+    fn gauge_round_trips() {
+        let obs = Obs::builder().build();
+        let g = obs.gauge("g");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        assert_eq!(obs.snapshot(), vec![("g".to_string(), MetricValue::Gauge(2.5))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn metric_kind_conflict_panics() {
+        let obs = Obs::builder().build();
+        let _ = obs.gauge("x");
+        let _ = obs.counter("x");
+    }
+
+    #[test]
+    fn summary_table_renders_all_kinds() {
+        let entries = vec![
+            ("engine.cache_hits".to_string(), MetricValue::Counter(7)),
+            ("pool.occupancy".to_string(), MetricValue::Gauge(0.5)),
+            (
+                "span.train_s".to_string(),
+                MetricValue::Histogram(HistogramSummary {
+                    count: 3,
+                    sum: 0.006,
+                    p50: 0.002,
+                    p90: 0.002,
+                    p99: 0.002,
+                }),
+            ),
+        ];
+        let table = summary_table(&entries);
+        assert!(table.contains("engine.cache_hits"));
+        assert!(table.contains("p99 (ms)"));
+        assert!(table.contains("2.000"));
+        for line in table.lines() {
+            assert_eq!(line.trim_end(), line);
+        }
+    }
+}

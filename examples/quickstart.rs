@@ -1,7 +1,7 @@
 //! Quickstart: evolve an MLP + FPGA grid for a tabular dataset.
 //!
 //! ```sh
-//! cargo run --release --example quickstart [-- --seed N]
+//! cargo run --release --example quickstart [-- --seed N] [--trace-out OUT.jsonl]
 //! ```
 //!
 //! This is the smallest end-to-end tour of the flow: generate (or load)
@@ -9,25 +9,47 @@
 //! Arria 10 model, and inspect the winner and the Pareto frontier.
 //! Two runs with the same `--seed` print the same best genome and
 //! frontier — every random draw goes through the in-repo `rt::rand`.
+//! With `--trace-out` the engine also streams its structured events
+//! (submissions, evaluations, cache hits, infeasibilities) to a JSONL
+//! file that `ecad trace --file OUT.jsonl` can validate.
 
 use ecad_repro::core::prelude::*;
 use ecad_repro::dataset::benchmarks::{self, Benchmark};
 use ecad_repro::hw::fpga::FpgaDevice;
+use ecad_repro::rt::obs::{JsonlSink, Level, Obs};
 
-/// Parses `--seed N` from the argument list (default 7).
-fn seed_from_args() -> u64 {
+/// Parses `--seed N` (default 7) and `--trace-out FILE` (default none)
+/// from the argument list.
+fn args() -> (u64, Option<String>) {
+    let mut seed = 7;
+    let mut trace_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--seed" {
-            let v = args.next().expect("--seed takes a value");
-            return v.parse().expect("--seed takes an unsigned integer");
+        match a.as_str() {
+            "--seed" => {
+                let v = args.next().expect("--seed takes a value");
+                seed = v.parse().expect("--seed takes an unsigned integer");
+            }
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out takes a path"));
+            }
+            other => panic!("unknown argument {other:?}"),
         }
     }
-    7
+    (seed, trace_out)
 }
 
 fn main() {
-    let seed = seed_from_args();
+    let (seed, trace_out) = args();
+    let obs = match &trace_out {
+        Some(path) => Obs::builder()
+            .sink(
+                JsonlSink::create(Level::Debug, std::path::Path::new(path))
+                    .expect("create trace file"),
+            )
+            .build(),
+        None => Obs::disabled(),
+    };
     // 1. A dataset. The flow's real entry point is a CSV export
     //    (`ecad_dataset::csv::read_dataset_file`); here we use the
     //    synthetic credit-g stand-in so the example is self-contained.
@@ -53,6 +75,8 @@ fn main() {
         .evaluations(60)
         .population(12)
         .seed(seed)
+        .threads(1) // single worker => the event stream is deterministic
+        .obs(obs.clone())
         .run();
 
     // 3. The winner.
@@ -83,7 +107,15 @@ fn main() {
     // 5. Run statistics (the paper's Table III shape).
     let stats = result.stats();
     println!(
-        "\nevaluated {} unique models ({} cache hits) in {:.1}s wall, {:.3}s avg/model",
-        stats.models_evaluated, stats.cache_hits, stats.wall_time_s, stats.avg_eval_time_s
+        "\nevaluated {} unique models ({} cache hits, {} infeasible) in {:.1}s wall, {:.3}s avg/model",
+        stats.models_evaluated,
+        stats.cache_hits,
+        stats.infeasible_count,
+        stats.wall_time_s,
+        stats.avg_eval_time_s
     );
+    if let Some(path) = trace_out {
+        obs.flush();
+        println!("event trace written to {path}");
+    }
 }

@@ -24,3 +24,4 @@ pub use ecad_dataset as dataset;
 pub use ecad_hw as hw;
 pub use ecad_mlp as mlp;
 pub use ecad_tensor as tensor;
+pub use rt;

@@ -74,6 +74,7 @@ fn config(evals: usize) -> EvolutionConfig {
         seed: 7,
         threads: 1,
         selection: SelectionMode::WeightedScalar,
+        ..EvolutionConfig::small()
     }
 }
 

@@ -104,6 +104,7 @@ fn bench_full_ga_loop(c: &mut Criterion) {
                 seed: 9,
                 threads: 1,
                 selection: SelectionMode::WeightedScalar,
+                ..EvolutionConfig::small()
             };
             Engine::new(
                 Arc::new(ToyEvaluator),

@@ -47,6 +47,8 @@ const USAGE: &str = "usage:
                 [--seed N] [--threads N] [--evaluations N]
                 [--log-level trace|debug|info|warn|off]
                 [--trace-out OUT.jsonl] [--metrics]
+                [--checkpoint STATE.json [--checkpoint-every N] [--resume]]
+                [--halt-after N] [--eval-timeout SECS] [--max-retries N]
   ecad trace    --file TRACE.jsonl [--require EVENT1,EVENT2,...]
   ecad datasets [--generate NAME --out FILE [--samples N] [--seed N]]
   ecad devices
@@ -78,6 +80,9 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
 /// deterministic JSONL file sink recording debug and above, and
 /// `--metrics` enables the registry even with no sink. With none of
 /// the three, observability is disabled outright (zero overhead).
+/// Under `--resume` the JSONL sink appends, continuing the sequence
+/// numbers of the interrupted run's file so the resumed trace is
+/// byte-identical to an uninterrupted one.
 fn build_obs(p: &Parsed) -> Result<rt::obs::Obs, CliError> {
     use rt::obs::{JsonlSink, Level, Obs, StderrSink};
     let level_text = p.get("log-level");
@@ -99,8 +104,13 @@ fn build_obs(p: &Parsed) -> Result<rt::obs::Obs, CliError> {
         }
     }
     if let Some(path) = trace_out {
-        let sink = JsonlSink::create(Level::Debug, std::path::Path::new(path))
-            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        let path_ref = std::path::Path::new(path);
+        let sink = if p.is_set("resume") {
+            JsonlSink::append(Level::Debug, path_ref)
+        } else {
+            JsonlSink::create(Level::Debug, path_ref)
+        }
+        .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
         builder = builder.sink(sink);
     }
     Ok(builder.build())
@@ -117,7 +127,18 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
         "log-level",
         "trace-out",
         "metrics",
+        "checkpoint",
+        "checkpoint-every",
+        "resume",
+        "halt-after",
+        "eval-timeout",
+        "max-retries",
     ])?;
+    if p.is_set("resume") && p.get("checkpoint").is_none() {
+        return Err(CliError::Domain(
+            "--resume requires --checkpoint <path>".to_string(),
+        ));
+    }
     let obs = build_obs(p)?;
     let data_path = p.require("data")?;
     let dataset = csv::read_dataset_file(data_path).map_err(|e| CliError::Domain(e.to_string()))?;
@@ -131,10 +152,59 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
     config.evolution.seed = p.get_parse("seed", config.evolution.seed)?;
     config.evolution.threads = p.get_parse("threads", config.evolution.threads)?;
     config.evolution.evaluations = p.get_parse("evaluations", config.evolution.evaluations)?;
+    if let Some(secs) = p.get("eval-timeout") {
+        let secs = secs.parse::<f64>().ok().filter(|s| s.is_finite() && *s >= 0.0).ok_or_else(|| {
+            CliError::Args(ArgError::BadValue {
+                flag: "--eval-timeout".to_string(),
+                value: secs.to_string(),
+            })
+        })?;
+        config.evolution.eval_timeout = if secs > 0.0 {
+            Some(std::time::Duration::from_secs_f64(secs))
+        } else {
+            None
+        };
+    }
+    config.evolution.max_retries = p.get_parse("max-retries", config.evolution.max_retries)?;
 
-    let result = Search::from_config(&config, &dataset)
-        .obs(obs.clone())
-        .run();
+    let mut search = Search::from_config(&config, &dataset).obs(obs.clone());
+    let checkpoint_path = p.get("checkpoint").map(std::path::PathBuf::from);
+    if let Some(path) = &checkpoint_path {
+        let every: usize = p.get_parse("checkpoint-every", 25usize)?;
+        if every == 0 {
+            return Err(CliError::Args(ArgError::BadValue {
+                flag: "--checkpoint-every".to_string(),
+                value: "0".to_string(),
+            }));
+        }
+        search = search.checkpoint(CheckpointPolicy::new(path.clone(), every));
+    }
+    if p.is_set("resume") {
+        let path = checkpoint_path.as_ref().ok_or_else(|| {
+            CliError::Domain("--resume requires --checkpoint <path>".to_string())
+        })?;
+        let state = CheckpointState::load(path)
+            .map_err(|e| CliError::Domain(format!("{}: {e}", path.display())))?;
+        search = search.resume_from(state);
+    }
+    if let Some(n) = p.get("halt-after") {
+        let n: usize = n.parse().map_err(|_| {
+            CliError::Args(ArgError::BadValue {
+                flag: "--halt-after".to_string(),
+                value: n.to_string(),
+            })
+        })?;
+        search = search.halt_after(n);
+    }
+    // SIGINT/SIGTERM wind the run down at the next safe boundary (and
+    // write a final checkpoint when a policy is attached).
+    let shutdown = rt::supervise::ShutdownFlag::new();
+    shutdown.install_termination_handler();
+    search = search.shutdown_flag(shutdown);
+
+    let result = search
+        .try_run()
+        .map_err(|e| CliError::Domain(format!("checkpoint: {e}")))?;
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -173,6 +243,23 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
         stats.avg_eval_time_s,
         stats.wall_time_s
     ));
+    if stats.retry_count + stats.timeout_count + stats.respawn_count > 0 {
+        out.push_str(&format!(
+            "fault tolerance: {} retries, {} timeouts, {} worker respawns\n",
+            stats.retry_count, stats.timeout_count, stats.respawn_count
+        ));
+    }
+    if result.halted() {
+        match &checkpoint_path {
+            Some(path) => out.push_str(&format!(
+                "halted early; resume with --checkpoint {} --resume\n",
+                path.display()
+            )),
+            None => out.push_str("halted early (no checkpoint attached)\n"),
+        }
+    } else if let Some(path) = &checkpoint_path {
+        out.push_str(&format!("checkpoint written to {}\n", path.display()));
+    }
     if let Some(path) = p.get("trace") {
         std::fs::write(path, result.trace_csv()).map_err(|e| CliError::Io(e.to_string()))?;
         out.push_str(&format!("trace written to {path}\n"));
@@ -647,6 +734,78 @@ mod tests {
         let err = run(argv(&format!("trace --file {}", gap.display()))).unwrap_err();
         assert!(err.to_string().contains("out of order"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Interrupted-run → `--resume` round trip: a run halted mid-budget
+    /// with a checkpoint, then resumed, must produce the same final
+    /// trace CSV and a byte-identical JSONL event stream as one
+    /// uninterrupted run with the same seed.
+    #[test]
+    fn search_checkpoint_resume_round_trip() {
+        let dir = std::env::temp_dir().join("ecad_cli_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("toy.csv");
+        let cfg = dir.join("toy.ini");
+        let ds = ecad_dataset::synth::SyntheticSpec::new("toy", 120, 6, 2)
+            .with_seed(1)
+            .generate();
+        csv::write_dataset_file(&ds, &data).unwrap();
+        std::fs::write(
+            &cfg,
+            "[nna]\nmax_layers = 1\nmax_neurons = 12\n[optimization]\nevaluations = 12\npopulation = 4\nepochs = 3\n",
+        )
+        .unwrap();
+
+        let full_jsonl = dir.join("full.jsonl");
+        let full_csv = dir.join("full.csv");
+        let base = |jsonl: &std::path::Path, csv_out: &std::path::Path| {
+            format!(
+                "search --data {} --config {} --seed 5 --threads 1 --trace-out {} --trace {}",
+                data.display(),
+                cfg.display(),
+                jsonl.display(),
+                csv_out.display()
+            )
+        };
+        run(argv(&base(&full_jsonl, &full_csv))).unwrap();
+
+        let part_jsonl = dir.join("part.jsonl");
+        let part_csv = dir.join("part.csv");
+        let ck = dir.join("state.json");
+        let halted = run(argv(&format!(
+            "{} --checkpoint {} --checkpoint-every 3 --halt-after 6",
+            base(&part_jsonl, &part_csv),
+            ck.display()
+        )))
+        .unwrap();
+        assert!(halted.contains("halted early"), "got: {halted}");
+        assert!(ck.exists());
+
+        let resumed = run(argv(&format!(
+            "{} --checkpoint {} --resume",
+            base(&part_jsonl, &part_csv),
+            ck.display()
+        )))
+        .unwrap();
+        assert!(resumed.contains("12 models evaluated"), "got: {resumed}");
+
+        let full = std::fs::read_to_string(&full_jsonl).unwrap();
+        let part = std::fs::read_to_string(&part_jsonl).unwrap();
+        assert_eq!(
+            full, part,
+            "resumed JSONL trace must be byte-identical to the uninterrupted run"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&full_csv).unwrap(),
+            std::fs::read_to_string(&part_csv).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn search_resume_without_checkpoint_is_error() {
+        let err = run(argv("search --data x.csv --resume")).unwrap_err();
+        assert!(err.to_string().contains("--resume requires --checkpoint"));
     }
 
     #[test]

@@ -59,6 +59,17 @@ pub enum ConfigError {
         key: String,
         /// The raw value.
         value: String,
+        /// 1-based line number the key was set on (0 when the value
+        /// did not come from a file line, e.g. a CLI override).
+        line: usize,
+    },
+    /// An unknown hardware target kind (`target =` accepts `fpga`,
+    /// `gpu`, or `cpu`).
+    UnknownTarget {
+        /// The raw value.
+        value: String,
+        /// 1-based line number.
+        line: usize,
     },
     /// An unknown device name.
     UnknownDevice(String),
@@ -77,8 +88,18 @@ impl fmt::Display for ConfigError {
             ConfigError::Syntax { line, text } => {
                 write!(f, "line {line}: cannot parse {text:?}")
             }
-            ConfigError::BadValue { key, value } => {
-                write!(f, "invalid value {value:?} for key {key:?}")
+            ConfigError::BadValue { key, value, line } => {
+                if *line > 0 {
+                    write!(f, "line {line}: invalid value {value:?} for key {key:?}")
+                } else {
+                    write!(f, "invalid value {value:?} for key {key:?}")
+                }
+            }
+            ConfigError::UnknownTarget { value, line } => {
+                write!(
+                    f,
+                    "line {line}: unknown target {value:?} (expected fpga, gpu, or cpu)"
+                )
             }
             ConfigError::UnknownDevice(d) => write!(
                 f,
@@ -93,14 +114,14 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
-/// Parses INI text into `section -> key -> value`. Keys before any
-/// section header land in the `""` section.
-///
-/// # Errors
-///
-/// Returns [`ConfigError::Syntax`] for malformed lines.
-pub fn parse_ini(text: &str) -> Result<HashMap<String, HashMap<String, String>>, ConfigError> {
-    let mut out: HashMap<String, HashMap<String, String>> = HashMap::new();
+/// A parsed value plus the 1-based line it was set on, so downstream
+/// validation errors can point back into the file.
+type SpannedSection = HashMap<String, (String, usize)>;
+
+/// Parses INI text into `section -> key -> (value, line)`. Keys before
+/// any section header land in the `""` section.
+fn parse_ini_spanned(text: &str) -> Result<HashMap<String, SpannedSection>, ConfigError> {
+    let mut out: HashMap<String, SpannedSection> = HashMap::new();
     let mut section = String::new();
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -116,7 +137,7 @@ pub fn parse_ini(text: &str) -> Result<HashMap<String, HashMap<String, String>>,
             Some((k, v)) => {
                 out.entry(section.clone())
                     .or_default()
-                    .insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+                    .insert(k.trim().to_ascii_lowercase(), (v.trim().to_string(), i + 1));
             }
             None => {
                 return Err(ConfigError::Syntax {
@@ -127,6 +148,24 @@ pub fn parse_ini(text: &str) -> Result<HashMap<String, HashMap<String, String>>,
         }
     }
     Ok(out)
+}
+
+/// Parses INI text into `section -> key -> value`. Keys before any
+/// section header land in the `""` section.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::Syntax`] for malformed lines.
+pub fn parse_ini(text: &str) -> Result<HashMap<String, HashMap<String, String>>, ConfigError> {
+    Ok(parse_ini_spanned(text)?
+        .into_iter()
+        .map(|(section, kv)| {
+            (
+                section,
+                kv.into_iter().map(|(k, (v, _))| (k, v)).collect(),
+            )
+        })
+        .collect())
 }
 
 /// A fully resolved flow configuration.
@@ -157,15 +196,16 @@ impl Default for FlowConfig {
 }
 
 fn get_parse<T: std::str::FromStr>(
-    section: &HashMap<String, String>,
+    section: &SpannedSection,
     key: &str,
     default: T,
 ) -> Result<T, ConfigError> {
     match section.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| ConfigError::BadValue {
+        Some((v, line)) => v.parse().map_err(|_| ConfigError::BadValue {
             key: key.to_string(),
             value: v.clone(),
+            line: *line,
         }),
     }
 }
@@ -178,18 +218,30 @@ impl FlowConfig {
     /// Returns [`ConfigError`] on syntax errors, unparseable values,
     /// unknown devices, or mismatched objective/weight lists.
     pub fn from_ini(text: &str) -> Result<Self, ConfigError> {
-        let ini = parse_ini(text)?;
-        let empty = HashMap::new();
+        let ini = parse_ini_spanned(text)?;
+        let empty = SpannedSection::new();
         let nna = ini.get("nna").unwrap_or(&empty);
         let hw = ini.get("hardware").unwrap_or(&empty);
         let opt = ini.get("optimization").unwrap_or(&empty);
 
-        // Hardware target first: it decides the space family.
-        let target_kind = hw.get("target").map(String::as_str).unwrap_or("fpga");
+        // Hardware target first: it decides the space family. An
+        // unrecognized kind is an error, not a silent FPGA default.
+        let target_kind = match hw.get("target") {
+            None => "fpga",
+            Some((v, line)) => match v.as_str() {
+                "fpga" | "gpu" | "cpu" => v.as_str(),
+                other => {
+                    return Err(ConfigError::UnknownTarget {
+                        value: other.to_string(),
+                        line: *line,
+                    })
+                }
+            },
+        };
         let ddr_banks: u32 = get_parse(hw, "ddr_banks", 1)?;
         let device_name = hw
             .get("device")
-            .map(String::as_str)
+            .map(|(v, _)| v.as_str())
             .unwrap_or(match target_kind {
                 "gpu" => "titanx",
                 "cpu" => "xeon",
@@ -225,7 +277,7 @@ impl FlowConfig {
         evolution.crossover_rate = get_parse(opt, "crossover_rate", evolution.crossover_rate)?;
         evolution.seed = get_parse(opt, "seed", evolution.seed)?;
         evolution.threads = get_parse(opt, "threads", evolution.threads)?;
-        if let Some(sel) = opt.get("selection") {
+        if let Some((sel, line)) = opt.get("selection") {
             evolution.selection = match sel.as_str() {
                 "scalar" | "weighted" => crate::engine::SelectionMode::WeightedScalar,
                 "nsga2" => crate::engine::SelectionMode::Nsga2,
@@ -233,18 +285,50 @@ impl FlowConfig {
                     return Err(ConfigError::BadValue {
                         key: "selection".to_string(),
                         value: other.to_string(),
+                        line: *line,
                     })
                 }
             };
         }
 
+        // Fault tolerance: a per-evaluation deadline (seconds; 0 or
+        // absent disables it), the transient-failure retry budget, and
+        // the base backoff between retries.
+        if let Some((v, line)) = opt.get("eval_timeout_s") {
+            let secs: f64 = v.parse().map_err(|_| ConfigError::BadValue {
+                key: "eval_timeout_s".to_string(),
+                value: v.clone(),
+                line: *line,
+            })?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(ConfigError::BadValue {
+                    key: "eval_timeout_s".to_string(),
+                    value: v.clone(),
+                    line: *line,
+                });
+            }
+            evolution.eval_timeout = if secs > 0.0 {
+                Some(std::time::Duration::from_secs_f64(secs))
+            } else {
+                None
+            };
+        }
+        evolution.max_retries = get_parse(opt, "max_retries", evolution.max_retries)?;
+        let backoff_ms: u64 = get_parse(
+            opt,
+            "retry_backoff_ms",
+            evolution.retry_backoff.as_millis() as u64,
+        )?;
+        evolution.retry_backoff = std::time::Duration::from_millis(backoff_ms);
+
         let mut trainer = TrainConfig::fast();
         trainer.epochs = get_parse(opt, "epochs", trainer.epochs)?;
         trainer.batch_size = get_parse(opt, "batch_size", trainer.batch_size)?;
-        if let Some(lr) = opt.get("learning_rate") {
+        if let Some((lr, line)) = opt.get("learning_rate") {
             let lr: f32 = lr.parse().map_err(|_| ConfigError::BadValue {
                 key: "learning_rate".to_string(),
                 value: lr.clone(),
+                line: *line,
             })?;
             trainer.optimizer = OptimizerKind::Adam { lr };
         }
@@ -253,16 +337,17 @@ impl FlowConfig {
         // a leading '-' requests minimization (e.g. `-latency`).
         let names: Vec<String> = opt
             .get("objectives")
-            .map(|s| s.split(',').map(|x| x.trim().to_string()).collect())
+            .map(|(s, _)| s.split(',').map(|x| x.trim().to_string()).collect())
             .unwrap_or_else(|| vec!["accuracy".to_string()]);
         let weights: Vec<f64> = match opt.get("weights") {
             None => vec![1.0; names.len()],
-            Some(w) => w
+            Some((w, line)) => w
                 .split(',')
                 .map(|x| {
                     x.trim().parse().map_err(|_| ConfigError::BadValue {
                         key: "weights".to_string(),
                         value: x.trim().to_string(),
+                        line: *line,
                     })
                 })
                 .collect::<Result<_, _>>()?,
@@ -411,6 +496,59 @@ epochs = 10
     fn bad_numeric_value_is_error() {
         let err = FlowConfig::from_ini("[optimization]\npopulation = many\n").unwrap_err();
         assert!(matches!(err, ConfigError::BadValue { .. }));
+    }
+
+    #[test]
+    fn bad_value_reports_its_line() {
+        let err =
+            FlowConfig::from_ini("[optimization]\nseed = 1\npopulation = many\n").unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::BadValue {
+                key: "population".to_string(),
+                value: "many".to_string(),
+                line: 3,
+            }
+        );
+        assert!(err.to_string().starts_with("line 3:"));
+    }
+
+    #[test]
+    fn unknown_target_kind_is_error() {
+        let err = FlowConfig::from_ini("[hardware]\n\ntarget = asic\n").unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::UnknownTarget {
+                value: "asic".to_string(),
+                line: 3,
+            }
+        );
+        assert!(err.to_string().contains("expected fpga, gpu, or cpu"));
+    }
+
+    #[test]
+    fn fault_tolerance_keys_parse() {
+        let c = FlowConfig::from_ini(
+            "[optimization]\neval_timeout_s = 2.5\nmax_retries = 7\nretry_backoff_ms = 40\n",
+        )
+        .unwrap();
+        assert_eq!(
+            c.evolution.eval_timeout,
+            Some(std::time::Duration::from_secs_f64(2.5))
+        );
+        assert_eq!(c.evolution.max_retries, 7);
+        assert_eq!(
+            c.evolution.retry_backoff,
+            std::time::Duration::from_millis(40)
+        );
+
+        // 0 disables the deadline; negatives are rejected with a line.
+        let off = FlowConfig::from_ini("[optimization]\neval_timeout_s = 0\n").unwrap();
+        assert_eq!(off.evolution.eval_timeout, None);
+        let err = FlowConfig::from_ini("[optimization]\neval_timeout_s = -1\n").unwrap_err();
+        assert!(
+            matches!(err, ConfigError::BadValue { ref key, line: 2, .. } if key == "eval_timeout_s")
+        );
     }
 
     #[test]

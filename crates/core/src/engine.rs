@@ -16,25 +16,40 @@
 //!   budget;
 //! * **failure isolation**: a panicking evaluation is caught in the
 //!   worker and surfaces as an infeasible measurement, not a crashed
-//!   search.
+//!   search;
+//! * **deadlines and retries**: each dispatch runs under an optional
+//!   per-evaluation deadline (`eval_timeout`); failures classified
+//!   [`FailureKind::Transient`] (panics, timeouts, explicit transients)
+//!   are retried with seeded jittered exponential backoff up to
+//!   `max_retries`, while [`FailureKind::Permanent`] verdicts are
+//!   cached and scored as-is;
+//! * **worker supervision**: workers run in `rt::supervise` slots, so a
+//!   slot whose evaluation stalls past its deadline is abandoned and
+//!   respawned, and its late result (if any) is dropped as stale;
+//! * **checkpoint/resume**: with a [`CheckpointPolicy`] attached, the
+//!   full master state is snapshotted every N unique evaluations and on
+//!   halt, and [`Engine::resume`] continues a seeded single-thread run
+//!   byte-identically (DESIGN.md §12).
 //!
 //! With `threads = 1` the whole search is deterministic for a fixed
 //! seed; more threads trade determinism for wall-clock speed (result
 //! arrival order feeds back into breeding).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rt::obs::Obs;
-use rt::sync::channel;
 use rt::rand::rngs::StdRng;
-use rt::rand::{Rng, SeedableRng};
+use rt::rand::{Rng, RngCore, SeedableRng};
+use rt::supervise::{ShutdownFlag, Supervisor};
+use rt::sync::channel::{self, RecvTimeoutError};
 
+use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointState, PendingJob};
 use crate::fitness::ObjectiveSet;
 use crate::genome::CandidateGenome;
-use crate::measurement::{InfeasibleReason, Measurement};
+use crate::measurement::{FailureKind, InfeasibleReason, Measurement};
 use crate::space::SearchSpace;
 use crate::workers::Evaluator;
 
@@ -72,6 +87,18 @@ pub struct EvolutionConfig {
     pub threads: usize,
     /// Survivor-selection strategy.
     pub selection: SelectionMode,
+    /// Per-evaluation deadline. A dispatch that has not reported by
+    /// then is abandoned (its slot respawned) and treated as a
+    /// transient failure. `None` disables deadlines.
+    pub eval_timeout: Option<Duration>,
+    /// How many times a transiently failed candidate (panic, timeout,
+    /// explicit transient) is re-dispatched before its last verdict is
+    /// accepted. Retries cost no unique-evaluation budget.
+    pub max_retries: usize,
+    /// Base delay before the first retry; doubles per attempt with
+    /// ±50% deterministic jitter seeded from the search seed and the
+    /// candidate's cache key.
+    pub retry_backoff: Duration,
 }
 
 impl EvolutionConfig {
@@ -85,6 +112,9 @@ impl EvolutionConfig {
             seed: 0,
             threads: 1,
             selection: SelectionMode::WeightedScalar,
+            eval_timeout: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(5),
         }
     }
 }
@@ -129,6 +159,15 @@ pub struct EngineStats {
     pub train_time_s: f64,
     /// Sum of per-evaluation seconds spent in the hardware models.
     pub hw_time_s: f64,
+    /// Transient failures (panics, timeouts, explicit transients) that
+    /// were scheduled for another attempt.
+    pub retry_count: usize,
+    /// Dispatches abandoned because they missed their `eval_timeout`
+    /// deadline.
+    pub timeout_count: usize,
+    /// Worker slots abandoned and relaunched after holding a timed-out
+    /// claim.
+    pub respawn_count: usize,
 }
 
 /// Everything a finished search produces.
@@ -141,6 +180,11 @@ pub struct EngineOutcome {
     pub trace: Vec<Evaluated>,
     /// Run-time statistics.
     pub stats: EngineStats,
+    /// True when the run stopped early — a shutdown request or
+    /// `halt_after` boundary — rather than exhausting its budget. A
+    /// halted run with a checkpoint policy attached has written a
+    /// resumable checkpoint.
+    pub halted: bool,
 }
 
 impl EngineOutcome {
@@ -161,6 +205,132 @@ pub struct Engine {
     objectives: ObjectiveSet,
     config: EvolutionConfig,
     obs: Obs,
+    checkpoint: Option<CheckpointPolicy>,
+    halt_after: Option<usize>,
+    shutdown: ShutdownFlag,
+}
+
+/// One dispatched evaluation the master is waiting on.
+struct InFlight {
+    genome: CandidateGenome,
+    attempt: usize,
+    deadline: Option<Instant>,
+}
+
+/// The master loop's mutable scalars, grouped so checkpoints can
+/// snapshot them in one place.
+#[derive(Default, Clone, Copy)]
+struct Counters {
+    submitted_unique: usize,
+    attempts: usize,
+    next_id: usize,
+    cache_hits: usize,
+    infeasible_count: usize,
+    retry_count: usize,
+    timeout_count: usize,
+    respawn_count: usize,
+    total_eval_time: f64,
+    train_time: f64,
+    hw_time: f64,
+}
+
+/// Deterministic jittered exponential backoff: base × 2^(attempt−1),
+/// scaled by a factor in [0.5, 1.5) drawn from an RNG seeded by the
+/// search seed, the candidate's cache key, and the attempt number —
+/// never from the master RNG, so retries leave the breeding sequence
+/// untouched.
+fn backoff_delay(cfg: &EvolutionConfig, key: u64, attempt: usize) -> Duration {
+    let exp = attempt.saturating_sub(1).min(10) as u32;
+    let base = cfg.retry_backoff.saturating_mul(1u32 << exp);
+    let mut rng = StdRng::seed_from_u64(
+        cfg.seed ^ key ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let factor = 0.5 + (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    base.mul_f64(factor)
+}
+
+/// Snapshots the master loop into a serializable [`CheckpointState`].
+/// In-flight and retry-queued work lands in `pending` so nothing is
+/// lost; with one thread both are empty at every admit boundary.
+#[allow(clippy::too_many_arguments)]
+fn build_checkpoint(
+    cfg: &EvolutionConfig,
+    rng: &StdRng,
+    c: &Counters,
+    wall_time_s: f64,
+    seeds: &[CandidateGenome],
+    population: &[Evaluated],
+    trace: &[Evaluated],
+    cache: &HashMap<u64, Measurement>,
+    inflight: &HashMap<usize, InFlight>,
+    retry_q: &VecDeque<(Instant, usize, CandidateGenome)>,
+    pending_restore: &VecDeque<PendingJob>,
+) -> CheckpointState {
+    let (rng_state, rng_inc) = rng.raw_state();
+    let pairs = |v: &[Evaluated]| {
+        v.iter()
+            .map(|e| (e.genome.clone(), e.measurement.clone()))
+            .collect()
+    };
+    let mut cache_entries: Vec<(u64, Measurement)> =
+        cache.iter().map(|(&k, m)| (k, m.clone())).collect();
+    cache_entries.sort_by_key(|&(k, _)| k);
+    let mut inflight_ids: Vec<&usize> = inflight.keys().collect();
+    inflight_ids.sort_unstable();
+    let pending = inflight_ids
+        .into_iter()
+        .map(|id| {
+            let j = &inflight[id];
+            PendingJob {
+                attempt: j.attempt,
+                genome: j.genome.clone(),
+            }
+        })
+        .chain(retry_q.iter().map(|(_, attempt, genome)| PendingJob {
+            attempt: *attempt,
+            genome: genome.clone(),
+        }))
+        .chain(pending_restore.iter().cloned())
+        .collect();
+    CheckpointState {
+        version: crate::checkpoint::FORMAT_VERSION,
+        seed: cfg.seed,
+        evaluations: cfg.evaluations,
+        population_cap: cfg.population,
+        rng_state,
+        rng_inc,
+        submitted_unique: c.submitted_unique,
+        attempts: c.attempts,
+        next_id: c.next_id,
+        cache_hits: c.cache_hits,
+        infeasible_count: c.infeasible_count,
+        retry_count: c.retry_count,
+        timeout_count: c.timeout_count,
+        respawn_count: c.respawn_count,
+        total_eval_time_s: c.total_eval_time,
+        train_time_s: c.train_time,
+        hw_time_s: c.hw_time,
+        wall_time_s,
+        seeds_remaining: seeds.to_vec(),
+        population: pairs(population),
+        trace: pairs(trace),
+        cache: cache_entries,
+        pending,
+    }
+}
+
+/// Writes a checkpoint, downgrading failure to a warning event — a
+/// full disk must not kill a search that is otherwise healthy.
+fn save_checkpoint(policy: &CheckpointPolicy, state: &CheckpointState, obs: &Obs) {
+    match state.save(&policy.path) {
+        Ok(()) => rt::trace!(
+            obs,
+            "checkpoint",
+            evaluations_done = state.trace.len(),
+            path = policy.path.display().to_string(),
+        ),
+        Err(e) => rt::warn!(obs, "checkpoint_error", error = e.to_string()),
+    }
 }
 
 impl Engine {
@@ -191,6 +361,9 @@ impl Engine {
             objectives,
             config,
             obs: Obs::disabled(),
+            checkpoint: None,
+            halt_after: None,
+            shutdown: ShutdownFlag::new(),
         }
     }
 
@@ -204,100 +377,299 @@ impl Engine {
         self
     }
 
-    /// Runs the search to budget exhaustion.
+    /// Attaches a checkpoint policy: the full master state is written
+    /// (atomically) to the policy's path every `every` unique
+    /// evaluations, on any halt, and at natural completion.
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Halts the run once the trace holds `n` unique evaluations —
+    /// deterministic interruption for checkpoint/resume tests and
+    /// budget slicing.
+    pub fn with_halt_after(mut self, n: usize) -> Self {
+        self.halt_after = Some(n);
+        self
+    }
+
+    /// Attaches a cooperative shutdown flag (e.g. one wired to
+    /// SIGINT/SIGTERM). When it trips, the run stops at the next safe
+    /// boundary, writes a checkpoint if a policy is attached, and
+    /// returns with `halted = true`.
+    pub fn with_shutdown(mut self, flag: ShutdownFlag) -> Self {
+        self.shutdown = flag;
+        self
+    }
+
+    /// Runs the search to budget exhaustion (or until halted).
     pub fn run(&self) -> EngineOutcome {
+        self.run_inner(None)
+    }
+
+    /// Continues a run from a checkpoint. For a seeded single-thread
+    /// search the continuation is byte-identical to the uninterrupted
+    /// run: same candidates, same trace suffix, same final population.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Mismatch`] when the checkpoint's
+    /// seed, budget, or population capacity disagree with this engine's
+    /// configuration.
+    pub fn resume(&self, state: CheckpointState) -> Result<EngineOutcome, CheckpointError> {
+        state.validate(&self.config)?;
+        Ok(self.run_inner(Some(state)))
+    }
+
+    fn run_inner(&self, restored: Option<CheckpointState>) -> EngineOutcome {
         let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
         let cfg = self.config;
 
-        rt::info!(
-            self.obs,
-            "search_start",
-            target = self.evaluator.target_name(),
-            population = cfg.population,
-            evaluations = cfg.evaluations,
-            tournament = cfg.tournament,
-            seed = cfg.seed,
-            threads = cfg.threads,
-            selection = match cfg.selection {
-                SelectionMode::WeightedScalar => "weighted-scalar",
-                SelectionMode::Nsga2 => "nsga2",
-            },
-        );
+        let mut rng;
+        let mut population: Vec<Evaluated>;
+        let mut trace: Vec<Evaluated>;
+        let mut cache: HashMap<u64, Measurement>;
+        let mut seeds: Vec<CandidateGenome>;
+        let mut c = Counters::default();
+        let prior_wall: f64;
+        let mut pending_restore: VecDeque<PendingJob>;
+
+        match restored {
+            Some(state) => {
+                let revive = |(genome, measurement): (CandidateGenome, Measurement)| {
+                    // Fitness is recomputed rather than serialized:
+                    // infeasible candidates carry -inf, which JSON
+                    // cannot represent.
+                    let fitness = self.objectives.scalar(&measurement);
+                    Evaluated {
+                        genome,
+                        measurement,
+                        fitness,
+                    }
+                };
+                rng = StdRng::from_raw_state(state.rng_state, state.rng_inc);
+                population = state.population.into_iter().map(revive).collect();
+                trace = state.trace.into_iter().map(revive).collect();
+                cache = state.cache.into_iter().collect();
+                seeds = state.seeds_remaining;
+                c.submitted_unique = state.submitted_unique;
+                c.attempts = state.attempts;
+                c.next_id = state.next_id;
+                c.cache_hits = state.cache_hits;
+                c.infeasible_count = state.infeasible_count;
+                c.retry_count = state.retry_count;
+                c.timeout_count = state.timeout_count;
+                c.respawn_count = state.respawn_count;
+                c.total_eval_time = state.total_eval_time_s;
+                c.train_time = state.train_time_s;
+                c.hw_time = state.hw_time_s;
+                prior_wall = state.wall_time_s;
+                pending_restore = state.pending.into();
+                // Trace level on purpose: the resumed run's Debug-level
+                // JSONL must continue the interrupted file byte-for-byte,
+                // so no extra Debug+ event may appear here (and no second
+                // search_start).
+                rt::trace!(self.obs, "resume", evaluations_done = trace.len());
+            }
+            None => {
+                rng = StdRng::seed_from_u64(cfg.seed);
+                rt::info!(
+                    self.obs,
+                    "search_start",
+                    target = self.evaluator.target_name(),
+                    population = cfg.population,
+                    evaluations = cfg.evaluations,
+                    tournament = cfg.tournament,
+                    seed = cfg.seed,
+                    threads = cfg.threads,
+                    selection = match cfg.selection {
+                        SelectionMode::WeightedScalar => "weighted-scalar",
+                        SelectionMode::Nsga2 => "nsga2",
+                    },
+                );
+                population = Vec::with_capacity(cfg.population);
+                trace = Vec::new();
+                cache = HashMap::new();
+                // Seed genomes for the initial population.
+                seeds = (0..cfg.population.min(cfg.evaluations))
+                    .map(|_| self.space.sample(&mut rng))
+                    .collect();
+                seeds.reverse(); // pop() takes them in creation order
+                prior_wall = 0.0;
+                pending_restore = VecDeque::new();
+            }
+        }
+
         let evaluated_counter = self.obs.counter("engine.models_evaluated");
         let cache_hit_counter = self.obs.counter("engine.cache_hits");
         let infeasible_counter = self.obs.counter("engine.infeasible");
+        let retry_counter = self.obs.counter("engine.retries");
+        let timeout_counter = self.obs.counter("engine.timeouts");
+        let respawn_counter = self.obs.counter("engine.respawns");
         let eval_hist = self.obs.histogram("engine.eval_time_s");
 
         let (req_tx, req_rx) = channel::unbounded::<(usize, CandidateGenome)>();
         let (res_tx, res_rx) = channel::unbounded::<(usize, CandidateGenome, Measurement)>();
 
-        let mut population: Vec<Evaluated> = Vec::with_capacity(cfg.population);
-        let mut trace: Vec<Evaluated> = Vec::new();
-        let mut cache: HashMap<u64, Measurement> = HashMap::new();
-        let mut cache_hits = 0usize;
-        let mut total_eval_time = 0.0f64;
-        let mut infeasible_count = 0usize;
-        let mut train_time = 0.0f64;
-        let mut hw_time = 0.0f64;
+        // Workers live in supervised slots on detached threads: a hung
+        // evaluation can be abandoned (scoped threads would force a
+        // join that never returns). They exit when `req_tx` drops or
+        // when their generation goes stale after a respawn.
+        let mut supervisor = Supervisor::new();
+        for _ in 0..cfg.threads {
+            let req_rx = req_rx.clone();
+            let res_tx = res_tx.clone();
+            let evaluator = Arc::clone(&self.evaluator);
+            let obs = self.obs.clone();
+            supervisor.spawn(move |ctx| loop {
+                let (id, genome) = match req_rx.recv() {
+                    Ok(job) => job,
+                    Err(_) => return,
+                };
+                ctx.claim(id as u64);
+                let started = Instant::now();
+                let m = {
+                    let _span = rt::span!(obs, "evaluate", worker = ctx.slot(), id = id);
+                    catch_unwind(AssertUnwindSafe(|| evaluator.evaluate(&genome)))
+                        .unwrap_or_else(|_| {
+                            rt::warn!(
+                                obs,
+                                "infeasible",
+                                stage = "worker",
+                                reason = InfeasibleReason::WorkerPanic.kind(),
+                            );
+                            let mut m =
+                                Measurement::infeasible(InfeasibleReason::WorkerPanic);
+                            // The failed attempt consumed real wall
+                            // clock; Table III's totals must include it.
+                            m.eval_time_s = started.elapsed().as_secs_f64();
+                            m
+                        })
+                };
+                ctx.release(id as u64);
+                if res_tx.send((id, genome, m)).is_err() || !ctx.is_current() {
+                    return;
+                }
+            });
+        }
+        drop(res_tx); // workers (via the supervisor) hold the clones
 
-        std::thread::scope(|scope| {
-            for worker in 0..cfg.threads {
-                let req_rx = req_rx.clone();
-                let res_tx = res_tx.clone();
-                let evaluator = Arc::clone(&self.evaluator);
-                let obs = self.obs.clone();
-                scope.spawn(move || {
-                    for (id, genome) in req_rx.iter() {
-                        let m = {
-                            let _span = rt::span!(obs, "evaluate", worker = worker, id = id);
-                            catch_unwind(AssertUnwindSafe(|| evaluator.evaluate(&genome)))
-                                .unwrap_or_else(|_| {
-                                    rt::warn!(
-                                        obs,
-                                        "infeasible",
-                                        stage = "worker",
-                                        reason = InfeasibleReason::WorkerPanic.kind(),
-                                    );
-                                    Measurement::infeasible(InfeasibleReason::WorkerPanic)
-                                })
-                        };
-                        if res_tx.send((id, genome, m)).is_err() {
-                            break;
-                        }
+        let max_attempts = cfg.evaluations * Self::MAX_ATTEMPT_FACTOR;
+        let mut inflight: HashMap<usize, InFlight> = HashMap::new();
+        let mut stale: HashSet<usize> = HashSet::new();
+        let mut retry_q: VecDeque<(Instant, usize, CandidateGenome)> = VecDeque::new();
+        let mut halted = false;
+
+        macro_rules! dispatch {
+            ($genome:expr, $attempt:expr) => {{
+                let genome: CandidateGenome = $genome;
+                let attempt: usize = $attempt;
+                let id = c.next_id;
+                c.next_id += 1;
+                inflight.insert(
+                    id,
+                    InFlight {
+                        genome: genome.clone(),
+                        attempt,
+                        deadline: cfg.eval_timeout.map(|t| Instant::now() + t),
+                    },
+                );
+                req_tx.send((id, genome)).expect("workers alive");
+                id
+            }};
+        }
+
+        macro_rules! finalize {
+            ($id:expr, $genome:expr, $measurement:expr) => {{
+                let measurement: Measurement = $measurement;
+                evaluated_counter.inc();
+                if !measurement.hw.is_feasible() {
+                    c.infeasible_count += 1;
+                    infeasible_counter.inc();
+                }
+                // Transient verdicts (an exhausted retry budget) stay
+                // out of the cache: a duplicate later gets a fresh
+                // chance instead of inheriting a flaky failure.
+                if measurement.failure_kind() != Some(FailureKind::Transient) {
+                    cache.insert($genome.cache_key(), measurement.clone());
+                }
+                let eval = self.admit($genome, measurement, &mut population, &mut rng);
+                rt::info!(
+                    self.obs,
+                    "evaluated",
+                    id = $id,
+                    accuracy = eval.measurement.accuracy,
+                    fitness = eval.fitness,
+                    feasible = eval.measurement.hw.is_feasible(),
+                );
+                trace.push(eval);
+                if let Some(policy) = &self.checkpoint {
+                    if trace.len() % policy.every == 0 {
+                        let state = build_checkpoint(
+                            &cfg, &rng, &c, prior_wall + start.elapsed().as_secs_f64(),
+                            &seeds, &population, &trace, &cache,
+                            &inflight, &retry_q, &pending_restore,
+                        );
+                        save_checkpoint(policy, &state, &self.obs);
                     }
-                });
-            }
-            drop(res_tx); // workers hold the remaining clones
+                }
+            }};
+        }
 
-            // Seed genomes for the initial population.
-            let mut seeds: Vec<CandidateGenome> = (0..cfg.population.min(cfg.evaluations))
-                .map(|_| self.space.sample(&mut rng))
-                .collect();
-            seeds.reverse(); // pop() takes them in creation order
+        loop {
+            let halt_requested = self.shutdown.is_requested()
+                || self.halt_after.is_some_and(|n| trace.len() >= n);
 
-            let mut submitted_unique = 0usize;
-            let mut inflight = 0usize;
-            let mut attempts = 0usize;
-            let max_attempts = cfg.evaluations * Self::MAX_ATTEMPT_FACTOR;
-            let mut next_id = 0usize;
-
-            loop {
-                // Fill the in-flight window with fresh candidates.
-                while inflight < cfg.threads
-                    && submitted_unique < cfg.evaluations
-                    && attempts < max_attempts
+            if !halt_requested {
+                // Re-dispatch retries whose backoff has elapsed, then
+                // work restored from a checkpoint (its unique budget is
+                // already counted), then fresh candidates.
+                let now = Instant::now();
+                while inflight.len() < cfg.threads
+                    && retry_q.front().is_some_and(|&(ready, _, _)| ready <= now)
+                {
+                    let (_, attempt, genome) = retry_q.pop_front().expect("front checked");
+                    let key = genome.cache_key();
+                    let id = dispatch!(genome, attempt);
+                    rt::warn!(
+                        self.obs,
+                        "retry",
+                        id = id,
+                        attempt = attempt,
+                        key = format!("{key:016x}"),
+                    );
+                }
+                while inflight.len() < cfg.threads && !pending_restore.is_empty() {
+                    let job = pending_restore.pop_front().expect("nonempty");
+                    let key = job.genome.cache_key();
+                    let attempt = job.attempt;
+                    let id = dispatch!(job.genome, attempt);
+                    if attempt == 0 {
+                        rt::debug!(self.obs, "submit", id = id, key = format!("{key:016x}"));
+                    } else {
+                        rt::warn!(
+                            self.obs,
+                            "retry",
+                            id = id,
+                            attempt = attempt,
+                            key = format!("{key:016x}"),
+                        );
+                    }
+                }
+                while inflight.len() < cfg.threads
+                    && c.submitted_unique < cfg.evaluations
+                    && c.attempts < max_attempts
                 {
                     let genome = match seeds.pop() {
                         Some(g) => g,
                         None => self.breed(&population, &mut rng),
                     };
-                    attempts += 1;
+                    c.attempts += 1;
                     let key = genome.cache_key();
                     if let Some(cached) = cache.get(&key) {
                         // Duplicate: serve from cache, no budget, no
                         // worker round-trip.
-                        cache_hits += 1;
+                        c.cache_hits += 1;
                         cache_hit_counter.inc();
                         rt::debug!(self.obs, "cache_hit", key = format!("{key:016x}"));
                         let eval = self.admit(genome, cached.clone(), &mut population, &mut rng);
@@ -313,74 +685,178 @@ impl Engine {
                     rt::debug!(
                         self.obs,
                         "submit",
-                        id = next_id,
+                        id = c.next_id,
                         key = format!("{key:016x}"),
                     );
-                    // Reserve the cache slot so concurrent duplicates
-                    // within the window are caught next time around.
-                    req_tx.send((next_id, genome)).expect("workers alive");
-                    next_id += 1;
-                    submitted_unique += 1;
-                    inflight += 1;
+                    c.submitted_unique += 1;
+                    dispatch!(genome, 0);
                 }
-
-                if inflight == 0 {
-                    break; // budget exhausted and everything drained
-                }
-
-                let (id, genome, measurement) = res_rx.recv().expect("worker pool alive");
-                inflight -= 1;
-                total_eval_time += measurement.eval_time_s;
-                train_time += measurement.train_time_s;
-                hw_time += measurement.hw_time_s;
-                evaluated_counter.inc();
-                eval_hist.record(measurement.eval_time_s);
-                if !measurement.hw.is_feasible() {
-                    infeasible_count += 1;
-                    infeasible_counter.inc();
-                }
-                cache.insert(genome.cache_key(), measurement.clone());
-                let eval = self.admit(genome, measurement, &mut population, &mut rng);
-                rt::info!(
-                    self.obs,
-                    "evaluated",
-                    id = id,
-                    accuracy = eval.measurement.accuracy,
-                    fitness = eval.fitness,
-                    feasible = eval.measurement.hw.is_feasible(),
-                );
-                trace.push(eval);
             }
-            drop(req_tx); // shut the pool down
-        });
+
+            let drained =
+                inflight.is_empty() && retry_q.is_empty() && pending_restore.is_empty();
+            if halt_requested || drained {
+                if halt_requested {
+                    halted = true;
+                    // Trace level for the same reason as "resume": the
+                    // halted file must be a byte-prefix of the
+                    // uninterrupted run's Debug-level JSONL.
+                    rt::trace!(self.obs, "halt", evaluations_done = trace.len());
+                    if let Some(policy) = &self.checkpoint {
+                        let state = build_checkpoint(
+                            &cfg, &rng, &c, prior_wall + start.elapsed().as_secs_f64(),
+                            &seeds, &population, &trace, &cache,
+                            &inflight, &retry_q, &pending_restore,
+                        );
+                        save_checkpoint(policy, &state, &self.obs);
+                    }
+                }
+                break;
+            }
+
+            // Sleep until a result arrives — or the earliest deadline /
+            // retry-ready time, whichever comes first.
+            let wake = inflight
+                .values()
+                .filter_map(|j| j.deadline)
+                .chain(retry_q.iter().map(|&(ready, _, _)| ready))
+                .min();
+            let received = match wake {
+                None => Some(res_rx.recv().expect("worker pool alive")),
+                Some(deadline) => match res_rx.recv_deadline(deadline) {
+                    Ok(msg) => Some(msg),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        unreachable!("supervisor retains worker senders")
+                    }
+                },
+            };
+
+            match received {
+                Some((id, genome, measurement)) => {
+                    if stale.remove(&id) {
+                        // A timed-out dispatch finally reported; its
+                        // verdict was already decided.
+                        rt::trace!(self.obs, "late_result", id = id);
+                        continue;
+                    }
+                    let job = inflight.remove(&id).expect("result for in-flight id");
+                    c.total_eval_time += measurement.eval_time_s;
+                    c.train_time += measurement.train_time_s;
+                    c.hw_time += measurement.hw_time_s;
+                    eval_hist.record(measurement.eval_time_s);
+                    if measurement.failure_kind() == Some(FailureKind::Transient)
+                        && job.attempt < cfg.max_retries
+                    {
+                        let key = genome.cache_key();
+                        let attempt = job.attempt + 1;
+                        c.retry_count += 1;
+                        retry_counter.inc();
+                        retry_q.push_back((
+                            Instant::now() + backoff_delay(&cfg, key, attempt),
+                            attempt,
+                            genome,
+                        ));
+                    } else {
+                        finalize!(id, genome, measurement);
+                    }
+                }
+                None => {
+                    // Deadline pass: abandon every overdue dispatch.
+                    let now = Instant::now();
+                    let mut expired: Vec<usize> = inflight
+                        .iter()
+                        .filter(|(_, j)| j.deadline.is_some_and(|d| d <= now))
+                        .map(|(&id, _)| id)
+                        .collect();
+                    expired.sort_unstable();
+                    for id in expired {
+                        let job = inflight.remove(&id).expect("expired id in flight");
+                        c.timeout_count += 1;
+                        timeout_counter.inc();
+                        rt::warn!(
+                            self.obs,
+                            "eval_timeout",
+                            id = id,
+                            attempt = job.attempt,
+                        );
+                        stale.insert(id);
+                        if let Some(slot) = supervisor.claimed_slot(id as u64) {
+                            // The slot is wedged inside this job:
+                            // abandon its thread and start a fresh one.
+                            supervisor.record_stall();
+                            supervisor.respawn(slot);
+                            c.respawn_count += 1;
+                            respawn_counter.inc();
+                            rt::warn!(self.obs, "worker_respawn", slot = slot, id = id);
+                        }
+                        let key = job.genome.cache_key();
+                        if job.attempt < cfg.max_retries {
+                            let attempt = job.attempt + 1;
+                            c.retry_count += 1;
+                            retry_counter.inc();
+                            retry_q.push_back((
+                                now + backoff_delay(&cfg, key, attempt),
+                                attempt,
+                                job.genome,
+                            ));
+                        } else {
+                            let mut m =
+                                Measurement::infeasible(InfeasibleReason::EvalTimeout);
+                            // The wait itself is wall clock spent on
+                            // this candidate.
+                            m.eval_time_s =
+                                cfg.eval_timeout.map_or(0.0, |t| t.as_secs_f64());
+                            c.total_eval_time += m.eval_time_s;
+                            finalize!(id, job.genome, m);
+                        }
+                    }
+                }
+            }
+        }
+        drop(req_tx); // idle workers drain and exit
 
         let models_evaluated = trace.len();
-        rt::info!(
-            self.obs,
-            "search_end",
-            models_evaluated = models_evaluated,
-            cache_hits = cache_hits,
-            infeasible = infeasible_count,
-        );
+        if !halted {
+            rt::info!(
+                self.obs,
+                "search_end",
+                models_evaluated = models_evaluated,
+                cache_hits = c.cache_hits,
+                infeasible = c.infeasible_count,
+            );
+            if let Some(policy) = &self.checkpoint {
+                let state = build_checkpoint(
+                    &cfg, &rng, &c, prior_wall + start.elapsed().as_secs_f64(),
+                    &seeds, &population, &trace, &cache,
+                    &inflight, &retry_q, &pending_restore,
+                );
+                save_checkpoint(policy, &state, &self.obs);
+            }
+        }
         self.obs.flush();
         let stats = EngineStats {
             models_evaluated,
-            cache_hits,
-            total_eval_time_s: total_eval_time,
+            cache_hits: c.cache_hits,
+            total_eval_time_s: c.total_eval_time,
             avg_eval_time_s: if models_evaluated > 0 {
-                total_eval_time / models_evaluated as f64
+                c.total_eval_time / models_evaluated as f64
             } else {
                 0.0
             },
-            wall_time_s: start.elapsed().as_secs_f64(),
-            infeasible_count,
-            train_time_s: train_time,
-            hw_time_s: hw_time,
+            wall_time_s: prior_wall + start.elapsed().as_secs_f64(),
+            infeasible_count: c.infeasible_count,
+            train_time_s: c.train_time,
+            hw_time_s: c.hw_time,
+            retry_count: c.retry_count,
+            timeout_count: c.timeout_count,
+            respawn_count: c.respawn_count,
         };
         EngineOutcome {
             population,
             trace,
             stats,
+            halted,
         }
     }
 
@@ -582,6 +1058,7 @@ mod tests {
             seed,
             threads,
             selection: SelectionMode::WeightedScalar,
+            ..EvolutionConfig::small()
         };
         Engine::new(
             Arc::new(ToyEvaluator {
@@ -638,6 +1115,7 @@ mod tests {
             seed: 3,
             threads: 1,
             selection: SelectionMode::WeightedScalar,
+            ..EvolutionConfig::small()
         };
         let eng = Engine::new(
             Arc::new(ToyEvaluator {
@@ -668,6 +1146,7 @@ mod tests {
             seed: 5,
             threads: 2,
             selection: SelectionMode::WeightedScalar,
+            ..EvolutionConfig::small()
         };
         let eng = Engine::new(
             // Panic on a width that random sampling will hit eventually;
@@ -735,6 +1214,7 @@ mod tests {
             seed: 3,
             threads: 1,
             selection: SelectionMode::WeightedScalar,
+            ..EvolutionConfig::small()
         };
         let out = Engine::new(
             Arc::new(ToyEvaluator {
@@ -793,6 +1273,7 @@ mod tests {
             seed: 23,
             threads: 1,
             selection: SelectionMode::WeightedScalar,
+            ..EvolutionConfig::small()
         };
         let accuracy_only = Engine::new(
             Arc::new(ToyEvaluator {
@@ -837,6 +1318,7 @@ mod tests {
             seed: 31,
             threads: 1,
             selection: SelectionMode::Nsga2,
+            ..EvolutionConfig::small()
         };
         let out = Engine::new(
             Arc::new(ToyEvaluator {
@@ -869,6 +1351,7 @@ mod tests {
                 seed,
                 threads: 1,
                 selection,
+                ..EvolutionConfig::small()
             };
             let out = Engine::new(
                 Arc::new(ToyEvaluator {
@@ -910,6 +1393,7 @@ mod tests {
                 seed: 5,
                 threads: 1,
                 selection: SelectionMode::Nsga2,
+                ..EvolutionConfig::small()
             };
             Engine::new(
                 Arc::new(ToyEvaluator {
@@ -926,6 +1410,244 @@ mod tests {
             .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance: deadlines, retries, supervision, checkpoints.
+    // With `retry_backoff: Duration::ZERO` and one thread, retries are
+    // re-dispatched before any fresh candidate, so the FaultyEvaluator's
+    // global call indices stay deterministic.
+    // ------------------------------------------------------------------
+
+    use crate::checkpoint::{CheckpointPolicy, CheckpointState};
+    use crate::faults::{FaultKind, FaultSchedule, FaultyEvaluator};
+    use std::time::Duration;
+
+    fn faulty_engine(schedule: FaultSchedule, cfg: EvolutionConfig) -> Engine {
+        Engine::new(
+            Arc::new(FaultyEvaluator::new(
+                Arc::new(ToyEvaluator {
+                    panic_on_width: None,
+                }),
+                schedule,
+            )),
+            SearchSpace::gpu_default(),
+            ObjectiveSet::accuracy_only(),
+            cfg,
+        )
+    }
+
+    fn fault_cfg(evals: usize, seed: u64) -> EvolutionConfig {
+        EvolutionConfig {
+            population: 4,
+            evaluations: evals,
+            tournament: 2,
+            seed,
+            retry_backoff: Duration::ZERO,
+            ..EvolutionConfig::small()
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_and_counted() {
+        // Calls 1 and 4 fail transiently; with zero backoff each retry
+        // is the very next call and succeeds. The budget is unaffected.
+        let schedule = FaultSchedule::new()
+            .at(1, FaultKind::Transient)
+            .at(4, FaultKind::Transient);
+        let out = faulty_engine(schedule, fault_cfg(8, 41)).run();
+        assert_eq!(out.stats.models_evaluated, 8);
+        assert_eq!(out.stats.retry_count, 2);
+        assert_eq!(out.stats.timeout_count, 0);
+        assert_eq!(out.stats.respawn_count, 0);
+        assert!(!out.halted);
+        assert!(out.trace.iter().all(|e| e.measurement.hw.is_feasible()));
+    }
+
+    #[test]
+    fn stalled_evaluation_times_out_and_respawns_the_slot() {
+        // Call 2 stalls for 2s against a 50ms deadline: the dispatch is
+        // abandoned (timeout + respawn), retried clean, and the stale
+        // thread's late result is dropped.
+        let schedule = FaultSchedule::new().at(2, FaultKind::Stall(Duration::from_secs(2)));
+        let cfg = EvolutionConfig {
+            eval_timeout: Some(Duration::from_millis(50)),
+            ..fault_cfg(6, 42)
+        };
+        let out = faulty_engine(schedule, cfg).run();
+        assert_eq!(out.stats.models_evaluated, 6);
+        assert_eq!(out.stats.timeout_count, 1);
+        assert_eq!(out.stats.respawn_count, 1);
+        assert_eq!(out.stats.retry_count, 1);
+        assert!(out.trace.iter().all(|e| e.measurement.hw.is_feasible()));
+    }
+
+    #[test]
+    fn injected_panics_are_retried_then_succeed() {
+        let schedule = FaultSchedule::new().at(3, FaultKind::Panic);
+        let out = faulty_engine(schedule, fault_cfg(8, 43)).run();
+        assert_eq!(out.stats.models_evaluated, 8);
+        assert_eq!(out.stats.retry_count, 1);
+        assert!(out.trace.iter().all(|e| e.measurement.hw.is_feasible()));
+    }
+
+    #[test]
+    fn exhausted_retries_accept_the_last_transient_verdict() {
+        // The same candidate fails on its first try and both retries
+        // (max_retries = 2 ⇒ calls 0, 1, 2 are one candidate), so its
+        // transient verdict becomes final — and is NOT cached.
+        let schedule = FaultSchedule::new()
+            .at(0, FaultKind::Transient)
+            .at(1, FaultKind::Transient)
+            .at(2, FaultKind::Transient);
+        let out = faulty_engine(schedule, fault_cfg(5, 44)).run();
+        assert_eq!(out.stats.models_evaluated, 5);
+        assert_eq!(out.stats.retry_count, 2);
+        assert_eq!(out.stats.infeasible_count, 1);
+        let failed: Vec<_> = out
+            .trace
+            .iter()
+            .filter(|e| !e.measurement.hw.is_feasible())
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(
+            failed[0].measurement.infeasible_reason().map(|r| r.kind()),
+            Some("transient")
+        );
+    }
+
+    #[test]
+    fn panic_wall_clock_lands_in_total_eval_time() {
+        // With retries disabled, the panicking attempt's verdict is
+        // final; its measurement must still carry the elapsed wall
+        // clock (a crashed evaluation is not free).
+        let schedule = FaultSchedule::new().at(0, FaultKind::Panic);
+        let cfg = EvolutionConfig {
+            max_retries: 0,
+            ..fault_cfg(4, 45)
+        };
+        let out = faulty_engine(schedule, cfg).run();
+        let panicked: Vec<_> = out
+            .trace
+            .iter()
+            .filter(|e| {
+                e.measurement.infeasible_reason().map(|r| r.kind()) == Some("worker-panic")
+            })
+            .collect();
+        assert_eq!(panicked.len(), 1);
+        assert!(
+            panicked[0].measurement.eval_time_s > 0.0,
+            "panicked attempt must record its elapsed time"
+        );
+    }
+
+    #[test]
+    fn shutdown_flag_halts_before_any_work() {
+        let flag = rt::supervise::ShutdownFlag::new();
+        flag.request();
+        let out = engine(50, 46, 1).with_shutdown(flag).run();
+        assert!(out.halted);
+        assert_eq!(out.stats.models_evaluated, 0);
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ecad-engine-checkpoint");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn halt_checkpoint_resume_matches_uninterrupted_run() {
+        let uninterrupted = engine(40, 47, 1).run();
+
+        let path = tmp_path("halt-resume.json");
+        let first = engine(40, 47, 1)
+            .with_checkpoint(CheckpointPolicy::new(&path, 5))
+            .with_halt_after(20)
+            .run();
+        assert!(first.halted);
+        assert_eq!(first.stats.models_evaluated, 20);
+
+        let state = CheckpointState::load(&path).unwrap();
+        let resumed = engine(40, 47, 1).resume(state).unwrap();
+        assert!(!resumed.halted);
+        assert_eq!(resumed.stats.models_evaluated, 40);
+
+        let describe =
+            |o: &EngineOutcome| -> Vec<String> {
+                o.trace.iter().map(|e| e.genome.describe()).collect()
+            };
+        assert_eq!(describe(&resumed), describe(&uninterrupted));
+        let fitnesses = |o: &EngineOutcome| -> Vec<f64> {
+            o.trace.iter().map(|e| e.fitness).collect()
+        };
+        assert_eq!(fitnesses(&resumed), fitnesses(&uninterrupted));
+        let pop = |o: &EngineOutcome| -> Vec<String> {
+            o.population.iter().map(|e| e.genome.describe()).collect()
+        };
+        assert_eq!(pop(&resumed), pop(&uninterrupted));
+        assert_eq!(
+            resumed.best().unwrap().genome,
+            uninterrupted.best().unwrap().genome
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_seed() {
+        let path = tmp_path("mismatch.json");
+        let _ = engine(20, 48, 1)
+            .with_checkpoint(CheckpointPolicy::new(&path, 5))
+            .with_halt_after(10)
+            .run();
+        let state = CheckpointState::load(&path).unwrap();
+        assert!(engine(20, 999, 1).resume(state).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn periodic_checkpoint_reflects_final_state_after_completion() {
+        let path = tmp_path("periodic.json");
+        let out = engine(30, 49, 1)
+            .with_checkpoint(CheckpointPolicy::new(&path, 7))
+            .run();
+        let state = CheckpointState::load(&path).unwrap();
+        assert_eq!(state.trace.len(), out.stats.models_evaluated);
+        assert!(state.pending.is_empty());
+        // Resuming a completed run is a no-op that returns the same
+        // final population.
+        let resumed = engine(30, 49, 1).resume(state).unwrap();
+        assert_eq!(resumed.stats.models_evaluated, 30);
+        assert_eq!(
+            resumed.best().unwrap().genome,
+            out.best().unwrap().genome
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn faulted_run_still_resumes_deterministically() {
+        // Faults + checkpoint/resume compose: halt mid-run under a
+        // transient-fault schedule, resume, and still complete the
+        // budget. (Call indices shift across the restore boundary, so
+        // only aggregate behavior is asserted here; byte-identity is
+        // exercised by the fault-free tests above.)
+        let schedule = FaultSchedule::new()
+            .at(1, FaultKind::Transient)
+            .at(6, FaultKind::Transient);
+        let path = tmp_path("faulted-resume.json");
+        let first = faulty_engine(schedule, fault_cfg(12, 50))
+            .with_checkpoint(CheckpointPolicy::new(&path, 4))
+            .with_halt_after(8)
+            .run();
+        assert!(first.halted);
+        let state = CheckpointState::load(&path).unwrap();
+        let resumed = faulty_engine(FaultSchedule::new(), fault_cfg(12, 50))
+            .resume(state)
+            .unwrap();
+        assert_eq!(resumed.stats.models_evaluated, 12);
+        assert_eq!(resumed.stats.retry_count, 2);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

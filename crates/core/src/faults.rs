@@ -1,0 +1,248 @@
+//! Deterministic fault injection for exercising the engine's
+//! fault-tolerance machinery (deadlines, retries, worker respawns).
+//!
+//! [`FaultyEvaluator`] wraps any [`Evaluator`] and perturbs calls
+//! according to a [`FaultSchedule`] keyed by **global call index** (the
+//! order in which evaluations are handed to workers). With a
+//! single-threaded engine the call order is deterministic, so a test
+//! can inject "panic on call 3, stall on call 7, transient on call 11"
+//! and assert the engine's retry/timeout/respawn counters match the
+//! schedule exactly. Schedules can also be drawn from a seeded RNG for
+//! soak-style coverage.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rt::rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::genome::CandidateGenome;
+use crate::measurement::{InfeasibleReason, Measurement};
+use crate::workers::Evaluator;
+
+/// The perturbation applied to one evaluation call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the worker body (exercises catch + slot restart).
+    Panic,
+    /// Sleep this long before evaluating normally (exercises the
+    /// per-evaluation deadline and stalled-slot respawn when the sleep
+    /// exceeds `eval_timeout`).
+    Stall(Duration),
+    /// Return a [`InfeasibleReason::Transient`] verdict (exercises the
+    /// retry-with-backoff path).
+    Transient,
+}
+
+/// A call-index → fault mapping. Indices count every `evaluate` call
+/// the wrapper sees, starting at 0; unlisted calls pass through
+/// untouched.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    faults: BTreeMap<usize, FaultKind>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule: every call passes through.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Injects `kind` at global call index `index` (builder-style).
+    pub fn at(mut self, index: usize, kind: FaultKind) -> Self {
+        self.faults.insert(index, kind);
+        self
+    }
+
+    /// Draws a schedule from a seeded RNG: each call index in
+    /// `0..horizon` independently suffers a fault with probability
+    /// `rate`, split evenly between panics, stalls (of `stall` length),
+    /// and transients. Deterministic for a given `(seed, horizon,
+    /// rate)`.
+    pub fn seeded(seed: u64, horizon: usize, rate: f64, stall: Duration) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa_017);
+        let mut faults = BTreeMap::new();
+        for index in 0..horizon {
+            if rng.gen::<f64>() < rate {
+                let kind = match rng.gen_range(0..3u32) {
+                    0 => FaultKind::Panic,
+                    1 => FaultKind::Stall(stall),
+                    _ => FaultKind::Transient,
+                };
+                faults.insert(index, kind);
+            }
+        }
+        Self { faults }
+    }
+
+    /// The fault planned for call `index`, if any.
+    pub fn fault_at(&self, index: usize) -> Option<FaultKind> {
+        self.faults.get(&index).copied()
+    }
+
+    /// Planned fault counts as `(panics, stalls, transients)` — what a
+    /// test should expect the engine's counters to reflect, assuming
+    /// every scheduled index is actually reached.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for kind in self.faults.values() {
+            match kind {
+                FaultKind::Panic => c.0 += 1,
+                FaultKind::Stall(_) => c.1 += 1,
+                FaultKind::Transient => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// An [`Evaluator`] decorator that injects faults per a
+/// [`FaultSchedule`]. Thread-safe; the call counter is a process-wide
+/// atomic on the wrapper instance.
+pub struct FaultyEvaluator {
+    inner: Arc<dyn Evaluator>,
+    schedule: FaultSchedule,
+    calls: AtomicUsize,
+}
+
+impl FaultyEvaluator {
+    /// Wraps `inner`, perturbing calls per `schedule`.
+    pub fn new(inner: Arc<dyn Evaluator>, schedule: FaultSchedule) -> Self {
+        Self {
+            inner,
+            schedule,
+            calls: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total `evaluate` calls observed so far (including faulted ones).
+    pub fn calls(&self) -> usize {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// The schedule this wrapper injects.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+}
+
+impl Evaluator for FaultyEvaluator {
+    fn evaluate(&self, genome: &CandidateGenome) -> Measurement {
+        let index = self.calls.fetch_add(1, Ordering::SeqCst);
+        match self.schedule.fault_at(index) {
+            Some(FaultKind::Panic) => panic!("injected fault: panic at call {index}"),
+            Some(FaultKind::Stall(d)) => {
+                std::thread::sleep(d);
+                self.inner.evaluate(genome)
+            }
+            Some(FaultKind::Transient) => Measurement::infeasible(
+                InfeasibleReason::Transient(format!("injected fault at call {index}")),
+            ),
+            None => self.inner.evaluate(genome),
+        }
+    }
+
+    fn target_name(&self) -> String {
+        self.inner.target_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::{HwGenome, LayerGene, NnaGenome};
+    use crate::measurement::{FailureKind, HwMetrics};
+    use ecad_mlp::Activation;
+
+    struct Ok9;
+    impl Evaluator for Ok9 {
+        fn evaluate(&self, _genome: &CandidateGenome) -> Measurement {
+            Measurement {
+                accuracy: 0.9,
+                train_accuracy: 0.9,
+                params: 10,
+                neurons: 8,
+                hw: HwMetrics::Gpu {
+                    outputs_per_s: 1e5,
+                    efficiency: 0.1,
+                    latency_s: 1e-4,
+                    effective_gflops: 10.0,
+                    power_w: 50.0,
+                },
+                eval_time_s: 0.01,
+                train_time_s: 0.008,
+                hw_time_s: 0.002,
+            }
+        }
+        fn target_name(&self) -> String {
+            "ok9".into()
+        }
+    }
+
+    fn genome() -> CandidateGenome {
+        CandidateGenome {
+            nna: NnaGenome {
+                layers: vec![LayerGene {
+                    neurons: 8,
+                    activation: Activation::Relu,
+                    bias: true,
+                }],
+            },
+            hw: HwGenome::GpuBatch { batch: 4 },
+        }
+    }
+
+    #[test]
+    fn schedule_drives_call_indices() {
+        let schedule = FaultSchedule::new()
+            .at(1, FaultKind::Transient)
+            .at(3, FaultKind::Stall(Duration::from_millis(1)));
+        let eval = FaultyEvaluator::new(Arc::new(Ok9), schedule);
+        let g = genome();
+        assert!(eval.evaluate(&g).hw.is_feasible()); // call 0: clean
+        let m = eval.evaluate(&g); // call 1: transient
+        assert_eq!(m.failure_kind(), Some(FailureKind::Transient));
+        assert!(eval.evaluate(&g).hw.is_feasible()); // call 2: clean
+        assert!(eval.evaluate(&g).hw.is_feasible()); // call 3: stalls then succeeds
+        assert_eq!(eval.calls(), 4);
+    }
+
+    #[test]
+    fn injected_panic_propagates() {
+        let eval = FaultyEvaluator::new(
+            Arc::new(Ok9),
+            FaultSchedule::new().at(0, FaultKind::Panic),
+        );
+        let g = genome();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eval.evaluate(&g)
+        }));
+        assert!(err.is_err());
+        // Subsequent calls pass through.
+        assert!(eval.evaluate(&g).hw.is_feasible());
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic_and_counted() {
+        let a = FaultSchedule::seeded(7, 100, 0.3, Duration::from_millis(2));
+        let b = FaultSchedule::seeded(7, 100, 0.3, Duration::from_millis(2));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let (p, s, t) = a.counts();
+        assert_eq!(p + s + t, a.len());
+        // A different seed gives a different plan.
+        let c = FaultSchedule::seeded(8, 100, 0.3, Duration::from_millis(2));
+        assert_ne!(a, c);
+    }
+}

@@ -24,6 +24,10 @@
 //!   evaluated twice").
 //! * [`pareto`] — non-dominated sorting and Pareto-front extraction for
 //!   accuracy-vs-throughput analyses (Table IV, Figs 2–4).
+//! * [`checkpoint`] — periodic JSON snapshots of the full master state
+//!   so an interrupted search resumes byte-identically.
+//! * [`faults`] — a deterministic fault-injecting evaluator wrapper for
+//!   exercising the engine's retry/timeout/respawn machinery in tests.
 //! * [`config`] — the flow's configuration-file entry point (§III).
 //! * [`search`] — high-level drivers tying it all together.
 //!
@@ -44,8 +48,10 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod fitness;
 pub mod genome;
 pub mod measurement;
@@ -56,7 +62,10 @@ pub mod workers;
 
 /// Convenience re-exports for the common search workflow.
 pub mod prelude {
+    pub use crate::checkpoint::{CheckpointPolicy, CheckpointState};
     pub use crate::engine::{EngineStats, EvolutionConfig, SelectionMode};
+    pub use crate::faults::{FaultKind, FaultSchedule, FaultyEvaluator};
+    pub use crate::measurement::FailureKind;
     pub use crate::fitness::{FitnessRegistry, Objective, ObjectiveSet};
     pub use crate::genome::{CandidateGenome, HwGenome, NnaGenome};
     pub use crate::measurement::{HwMetrics, InfeasibleReason, Measurement};

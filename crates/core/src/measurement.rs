@@ -28,22 +28,59 @@ pub enum InfeasibleReason {
     TargetMismatch,
     /// The evaluating worker thread panicked.
     WorkerPanic,
+    /// The evaluation exceeded the engine's per-candidate deadline
+    /// (`eval_timeout`) and was abandoned.
+    EvalTimeout,
+    /// A transient environmental failure (flaky I/O, a busy device, a
+    /// lost worker) that a retry may well not reproduce.
+    Transient(String),
     /// Anything else, spelled out.
     Other(String),
 }
 
+/// How a failed evaluation should be treated by the retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The failure is tied to the environment, not the candidate:
+    /// retrying the same genome may succeed, so the engine retries (up
+    /// to `max_retries`) and never caches the failure.
+    Transient,
+    /// The failure is a property of the candidate itself (it does not
+    /// fit the device, its family mismatches the target): retrying
+    /// cannot change the verdict, so it is cached and scored as-is.
+    Permanent,
+}
+
 impl InfeasibleReason {
     /// Stable machine-readable label: `"device-fit"`,
-    /// `"training-failure"`, `"target-mismatch"`, `"worker-panic"`, or
-    /// `"other"`. Telemetry events carry this as the `reason` field so
-    /// traces can be grouped without parsing prose.
+    /// `"training-failure"`, `"target-mismatch"`, `"worker-panic"`,
+    /// `"eval-timeout"`, `"transient"`, or `"other"`. Telemetry events
+    /// carry this as the `reason` field so traces can be grouped
+    /// without parsing prose.
     pub fn kind(&self) -> &'static str {
         match self {
             InfeasibleReason::DeviceFit => "device-fit",
             InfeasibleReason::TrainingFailure => "training-failure",
             InfeasibleReason::TargetMismatch => "target-mismatch",
             InfeasibleReason::WorkerPanic => "worker-panic",
+            InfeasibleReason::EvalTimeout => "eval-timeout",
+            InfeasibleReason::Transient(_) => "transient",
             InfeasibleReason::Other(_) => "other",
+        }
+    }
+
+    /// Classifies the failure for the retry policy. Panics, timeouts,
+    /// and explicitly transient failures are worth retrying; resource
+    /// and shape verdicts are properties of the genome and are not.
+    pub fn failure_kind(&self) -> FailureKind {
+        match self {
+            InfeasibleReason::WorkerPanic
+            | InfeasibleReason::EvalTimeout
+            | InfeasibleReason::Transient(_) => FailureKind::Transient,
+            InfeasibleReason::DeviceFit
+            | InfeasibleReason::TrainingFailure
+            | InfeasibleReason::TargetMismatch
+            | InfeasibleReason::Other(_) => FailureKind::Permanent,
         }
     }
 }
@@ -59,6 +96,12 @@ impl fmt::Display for InfeasibleReason {
                 f.write_str("genome family does not match the search target")
             }
             InfeasibleReason::WorkerPanic => f.write_str("worker panicked"),
+            InfeasibleReason::EvalTimeout => {
+                f.write_str("evaluation exceeded its deadline")
+            }
+            InfeasibleReason::Transient(text) => {
+                write!(f, "transient failure: {text}")
+            }
             InfeasibleReason::Other(text) => f.write_str(text),
         }
     }
@@ -244,6 +287,12 @@ impl Measurement {
             _ => None,
         }
     }
+
+    /// How the retry policy should treat this measurement: `None` for
+    /// a feasible result, otherwise the reason's [`FailureKind`].
+    pub fn failure_kind(&self) -> Option<FailureKind> {
+        self.infeasible_reason().map(InfeasibleReason::failure_kind)
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +324,8 @@ mod tests {
             (InfeasibleReason::TrainingFailure, "training-failure"),
             (InfeasibleReason::TargetMismatch, "target-mismatch"),
             (InfeasibleReason::WorkerPanic, "worker-panic"),
+            (InfeasibleReason::EvalTimeout, "eval-timeout"),
+            (InfeasibleReason::Transient("device busy".into()), "transient"),
             (InfeasibleReason::Other("weird".into()), "other"),
         ];
         for (reason, kind) in cases {
@@ -288,6 +339,28 @@ mod tests {
             .unwrap()
             .to_string()
             .contains("do not fit"));
+    }
+
+    #[test]
+    fn failure_kinds_split_transient_from_permanent() {
+        use InfeasibleReason as R;
+        let transient = [R::WorkerPanic, R::EvalTimeout, R::Transient("io".into())];
+        for r in transient {
+            assert_eq!(r.failure_kind(), FailureKind::Transient, "{r:?}");
+        }
+        let permanent = [
+            R::DeviceFit,
+            R::TrainingFailure,
+            R::TargetMismatch,
+            R::Other("weird".into()),
+        ];
+        for r in permanent {
+            assert_eq!(r.failure_kind(), FailureKind::Permanent, "{r:?}");
+        }
+        assert_eq!(
+            Measurement::infeasible(R::EvalTimeout).failure_kind(),
+            Some(FailureKind::Transient)
+        );
     }
 
     #[test]

@@ -8,13 +8,16 @@
 //! series).
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use ecad_dataset::{scaler, Dataset};
 use ecad_hw::fpga::FpgaDevice;
 use ecad_mlp::TrainConfig;
 use rt::rand::rngs::StdRng;
 use rt::rand::SeedableRng;
+use rt::supervise::ShutdownFlag;
 
+use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointState};
 use crate::config::FlowConfig;
 use crate::engine::{Engine, EngineOutcome, EngineStats, Evaluated, EvolutionConfig};
 use crate::fitness::ObjectiveSet;
@@ -67,6 +70,12 @@ impl SearchResult {
     /// Run-time statistics (Table III shape).
     pub fn stats(&self) -> EngineStats {
         self.outcome.stats
+    }
+
+    /// True when the run stopped early (shutdown request or halt
+    /// boundary) rather than exhausting its evaluation budget.
+    pub fn halted(&self) -> bool {
+        self.outcome.halted
     }
 
     /// Device the search targeted.
@@ -192,6 +201,10 @@ pub struct Search {
     standardize: bool,
     presplit: bool,
     obs: rt::obs::Obs,
+    checkpoint: Option<CheckpointPolicy>,
+    halt_after: Option<usize>,
+    resume_from: Option<CheckpointState>,
+    shutdown: Option<ShutdownFlag>,
 }
 
 impl Search {
@@ -215,6 +228,10 @@ impl Search {
             standardize: true,
             presplit: false,
             obs: rt::obs::Obs::disabled(),
+            checkpoint: None,
+            halt_after: None,
+            resume_from: None,
+            shutdown: None,
         }
     }
 
@@ -308,8 +325,80 @@ impl Search {
         self
     }
 
+    /// Sets a per-evaluation wall-clock deadline. Evaluations that
+    /// exceed it are abandoned, retried (up to the retry budget), and
+    /// their worker slot is respawned.
+    pub fn eval_timeout(mut self, timeout: Duration) -> Self {
+        self.evolution.eval_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the retry budget for transient failures (worker panics,
+    /// deadline timeouts, transient evaluator verdicts).
+    pub fn max_retries(mut self, n: usize) -> Self {
+        self.evolution.max_retries = n;
+        self
+    }
+
+    /// Sets the base retry backoff (doubled per attempt, jittered).
+    pub fn retry_backoff(mut self, base: Duration) -> Self {
+        self.evolution.retry_backoff = base;
+        self
+    }
+
+    /// Attaches a checkpoint policy: run state is written to the
+    /// policy's path every `every` unique evaluations and on halt.
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Halts the search once the trace holds `n` unique evaluations
+    /// (deterministic interruption for checkpoint/resume testing).
+    pub fn halt_after(mut self, n: usize) -> Self {
+        self.halt_after = Some(n);
+        self
+    }
+
+    /// Resumes from a previously saved checkpoint instead of starting
+    /// fresh. The checkpoint must match this search's seed, budget, and
+    /// population capacity; [`Search::try_run`] reports a mismatch as
+    /// [`CheckpointError::Mismatch`].
+    pub fn resume_from(mut self, state: CheckpointState) -> Self {
+        self.resume_from = Some(state);
+        self
+    }
+
+    /// Attaches a cooperative shutdown flag (e.g. wired to
+    /// SIGINT/SIGTERM via
+    /// [`ShutdownFlag::install_termination_handler`]). When it trips,
+    /// the search stops at the next safe boundary and writes a final
+    /// checkpoint if a policy is attached.
+    pub fn shutdown_flag(mut self, flag: ShutdownFlag) -> Self {
+        self.shutdown = Some(flag);
+        self
+    }
+
     /// Runs the search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a checkpoint attached via [`Search::resume_from`] does
+    /// not match this search's configuration; use [`Search::try_run`]
+    /// to handle that case gracefully.
     pub fn run(self) -> SearchResult {
+        self.try_run().expect("checkpoint matches search config")
+    }
+
+    /// Runs the search, reporting checkpoint mismatches as errors
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Mismatch`] when a checkpoint attached
+    /// via [`Search::resume_from`] disagrees with this search's seed,
+    /// evaluation budget, or population capacity.
+    pub fn try_run(self) -> Result<SearchResult, CheckpointError> {
         let (mut train, mut test) = if self.presplit {
             (self.train.clone(), self.test.clone())
         } else {
@@ -342,19 +431,31 @@ impl Search {
             self.evolution.seed,
         )
         .with_obs(self.obs.clone());
-        let engine = Engine::new(
+        let mut engine = Engine::new(
             Arc::new(evaluator),
             space,
             self.objectives.clone(),
             self.evolution,
         )
         .with_obs(self.obs.clone());
-        let outcome = engine.run();
-        SearchResult {
+        if let Some(policy) = self.checkpoint.clone() {
+            engine = engine.with_checkpoint(policy);
+        }
+        if let Some(n) = self.halt_after {
+            engine = engine.with_halt_after(n);
+        }
+        if let Some(flag) = self.shutdown.clone() {
+            engine = engine.with_shutdown(flag);
+        }
+        let outcome = match self.resume_from {
+            Some(state) => engine.resume(state)?,
+            None => engine.run(),
+        };
+        Ok(SearchResult {
             outcome,
             objectives: self.objectives,
             target_name,
-        }
+        })
     }
 }
 
@@ -463,6 +564,62 @@ mod tests {
             a.best().unwrap().genome.describe(),
             b.best().unwrap().genome.describe()
         );
+    }
+
+    #[test]
+    fn search_halt_and_resume_matches_uninterrupted() {
+        let ds = small_dataset();
+        let full = tiny_search(&ds).run();
+
+        let dir = std::env::temp_dir().join("ecad-search-checkpoint");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("halt-resume-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let halted = tiny_search(&ds)
+            .checkpoint(CheckpointPolicy::new(&path, 5))
+            .halt_after(10)
+            .run();
+        assert!(halted.halted());
+        assert_eq!(halted.trace().len(), 10);
+
+        let state = CheckpointState::load(&path).unwrap();
+        let resumed = tiny_search(&ds).resume_from(state).run();
+        assert!(!resumed.halted());
+        assert_eq!(resumed.trace().len(), full.trace().len());
+        // Timing fields are wall-clock and differ between independent
+        // runs; every deterministic field must agree.
+        for (a, b) in full.trace().iter().zip(resumed.trace().iter()) {
+            assert_eq!(a.genome, b.genome);
+            assert_eq!(a.measurement.accuracy, b.measurement.accuracy);
+            assert_eq!(a.measurement.hw, b.measurement.hw);
+            assert_eq!(a.fitness, b.fitness);
+        }
+        assert_eq!(
+            full.best().unwrap().genome.describe(),
+            resumed.best().unwrap().genome.describe()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_with_wrong_seed_is_an_error() {
+        let ds = small_dataset();
+        let dir = std::env::temp_dir().join("ecad-search-checkpoint");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("wrong-seed-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let halted = tiny_search(&ds)
+            .checkpoint(CheckpointPolicy::new(&path, 5))
+            .halt_after(5)
+            .run();
+        assert!(halted.halted());
+
+        let state = CheckpointState::load(&path).unwrap();
+        let err = tiny_search(&ds).seed(99).resume_from(state).try_run();
+        assert!(matches!(err, Err(CheckpointError::Mismatch(_))));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Property tests for checkpoint/resume determinism: a seeded
+//! single-thread search halted at *any* cut point and resumed from its
+//! checkpoint must reproduce the uninterrupted run's trace, fitness
+//! sequence, and final population exactly — including across chained
+//! interruptions (halt → resume → halt → resume).
+
+use std::sync::Arc;
+
+use ecad_core::checkpoint::{CheckpointPolicy, CheckpointState};
+use ecad_core::engine::{Engine, EngineOutcome, EvolutionConfig, SelectionMode};
+use ecad_core::fitness::ObjectiveSet;
+use ecad_core::genome::CandidateGenome;
+use ecad_core::measurement::{HwMetrics, Measurement};
+use ecad_core::space::SearchSpace;
+use ecad_core::workers::Evaluator;
+use rt::prop_assert;
+
+/// Fast deterministic evaluator: "accuracy" peaks as total neurons
+/// approach 256, all timing fields constant so full measurements can be
+/// compared across runs.
+struct ToyEvaluator;
+
+impl Evaluator for ToyEvaluator {
+    fn evaluate(&self, genome: &CandidateGenome) -> Measurement {
+        let neurons = genome.nna.total_neurons() as f32;
+        let accuracy = 1.0 - ((neurons - 256.0).abs() / 512.0).min(1.0);
+        Measurement {
+            accuracy,
+            train_accuracy: accuracy,
+            params: neurons as usize * 10,
+            neurons: neurons as usize,
+            hw: HwMetrics::Gpu {
+                outputs_per_s: 1e6 / (1.0 + neurons as f64),
+                efficiency: 0.01,
+                latency_s: 1e-4,
+                effective_gflops: 1.0,
+                power_w: 50.0,
+            },
+            eval_time_s: 1e-6,
+            train_time_s: 6e-7,
+            hw_time_s: 4e-7,
+        }
+    }
+
+    fn target_name(&self) -> String {
+        "toy".to_string()
+    }
+}
+
+const EVALS: usize = 16;
+
+fn engine(seed: u64) -> Engine {
+    let cfg = EvolutionConfig {
+        population: 6,
+        evaluations: EVALS,
+        tournament: 2,
+        crossover_rate: 0.5,
+        seed,
+        threads: 1,
+        selection: SelectionMode::WeightedScalar,
+        ..EvolutionConfig::small()
+    };
+    Engine::new(
+        Arc::new(ToyEvaluator),
+        SearchSpace::gpu_default(),
+        ObjectiveSet::accuracy_only(),
+        cfg,
+    )
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ecad-checkpoint-prop");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+fn fingerprint(o: &EngineOutcome) -> (Vec<String>, Vec<f64>, Vec<String>) {
+    (
+        o.trace.iter().map(|e| e.genome.describe()).collect(),
+        o.trace.iter().map(|e| e.fitness).collect(),
+        o.population.iter().map(|e| e.genome.describe()).collect(),
+    )
+}
+
+rt::prop! {
+    #![cases(24)]
+
+    /// Halting at any cut point in the budget and resuming from the
+    /// checkpoint written there converges to the same final state as
+    /// never having been interrupted.
+    fn resume_at_any_cut_matches_uninterrupted(cut in 1usize..EVALS, seed in 0u64..1_000) {
+        let uninterrupted = engine(seed).run();
+
+        let path = tmp_path(&format!("cut{cut}-seed{seed}.json"));
+        let halted = engine(seed)
+            .with_checkpoint(CheckpointPolicy::new(&path, 1))
+            .with_halt_after(cut)
+            .run();
+        prop_assert!(halted.halted);
+        prop_assert!(halted.stats.models_evaluated == cut);
+
+        let state = CheckpointState::load(&path).expect("checkpoint loads");
+        let resumed = engine(seed).resume(state).expect("checkpoint matches config");
+        prop_assert!(!resumed.halted);
+        prop_assert!(resumed.stats.models_evaluated == EVALS);
+        prop_assert!(fingerprint(&resumed) == fingerprint(&uninterrupted));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Chained interruptions: halt, resume into a second halt, resume
+    /// again. Two cuts deep, the final state still matches the
+    /// uninterrupted run, and the intermediate checkpoint's trace
+    /// prefix agrees with it.
+    fn double_interruption_still_converges(
+        first in 1usize..(EVALS - 1),
+        extra in 1usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let second = (first + extra).min(EVALS - 1);
+        let uninterrupted = engine(seed).run();
+
+        let path = tmp_path(&format!("double-{first}-{second}-{seed}.json"));
+        let a = engine(seed)
+            .with_checkpoint(CheckpointPolicy::new(&path, 1))
+            .with_halt_after(first)
+            .run();
+        prop_assert!(a.halted);
+
+        let state = CheckpointState::load(&path).expect("first checkpoint loads");
+        let b = engine(seed)
+            .with_checkpoint(CheckpointPolicy::new(&path, 1))
+            .with_halt_after(second)
+            .resume(state)
+            .expect("first checkpoint matches config");
+        prop_assert!(b.halted);
+        prop_assert!(b.stats.models_evaluated == second);
+        let (names, _, _) = fingerprint(&b);
+        let (full_names, _, _) = fingerprint(&uninterrupted);
+        prop_assert!(names[..] == full_names[..second]);
+
+        let state = CheckpointState::load(&path).expect("second checkpoint loads");
+        let c = engine(seed).resume(state).expect("second checkpoint matches config");
+        prop_assert!(!c.halted);
+        prop_assert!(fingerprint(&c) == fingerprint(&uninterrupted));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -23,6 +23,9 @@
 //!   key=value fields routed to pluggable sinks (stderr, JSONL, ring
 //!   buffer), spans with monotonic timing, and an atomic registry of
 //!   counters/gauges/histograms for the engine's worker pool.
+//! * [`supervise`] — restartable worker slots with panic/stall/respawn
+//!   accounting and a cooperative shutdown flag, so a hung or crashed
+//!   evaluation cannot take down the search.
 //!
 //! The crate has **no dependencies** (not even workspace-internal ones)
 //! and must stay that way: CI builds the workspace `--offline` exactly
@@ -35,4 +38,5 @@ pub mod check;
 pub mod json;
 pub mod obs;
 pub mod rand;
+pub mod supervise;
 pub mod sync;

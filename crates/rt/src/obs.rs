@@ -327,6 +327,36 @@ impl JsonlSink {
         ))
     }
 
+    /// A JSONL sink appending to the file at `path`, with sequence
+    /// numbers continuing from the file's existing line count. A
+    /// resumed run writing through this sink extends the interrupted
+    /// trace exactly as the uninterrupted run would have — same lines,
+    /// same `seq` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be read or
+    /// opened for append.
+    pub fn append(min: Level, path: &std::path::Path) -> std::io::Result<Self> {
+        let existing = match std::fs::read_to_string(path) {
+            Ok(text) => text.lines().count() as u64,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e),
+        };
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self {
+            min,
+            include_timing: false,
+            inner: Mutex::new(JsonlInner {
+                out: Box::new(std::io::BufWriter::new(file)),
+                seq: existing,
+            }),
+        })
+    }
+
     /// Includes span timing (`elapsed_us`) in the output. Off by
     /// default: wall-clock values make traces non-reproducible.
     pub fn with_timing(mut self, include: bool) -> Self {

@@ -75,6 +75,16 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Why a `recv_timeout` / `recv_deadline` returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait expired before a message arrived; senders may still
+        /// deliver one later.
+        Timeout,
+        /// No message queued and no sender left to produce one.
+        Disconnected,
+    }
+
     /// Creates a channel with unlimited buffering.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         with_capacity(None)
@@ -185,6 +195,53 @@ pub mod channel {
                     .not_empty
                     .wait(state)
                     .expect("channel lock");
+            }
+        }
+
+        /// Dequeues the next message, giving up after `timeout`. Like
+        /// [`Receiver::recv`] it drains queued messages before reporting
+        /// a disconnect, so a message racing the deadline is preferred
+        /// over the timeout whenever the lock observes it in time.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            // `Instant::checked_add` saturates huge timeouts to "wait
+            // forever" semantics instead of panicking on overflow.
+            match std::time::Instant::now().checked_add(timeout) {
+                Some(deadline) => self.recv_deadline(deadline),
+                None => self.recv().map_err(|RecvError| RecvTimeoutError::Disconnected),
+            }
+        }
+
+        /// Dequeues the next message, giving up once `deadline` passes.
+        /// A deadline already in the past still drains an immediately
+        /// available message (one lock acquisition, no waiting).
+        pub fn recv_deadline(
+            &self,
+            deadline: std::time::Instant,
+        ) -> Result<T, RecvTimeoutError> {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, remaining)
+                    .expect("channel lock");
+                // Spurious wakeups and timed-out waits both loop back to
+                // re-check the queue: a message that landed exactly at
+                // the deadline is still delivered.
+                state = guard;
             }
         }
 
@@ -371,6 +428,58 @@ mod tests {
     #[should_panic(expected = "capacity must be at least 1")]
     fn zero_capacity_rejected() {
         let _ = channel::bounded::<u8>(0);
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_message_immediately() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(5u8).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(5));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_empty_channel() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        drop(tx);
+    }
+
+    #[test]
+    fn recv_timeout_reports_disconnect_over_timeout() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(3600)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_deadline_in_the_past_still_drains_queue() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1u8).unwrap();
+        let past = std::time::Instant::now() - Duration::from_secs(1);
+        assert_eq!(rx.recv_deadline(past), Ok(1));
+        assert_eq!(
+            rx.recv_deadline(past),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_send() {
+        let (tx, rx) = channel::unbounded();
+        let handle = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(42u8).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(42));
+        handle.join().unwrap();
     }
 
     #[test]

@@ -268,3 +268,71 @@ fn stderr_sink_pretty_format_is_single_line() {
     assert!(pretty.contains("reason=device-fit"));
     assert!(pretty.contains("id=3"));
 }
+
+#[test]
+fn jsonl_append_continues_sequence_numbers() {
+    let dir = std::env::temp_dir().join("ecad-rt-obs-append");
+    std::fs::create_dir_all(&dir).unwrap();
+    let interrupted = dir.join(format!("interrupted-{}.jsonl", std::process::id()));
+    let uninterrupted = dir.join(format!("uninterrupted-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&interrupted);
+    let _ = std::fs::remove_file(&uninterrupted);
+
+    // One sink writes all six events; the other is torn down after
+    // three and replaced by an append-mode sink on the same path.
+    let events: Vec<(u64, &str)> = (0..6u64).map(|i| (i, "tick")).collect();
+
+    {
+        let obs = Obs::builder()
+            .sink(JsonlSink::create(Level::Debug, &uninterrupted).unwrap())
+            .build();
+        for (i, name) in &events {
+            rt::info!(obs, name, i = *i);
+        }
+        obs.flush();
+    }
+    {
+        let obs = Obs::builder()
+            .sink(JsonlSink::create(Level::Debug, &interrupted).unwrap())
+            .build();
+        for (i, name) in &events[..3] {
+            rt::info!(obs, name, i = *i);
+        }
+        obs.flush();
+    }
+    {
+        let obs = Obs::builder()
+            .sink(JsonlSink::append(Level::Debug, &interrupted).unwrap())
+            .build();
+        for (i, name) in &events[3..] {
+            rt::info!(obs, name, i = *i);
+        }
+        obs.flush();
+    }
+
+    let a = std::fs::read_to_string(&interrupted).unwrap();
+    let b = std::fs::read_to_string(&uninterrupted).unwrap();
+    assert_eq!(a, b, "append-mode sink must continue seq numbers exactly");
+    for (line_no, line) in a.lines().enumerate() {
+        let json = Json::parse(line).unwrap();
+        assert_eq!(json.get("seq").and_then(Json::as_f64), Some(line_no as f64));
+    }
+
+    // Appending to a missing file starts from seq 0.
+    let fresh = dir.join(format!("fresh-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&fresh);
+    {
+        let obs = Obs::builder()
+            .sink(JsonlSink::append(Level::Debug, &fresh).unwrap())
+            .build();
+        rt::info!(obs, "first");
+        obs.flush();
+    }
+    let text = std::fs::read_to_string(&fresh).unwrap();
+    let json = Json::parse(text.lines().next().unwrap()).unwrap();
+    assert_eq!(json.get("seq").and_then(Json::as_f64), Some(0.0));
+
+    let _ = std::fs::remove_file(&interrupted);
+    let _ = std::fs::remove_file(&uninterrupted);
+    let _ = std::fs::remove_file(&fresh);
+}

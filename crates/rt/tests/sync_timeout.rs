@@ -1,0 +1,97 @@
+//! Property tests for `rt::sync::channel::Receiver::recv_timeout` /
+//! `recv_deadline`: queued messages always beat the clock, timeouts
+//! never masquerade as disconnects, disconnects always win over
+//! arbitrarily long timeouts, and timeout-vs-delivery races resolve to
+//! one of exactly two legal outcomes. Runs on `rt::check`.
+
+use rt::prop_assert;
+use rt::sync::channel::{self, RecvTimeoutError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+rt::prop! {
+    #![cases(48)]
+
+    /// Pre-queued messages are drained in FIFO order by `recv_timeout`
+    /// even with a zero-length timeout, and only then does the clock
+    /// matter: with the sender alive the verdict is `Timeout`, never
+    /// `Disconnected`.
+    fn queued_messages_beat_the_clock(n in 0usize..20) {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        for i in 0..n {
+            prop_assert!(rx.recv_timeout(Duration::ZERO) == Ok(i));
+        }
+        prop_assert!(
+            rx.recv_timeout(Duration::from_micros(100)) == Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+    }
+
+    /// Once every sender is gone, the remaining queue drains and then
+    /// `recv_timeout` reports `Disconnected` promptly — it does not sit
+    /// out an arbitrarily long timeout first.
+    fn disconnect_wins_over_long_timeout(sent in 0usize..8) {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..sent {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        for i in 0..sent {
+            prop_assert!(rx.recv_timeout(Duration::from_secs(3600)) == Ok(i));
+        }
+        let start = Instant::now();
+        prop_assert!(
+            rx.recv_timeout(Duration::from_secs(3600)) == Err(RecvTimeoutError::Disconnected)
+        );
+        prop_assert!(start.elapsed() < Duration::from_secs(60));
+    }
+
+    /// A sender racing the deadline: the receiver sees either the value
+    /// or a clean `Timeout` — never `Disconnected` (the sender outlives
+    /// the wait), never a wrong value, and a timeout verdict implies the
+    /// deadline really passed.
+    fn timeout_vs_delivery_race(delay_us in 0u64..300, timeout_us in 1u64..300) {
+        let (tx, rx) = channel::unbounded();
+        let (done_tx, done_rx) = channel::unbounded();
+        let sender = thread::spawn(move || {
+            thread::sleep(Duration::from_micros(delay_us));
+            let _ = tx.send(42u8);
+            // Hold the sender alive until the receiver has its verdict,
+            // so `Disconnected` is impossible by construction.
+            let _ = done_rx.recv();
+        });
+        let start = Instant::now();
+        let got = rx.recv_timeout(Duration::from_micros(timeout_us));
+        let waited = start.elapsed();
+        done_tx.send(()).unwrap();
+        sender.join().unwrap();
+        match got {
+            Ok(v) => prop_assert!(v == 42),
+            Err(RecvTimeoutError::Timeout) => {
+                prop_assert!(waited >= Duration::from_micros(timeout_us));
+                // The message, though late, is still in the queue.
+                prop_assert!(rx.recv_timeout(Duration::from_secs(10)) == Ok(42));
+            }
+            Err(RecvTimeoutError::Disconnected) => prop_assert!(false),
+        }
+    }
+
+    /// `recv_deadline` with a deadline already in the past is a
+    /// non-blocking drain: it yields queued values one by one, then
+    /// times out instantly while the sender lives.
+    fn past_deadline_is_try_recv(n in 0usize..6) {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        let past = Instant::now() - Duration::from_millis(5);
+        for i in 0..n {
+            prop_assert!(rx.recv_deadline(past) == Ok(i));
+        }
+        prop_assert!(rx.recv_deadline(past) == Err(RecvTimeoutError::Timeout));
+        drop(tx);
+    }
+}

@@ -11,18 +11,29 @@
 //! frontier — every random draw goes through the in-repo `rt::rand`.
 //! With `--trace-out` the engine also streams its structured events
 //! (submissions, evaluations, cache hits, infeasibilities) to a JSONL
-//! file that `ecad trace --file OUT.jsonl` can validate.
+//! file that `ecad trace --file OUT.jsonl` can validate. With
+//! `--faults` the evaluator is wrapped in a deterministic
+//! fault-injection harness (worker panic, stalled evaluation, transient
+//! failure) to demonstrate the engine's retry/deadline/respawn
+//! machinery; the run still completes its full budget.
 
+use std::sync::Arc;
+use std::time::Duration;
+
+use ecad_repro::core::engine::{Engine, EvolutionConfig, SelectionMode};
 use ecad_repro::core::prelude::*;
 use ecad_repro::dataset::benchmarks::{self, Benchmark};
 use ecad_repro::hw::fpga::FpgaDevice;
 use ecad_repro::rt::obs::{JsonlSink, Level, Obs};
+use ecad_repro::rt::rand::rngs::StdRng;
+use ecad_repro::rt::rand::SeedableRng;
 
-/// Parses `--seed N` (default 7) and `--trace-out FILE` (default none)
-/// from the argument list.
-fn args() -> (u64, Option<String>) {
+/// Parses `--seed N` (default 7), `--trace-out FILE` (default none),
+/// and the `--faults` switch from the argument list.
+fn args() -> (u64, Option<String>, bool) {
     let mut seed = 7;
     let mut trace_out = None;
+    let mut faults = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -33,14 +44,76 @@ fn args() -> (u64, Option<String>) {
             "--trace-out" => {
                 trace_out = Some(args.next().expect("--trace-out takes a path"));
             }
+            "--faults" => faults = true,
             other => panic!("unknown argument {other:?}"),
         }
     }
-    (seed, trace_out)
+    (seed, trace_out, faults)
+}
+
+/// The `--faults` tour: the same co-design evaluator, wrapped so that
+/// one call panics, one stalls past the deadline, and one fails
+/// transiently. The engine retries each to success and finishes the
+/// whole budget anyway.
+fn run_faulted(dataset: &ecad_repro::dataset::Dataset, seed: u64, obs: Obs) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0011);
+    let (train, test) = dataset.split(0.25, &mut rng);
+    let inner = CodesignEvaluator::new(
+        train,
+        test,
+        ecad_repro::mlp::TrainConfig::fast(),
+        HwTarget::Fpga(FpgaDevice::arria10_gx1150(1)),
+        seed,
+    )
+    .with_obs(obs.clone());
+    let schedule = FaultSchedule::new()
+        .at(2, FaultKind::Panic)
+        .at(5, FaultKind::Transient)
+        .at(8, FaultKind::Stall(Duration::from_secs(6)));
+    let (panics, stalls, transients) = schedule.counts();
+    println!(
+        "injecting {panics} panic(s), {stalls} stall(s), {transients} transient failure(s)"
+    );
+
+    let cfg = EvolutionConfig {
+        population: 8,
+        evaluations: 20,
+        tournament: 2,
+        crossover_rate: 0.5,
+        seed,
+        threads: 1,
+        selection: SelectionMode::WeightedScalar,
+        eval_timeout: Some(Duration::from_secs(2)),
+        max_retries: 2,
+        retry_backoff: Duration::ZERO,
+        ..EvolutionConfig::small()
+    };
+    let out = Engine::new(
+        Arc::new(FaultyEvaluator::new(Arc::new(inner), schedule)),
+        SearchSpace::fpga_default().with_neurons(4, 32).with_layers(1, 2),
+        ObjectiveSet::accuracy_and_throughput(),
+        cfg,
+    )
+    .with_obs(obs)
+    .run();
+
+    println!(
+        "\nfaulted run: {} models evaluated, {} retries, {} timeouts, {} worker respawns",
+        out.stats.models_evaluated,
+        out.stats.retry_count,
+        out.stats.timeout_count,
+        out.stats.respawn_count
+    );
+    assert_eq!(out.stats.models_evaluated, 20, "full budget despite faults");
+    assert_eq!(out.stats.timeout_count, stalls);
+    assert_eq!(out.stats.respawn_count, stalls);
+    assert_eq!(out.stats.retry_count, panics + stalls + transients);
+    let best = out.best().expect("faulted search still finds a winner");
+    println!("best candidate: {}", best.genome);
 }
 
 fn main() {
-    let (seed, trace_out) = args();
+    let (seed, trace_out, faults) = args();
     let obs = match &trace_out {
         Some(path) => Obs::builder()
             .sink(
@@ -64,6 +137,15 @@ fn main() {
         dataset.n_features(),
         dataset.n_classes()
     );
+
+    if faults {
+        run_faulted(&dataset, seed, obs.clone());
+        if let Some(path) = trace_out {
+            obs.flush();
+            println!("event trace written to {path}");
+        }
+        return;
+    }
 
     // 2. A co-design search: candidates carry both network genes
     //    (layers / neurons / activation / bias) and hardware genes

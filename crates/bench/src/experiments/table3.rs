@@ -40,6 +40,12 @@ pub struct Table3Row {
     pub cache_hits: usize,
     /// Candidates rejected as infeasible.
     pub infeasible: usize,
+    /// Transient-failure retries.
+    pub retries: usize,
+    /// Deadline timeouts.
+    pub timeouts: usize,
+    /// Worker respawns.
+    pub respawns: usize,
     /// Average per-model evaluation time, seconds.
     pub avg_eval_s: f64,
     /// Total evaluation time, seconds.
@@ -71,6 +77,9 @@ impl Table3 {
                 models: r.models_evaluated,
                 cache_hits: r.cache_hits,
                 infeasible: r.infeasible,
+                retries: r.retries,
+                timeouts: r.timeouts,
+                respawns: r.respawns,
                 avg_eval_s: r.avg_eval_s,
                 total_eval_s: r.total_eval_s,
                 train_s: r.train_s,
@@ -149,6 +158,9 @@ pub fn run(ctx: &ExperimentContext) -> Table3 {
                 models_evaluated: stats.models_evaluated,
                 cache_hits: stats.cache_hits,
                 infeasible: stats.infeasible_count,
+                retries: stats.retry_count,
+                timeouts: stats.timeout_count,
+                respawns: stats.respawn_count,
                 avg_eval_s: stats.avg_eval_time_s,
                 total_eval_s: stats.total_eval_time_s,
                 train_s: stats.train_time_s,
@@ -176,6 +188,9 @@ impl rt::json::ToJson for Table3Row {
             .insert("models_evaluated", &self.models_evaluated)
             .insert("cache_hits", &self.cache_hits)
             .insert("infeasible", &self.infeasible)
+            .insert("retries", &self.retries)
+            .insert("timeouts", &self.timeouts)
+            .insert("respawns", &self.respawns)
             .insert("avg_eval_s", &self.avg_eval_s)
             .insert("total_eval_s", &self.total_eval_s)
             .insert("train_s", &self.train_s)
@@ -212,6 +227,8 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("har"));
         assert!(rendered.contains("Infeasible"));
+        assert!(rendered.contains("Retries"));
+        assert!(rendered.contains("Respawns"));
         assert!(rendered.contains("Train (s)"));
     }
 

@@ -103,6 +103,12 @@ pub struct RunStatsRow {
     pub cache_hits: usize,
     /// Candidates rejected as infeasible (device fit, training failure).
     pub infeasible: usize,
+    /// Transient-failure retries (worker panics, timeouts re-queued).
+    pub retries: usize,
+    /// Evaluations abandoned at the per-evaluation deadline.
+    pub timeouts: usize,
+    /// Worker threads respawned after wedging or panicking.
+    pub respawns: usize,
     /// Average per-model evaluation time, seconds.
     pub avg_eval_s: f64,
     /// Total evaluation time, seconds.
@@ -123,6 +129,9 @@ pub fn run_stats_table(rows: &[RunStatsRow]) -> String {
         "Models",
         "Cache Hits",
         "Infeasible",
+        "Retries",
+        "Timeouts",
+        "Respawns",
         "AVG Eval (s)",
         "Total Eval (s)",
         "Train (s)",
@@ -134,6 +143,9 @@ pub fn run_stats_table(rows: &[RunStatsRow]) -> String {
             r.models.to_string(),
             r.cache_hits.to_string(),
             r.infeasible.to_string(),
+            r.retries.to_string(),
+            r.timeouts.to_string(),
+            r.respawns.to_string(),
             format!("{:.3}", r.avg_eval_s),
             format!("{:.1}", r.total_eval_s),
             format!("{:.1}", r.train_s),

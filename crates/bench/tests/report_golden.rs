@@ -36,6 +36,9 @@ fn render_sample_run_stats() -> String {
             models: 10480,
             cache_hits: 2315,
             infeasible: 112,
+            retries: 9,
+            timeouts: 3,
+            respawns: 1,
             avg_eval_s: 2.242,
             total_eval_s: 23495.2,
             train_s: 21034.7,
@@ -46,6 +49,9 @@ fn render_sample_run_stats() -> String {
             models: 553,
             cache_hits: 91,
             infeasible: 4,
+            retries: 0,
+            timeouts: 0,
+            respawns: 0,
             avg_eval_s: 71.227,
             total_eval_s: 39388.6,
             train_s: 39201.0,

@@ -46,10 +46,11 @@ const USAGE: &str = "usage:
   ecad search   --data TABLE.csv [--config ECAD.ini] [--trace OUT.csv]
                 [--seed N] [--threads N] [--evaluations N]
                 [--log-level trace|debug|info|warn|off]
-                [--trace-out OUT.jsonl] [--metrics]
+                [--trace-out OUT.jsonl] [--metrics] [--serve ADDR]
                 [--checkpoint STATE.json [--checkpoint-every N] [--resume]]
                 [--halt-after N] [--eval-timeout SECS] [--max-retries N]
-  ecad trace    --file TRACE.jsonl [--require EVENT1,EVENT2,...]
+  ecad analyze  --file TRACE.jsonl [--format text|json|csv]
+  ecad trace    --file TRACE.jsonl [--require EVENT1,EVENT2,...] [--summary]
   ecad datasets [--generate NAME --out FILE [--samples N] [--seed N]]
   ecad devices
   ecad estimate --layers 784,256,10 [--device NAME] [--batch N]
@@ -66,6 +67,7 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
     let parsed = Parsed::parse(argv)?;
     match parsed.command.as_str() {
         "search" => cmd_search(&parsed),
+        "analyze" => crate::analyze::cmd_analyze(&parsed),
         "trace" => cmd_trace(&parsed),
         "datasets" => cmd_datasets(&parsed),
         "devices" => Ok(cmd_devices()),
@@ -79,15 +81,17 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
 /// `--log-level` attaches a stderr pretty-printer, `--trace-out` a
 /// deterministic JSONL file sink recording debug and above, and
 /// `--metrics` enables the registry even with no sink. With none of
-/// the three, observability is disabled outright (zero overhead).
+/// the three, observability is disabled outright (zero overhead) —
+/// unless `force_metrics` is set (`--serve` needs a live registry for
+/// the `/metrics` endpoint even when nothing else asked for one).
 /// Under `--resume` the JSONL sink appends, continuing the sequence
 /// numbers of the interrupted run's file so the resumed trace is
 /// byte-identical to an uninterrupted one.
-fn build_obs(p: &Parsed) -> Result<rt::obs::Obs, CliError> {
+fn build_obs(p: &Parsed, force_metrics: bool) -> Result<rt::obs::Obs, CliError> {
     use rt::obs::{JsonlSink, Level, Obs, StderrSink};
     let level_text = p.get("log-level");
     let trace_out = p.get("trace-out");
-    if level_text.is_none() && trace_out.is_none() && !p.is_set("metrics") {
+    if level_text.is_none() && trace_out.is_none() && !p.is_set("metrics") && !force_metrics {
         return Ok(Obs::disabled());
     }
     let mut builder = Obs::builder();
@@ -133,13 +137,15 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
         "halt-after",
         "eval-timeout",
         "max-retries",
+        "serve",
     ])?;
     if p.is_set("resume") && p.get("checkpoint").is_none() {
         return Err(CliError::Domain(
             "--resume requires --checkpoint <path>".to_string(),
         ));
     }
-    let obs = build_obs(p)?;
+    let serve_addr = p.get("serve");
+    let obs = build_obs(p, serve_addr.is_some())?;
     let data_path = p.require("data")?;
     let dataset = csv::read_dataset_file(data_path).map_err(|e| CliError::Domain(e.to_string()))?;
     let mut config = match p.get("config") {
@@ -201,6 +207,23 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
     let shutdown = rt::supervise::ShutdownFlag::new();
     shutdown.install_termination_handler();
     search = search.shutdown_flag(shutdown);
+
+    // The observatory serves /metrics, /status, and /healthz for the
+    // duration of the run. It only *reads* engine state (the metrics
+    // registry and the shared status cell), so a served run's event
+    // trace stays byte-identical to an unserved one.
+    let server = match serve_addr {
+        Some(addr) => {
+            let status = StatusCell::new();
+            search = search.status(status.clone());
+            let handle = observatory(&obs, &status)
+                .bind(addr)
+                .map_err(|e| CliError::Io(format!("--serve {addr}: {e}")))?;
+            eprintln!("observatory listening on http://{}/", handle.addr());
+            Some(handle)
+        }
+        None => None,
+    };
 
     let result = search
         .try_run()
@@ -272,15 +295,23 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
         obs.flush();
         out.push_str(&format!("event trace written to {path}\n"));
     }
+    if let Some(handle) = server {
+        out.push_str(&format!(
+            "observatory served on http://{}/ (stopped)\n",
+            handle.addr()
+        ));
+        handle.stop();
+    }
     Ok(out)
 }
 
 /// `ecad trace`: validates a JSONL event trace written by
 /// `--trace-out`. Every line must parse via `rt::json` with the stable
 /// schema (`seq`/`level`/`target`/`event`/`fields`) and consecutive
-/// sequence numbers; prints a per-event-kind census.
+/// sequence numbers; prints a per-event-kind census. With `--summary`,
+/// appends the per-kind sequence-span table from the analyze machinery.
 fn cmd_trace(p: &Parsed) -> Result<String, CliError> {
-    p.check_allowed(&["file", "require"])?;
+    p.check_allowed(&["file", "require", "summary"])?;
     let path = p.require("file")?;
     let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
 
@@ -338,6 +369,11 @@ fn cmd_trace(p: &Parsed) -> Result<String, CliError> {
     counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     for (name, n) in &counts {
         out.push_str(&format!("  {n:>6}  {name}\n"));
+    }
+    if p.is_set("summary") {
+        let events = crate::analyze::parse_events(path, &text)?;
+        out.push('\n');
+        out.push_str(&crate::analyze::kind_summary(&events));
     }
     Ok(out)
 }
@@ -798,6 +834,134 @@ mod tests {
         assert_eq!(
             std::fs::read_to_string(&full_csv).unwrap(),
             std::fs::read_to_string(&part_csv).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `ecad analyze` turns a search's JSONL trace into a convergence
+    /// report in all three formats, with a monotone hypervolume column,
+    /// and errors on traces with no epoch events.
+    #[test]
+    fn analyze_reports_epochs_from_search_trace() {
+        let dir = std::env::temp_dir().join("ecad_cli_analyze_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("toy.csv");
+        let cfg = dir.join("toy.ini");
+        let ds = ecad_dataset::synth::SyntheticSpec::new("toy", 120, 6, 2)
+            .with_seed(1)
+            .generate();
+        csv::write_dataset_file(&ds, &data).unwrap();
+        std::fs::write(
+            &cfg,
+            "[nna]\nmax_layers = 1\nmax_neurons = 12\n[optimization]\nevaluations = 8\npopulation = 4\nepochs = 3\nobjectives = accuracy, log_throughput\nweights = 1.0, 0.08\n",
+        )
+        .unwrap();
+        let jsonl = dir.join("events.jsonl");
+        run(argv(&format!(
+            "search --data {} --config {} --seed 5 --threads 1 --trace-out {}",
+            data.display(),
+            cfg.display(),
+            jsonl.display()
+        )))
+        .unwrap();
+
+        let text = run(argv(&format!("analyze --file {}", jsonl.display()))).unwrap();
+        assert!(text.contains("2 epoch(s)"), "got: {text}");
+        assert!(text.contains("hypervolume curve"));
+        assert!(!text.contains("WARNING"));
+
+        let json = run(argv(&format!(
+            "analyze --file {} --format json",
+            jsonl.display()
+        )))
+        .unwrap();
+        let parsed = rt::json::Json::parse(&json).unwrap();
+        let epochs = parsed
+            .get("epochs")
+            .and_then(rt::json::Json::as_array)
+            .unwrap();
+        assert_eq!(epochs.len(), 2);
+        let hv: Vec<f64> = epochs
+            .iter()
+            .map(|e| e.get("hypervolume").and_then(rt::json::Json::as_f64).unwrap())
+            .collect();
+        assert!(hv.windows(2).all(|w| w[1] >= w[0]), "hv not monotone: {hv:?}");
+
+        let csv_text = run(argv(&format!(
+            "analyze --file {} --format csv",
+            jsonl.display()
+        )))
+        .unwrap();
+        assert_eq!(csv_text.lines().count(), 3);
+
+        // A trace with no epoch events (run shorter than one
+        // population) is a domain error, so scripts can gate on it.
+        let short = dir.join("short.jsonl");
+        run(argv(&format!(
+            "search --data {} --config {} --seed 5 --threads 1 --evaluations 3 --trace-out {}",
+            data.display(),
+            cfg.display(),
+            short.display()
+        )))
+        .unwrap();
+        let err = run(argv(&format!("analyze --file {}", short.display()))).unwrap_err();
+        assert!(err.to_string().contains("no epoch events"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_summary_reports_kind_spans() {
+        let dir = std::env::temp_dir().join("ecad_cli_trace_summary");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        std::fs::write(
+            &path,
+            "{\"seq\":0,\"level\":\"info\",\"target\":\"t\",\"event\":\"a\",\"fields\":{}}\n\
+             {\"seq\":1,\"level\":\"info\",\"target\":\"t\",\"event\":\"b\",\"fields\":{}}\n\
+             {\"seq\":2,\"level\":\"info\",\"target\":\"t\",\"event\":\"a\",\"fields\":{}}\n",
+        )
+        .unwrap();
+        let out = run(argv(&format!("trace --file {} --summary", path.display()))).unwrap();
+        assert!(out.contains("all lines parse"));
+        assert!(out.contains("3 events spanning seq 0..2"), "got: {out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The observatory is read-only: a served run's JSONL trace is
+    /// byte-identical to the same seeded run without `--serve`.
+    #[test]
+    fn serve_does_not_perturb_trace() {
+        let dir = std::env::temp_dir().join("ecad_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("toy.csv");
+        let cfg = dir.join("toy.ini");
+        let ds = ecad_dataset::synth::SyntheticSpec::new("toy", 120, 6, 2)
+            .with_seed(1)
+            .generate();
+        csv::write_dataset_file(&ds, &data).unwrap();
+        std::fs::write(
+            &cfg,
+            "[nna]\nmax_layers = 1\nmax_neurons = 12\n[optimization]\nevaluations = 6\npopulation = 4\nepochs = 3\n",
+        )
+        .unwrap();
+        let plain = dir.join("plain.jsonl");
+        let served = dir.join("served.jsonl");
+        let base = format!(
+            "search --data {} --config {} --seed 5 --threads 1",
+            data.display(),
+            cfg.display()
+        );
+        run(argv(&format!("{base} --trace-out {}", plain.display()))).unwrap();
+        let out = run(argv(&format!(
+            "{base} --trace-out {} --serve 127.0.0.1:0",
+            served.display()
+        )))
+        .unwrap();
+        assert!(out.contains("observatory served"), "got: {out}");
+        assert_eq!(
+            std::fs::read_to_string(&plain).unwrap(),
+            std::fs::read_to_string(&served).unwrap(),
+            "serving must not perturb the event stream"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

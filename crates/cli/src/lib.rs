@@ -11,6 +11,9 @@
 //!
 //! ```text
 //! ecad search   --data table.csv [--config ecad.ini] [--trace out.csv]
+//!               [--serve ADDR] [--trace-out out.jsonl]
+//! ecad analyze  --file trace.jsonl [--format text|json|csv]
+//! ecad trace    --file trace.jsonl [--require E1,E2] [--summary]
 //! ecad datasets [--generate NAME --out FILE [--samples N] [--seed N]]
 //! ecad devices
 //! ecad estimate --layers 784,256,10 [--device NAME] [--batch N]
@@ -19,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+mod analyze;
 mod args;
 mod commands;
 

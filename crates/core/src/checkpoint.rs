@@ -33,13 +33,17 @@ use std::path::{Path, PathBuf};
 use ecad_mlp::Activation;
 use rt::json::{Json, ToJson};
 
+use crate::analytics::OperatorKind;
 use crate::engine::EvolutionConfig;
 use crate::genome::{CandidateGenome, HwGenome, LayerGene, NnaGenome};
 use crate::measurement::{HwMetrics, InfeasibleReason, Measurement};
 
 /// Schema version stamped into every checkpoint file; bump on any
-/// incompatible layout change.
-pub const FORMAT_VERSION: u64 = 1;
+/// incompatible layout change. Version 2 added the per-operator
+/// admission counters and the `op` provenance tag on pending jobs
+/// (both feed the epoch analytics, whose resumed events must be
+/// bit-identical to an uninterrupted run's).
+pub const FORMAT_VERSION: u64 = 2;
 
 /// When and where the engine writes checkpoints.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +80,10 @@ pub struct PendingJob {
     pub attempt: usize,
     /// The candidate to evaluate.
     pub genome: CandidateGenome,
+    /// Which operator produced the candidate (epoch analytics
+    /// provenance; survives the checkpoint so per-operator admission
+    /// rates stay exact across a resume).
+    pub op: OperatorKind,
 }
 
 /// Everything the engine needs to continue a run. See the module docs
@@ -111,6 +119,9 @@ pub struct CheckpointState {
     pub timeout_count: usize,
     /// Worker slots respawned so far.
     pub respawn_count: usize,
+    /// Per-operator `(produced, entered population)` admission
+    /// counters, in [`OperatorKind::ALL`] order.
+    pub op_counters: [(u64, u64); 4],
     /// Accumulated per-evaluation seconds.
     pub total_eval_time_s: f64,
     /// Accumulated training-stage seconds.
@@ -299,6 +310,20 @@ impl ToJson for CheckpointState {
             .insert("retry_count", self.retry_count)
             .insert("timeout_count", self.timeout_count)
             .insert("respawn_count", self.respawn_count)
+            .insert("operators", {
+                let mut ops = Json::object();
+                for (op, (total, entered)) in
+                    OperatorKind::ALL.into_iter().zip(self.op_counters)
+                {
+                    ops = ops.insert(
+                        op.name(),
+                        Json::object()
+                            .insert("total", total)
+                            .insert("entered", entered),
+                    );
+                }
+                ops
+            })
             .insert("total_eval_time_s", self.total_eval_time_s)
             .insert("train_time_s", self.train_time_s)
             .insert("hw_time_s", self.hw_time_s)
@@ -336,6 +361,7 @@ impl ToJson for CheckpointState {
                     .map(|p| {
                         Json::object()
                             .insert("attempt", p.attempt)
+                            .insert("op", p.op.name())
                             .insert("genome", genome_to_json(&p.genome))
                     })
                     .collect::<Vec<_>>(),
@@ -549,6 +575,22 @@ impl CheckpointState {
             retry_count: get_usize(j, "retry_count")?,
             timeout_count: get_usize(j, "timeout_count")?,
             respawn_count: get_usize(j, "respawn_count")?,
+            op_counters: {
+                let ops = j
+                    .get("operators")
+                    .ok_or_else(|| schema("missing field \"operators\""))?;
+                let mut counters = [(0u64, 0u64); 4];
+                for (op, slot) in OperatorKind::ALL.into_iter().zip(&mut counters) {
+                    let entry = ops.get(op.name()).ok_or_else(|| {
+                        schema(format!("operators missing entry {:?}", op.name()))
+                    })?;
+                    *slot = (
+                        get_usize(entry, "total")? as u64,
+                        get_usize(entry, "entered")? as u64,
+                    );
+                }
+                counters
+            },
             total_eval_time_s: get_f64(j, "total_eval_time_s")?,
             train_time_s: get_f64(j, "train_time_s")?,
             hw_time_s: get_f64(j, "hw_time_s")?,
@@ -581,6 +623,12 @@ impl CheckpointState {
                 .map(|p| {
                     Ok(PendingJob {
                         attempt: get_usize(p, "attempt")?,
+                        op: OperatorKind::parse(get_str(p, "op")?).ok_or_else(|| {
+                            schema(format!(
+                                "pending entry has unknown operator {:?}",
+                                get_str(p, "op").unwrap_or_default()
+                            ))
+                        })?,
                         genome: genome_from_json(p.get("genome").ok_or_else(|| {
                             schema("pending entry missing genome")
                         })?)?,
@@ -731,6 +779,7 @@ mod tests {
             retry_count: 2,
             timeout_count: 1,
             respawn_count: 1,
+            op_counters: [(12, 12), (3, 2), (10, 4), (15, 7)],
             total_eval_time_s: 31.25,
             train_time_s: 28.5,
             hw_time_s: 2.5,
@@ -752,6 +801,7 @@ mod tests {
             pending: vec![PendingJob {
                 attempt: 1,
                 genome: genome(),
+                op: OperatorKind::Mutate,
             }],
         }
     }

@@ -314,6 +314,29 @@ impl FlowConfig {
             };
         }
         evolution.max_retries = get_parse(opt, "max_retries", evolution.max_retries)?;
+
+        // Search-observatory analytics: the epoch cadence (evaluations
+        // per population snapshot; 0 or absent means one population),
+        // the stall-detector window in epochs, and its flatness epsilon.
+        evolution.analytics.epoch_size =
+            get_parse(opt, "epoch_size", evolution.analytics.epoch_size)?;
+        evolution.analytics.stall_window =
+            get_parse(opt, "stall_window", evolution.analytics.stall_window)?;
+        if let Some((v, line)) = opt.get("stall_epsilon") {
+            let eps: f64 = v.parse().map_err(|_| ConfigError::BadValue {
+                key: "stall_epsilon".to_string(),
+                value: v.clone(),
+                line: *line,
+            })?;
+            if !eps.is_finite() || eps < 0.0 {
+                return Err(ConfigError::BadValue {
+                    key: "stall_epsilon".to_string(),
+                    value: v.clone(),
+                    line: *line,
+                });
+            }
+            evolution.analytics.stall_epsilon = eps;
+        }
         let backoff_ms: u64 = get_parse(
             opt,
             "retry_backoff_ms",
@@ -548,6 +571,27 @@ epochs = 10
         let err = FlowConfig::from_ini("[optimization]\neval_timeout_s = -1\n").unwrap_err();
         assert!(
             matches!(err, ConfigError::BadValue { ref key, line: 2, .. } if key == "eval_timeout_s")
+        );
+    }
+
+    #[test]
+    fn analytics_keys_parse() {
+        let c = FlowConfig::from_ini(
+            "[optimization]\nepoch_size = 25\nstall_window = 3\nstall_epsilon = 0.001\n",
+        )
+        .unwrap();
+        assert_eq!(c.evolution.analytics.epoch_size, 25);
+        assert_eq!(c.evolution.analytics.stall_window, 3);
+        assert!((c.evolution.analytics.stall_epsilon - 0.001).abs() < 1e-12);
+
+        // Defaults when absent.
+        let d = FlowConfig::from_ini("").unwrap();
+        assert_eq!(d.evolution.analytics, crate::analytics::AnalyticsConfig::default());
+
+        // Negative epsilon is rejected with its line.
+        let err = FlowConfig::from_ini("[optimization]\nstall_epsilon = -1\n").unwrap_err();
+        assert!(
+            matches!(err, ConfigError::BadValue { ref key, line: 2, .. } if key == "stall_epsilon")
         );
     }
 

@@ -46,6 +46,7 @@ use rt::rand::{Rng, RngCore, SeedableRng};
 use rt::supervise::{ShutdownFlag, Supervisor};
 use rt::sync::channel::{self, RecvTimeoutError};
 
+use crate::analytics::{AnalyticsConfig, EpochTracker, OperatorKind, StatusCell};
 use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointState, PendingJob};
 use crate::fitness::ObjectiveSet;
 use crate::genome::CandidateGenome;
@@ -99,6 +100,9 @@ pub struct EvolutionConfig {
     /// ±50% deterministic jitter seeded from the search seed and the
     /// candidate's cache key.
     pub retry_backoff: Duration,
+    /// Epoch analytics: snapshot cadence and stall-detector policy
+    /// (see [`crate::analytics`]).
+    pub analytics: AnalyticsConfig,
 }
 
 impl EvolutionConfig {
@@ -115,6 +119,7 @@ impl EvolutionConfig {
             eval_timeout: None,
             max_retries: 2,
             retry_backoff: Duration::from_millis(5),
+            analytics: AnalyticsConfig::default(),
         }
     }
 }
@@ -208,6 +213,7 @@ pub struct Engine {
     checkpoint: Option<CheckpointPolicy>,
     halt_after: Option<usize>,
     shutdown: ShutdownFlag,
+    status: StatusCell,
 }
 
 /// One dispatched evaluation the master is waiting on.
@@ -215,6 +221,7 @@ struct InFlight {
     genome: CandidateGenome,
     attempt: usize,
     deadline: Option<Instant>,
+    op: OperatorKind,
 }
 
 /// The master loop's mutable scalars, grouped so checkpoints can
@@ -257,13 +264,14 @@ fn build_checkpoint(
     cfg: &EvolutionConfig,
     rng: &StdRng,
     c: &Counters,
+    op_counters: [(u64, u64); 4],
     wall_time_s: f64,
     seeds: &[CandidateGenome],
     population: &[Evaluated],
     trace: &[Evaluated],
     cache: &HashMap<u64, Measurement>,
     inflight: &HashMap<usize, InFlight>,
-    retry_q: &VecDeque<(Instant, usize, CandidateGenome)>,
+    retry_q: &VecDeque<(Instant, usize, CandidateGenome, OperatorKind)>,
     pending_restore: &VecDeque<PendingJob>,
 ) -> CheckpointState {
     let (rng_state, rng_inc) = rng.raw_state();
@@ -284,11 +292,13 @@ fn build_checkpoint(
             PendingJob {
                 attempt: j.attempt,
                 genome: j.genome.clone(),
+                op: j.op,
             }
         })
-        .chain(retry_q.iter().map(|(_, attempt, genome)| PendingJob {
+        .chain(retry_q.iter().map(|(_, attempt, genome, op)| PendingJob {
             attempt: *attempt,
             genome: genome.clone(),
+            op: *op,
         }))
         .chain(pending_restore.iter().cloned())
         .collect();
@@ -307,6 +317,7 @@ fn build_checkpoint(
         retry_count: c.retry_count,
         timeout_count: c.timeout_count,
         respawn_count: c.respawn_count,
+        op_counters,
         total_eval_time_s: c.total_eval_time,
         train_time_s: c.train_time,
         hw_time_s: c.hw_time,
@@ -320,15 +331,25 @@ fn build_checkpoint(
 }
 
 /// Writes a checkpoint, downgrading failure to a warning event — a
-/// full disk must not kill a search that is otherwise healthy.
-fn save_checkpoint(policy: &CheckpointPolicy, state: &CheckpointState, obs: &Obs) {
+/// full disk must not kill a search that is otherwise healthy. The
+/// status cell learns about successful writes so `/status` can report
+/// checkpoint age.
+fn save_checkpoint(
+    policy: &CheckpointPolicy,
+    state: &CheckpointState,
+    obs: &Obs,
+    status: &StatusCell,
+) {
     match state.save(&policy.path) {
-        Ok(()) => rt::trace!(
-            obs,
-            "checkpoint",
-            evaluations_done = state.trace.len(),
-            path = policy.path.display().to_string(),
-        ),
+        Ok(()) => {
+            status.note_checkpoint();
+            rt::trace!(
+                obs,
+                "checkpoint",
+                evaluations_done = state.trace.len(),
+                path = policy.path.display().to_string(),
+            );
+        }
         Err(e) => rt::warn!(obs, "checkpoint_error", error = e.to_string()),
     }
 }
@@ -364,6 +385,7 @@ impl Engine {
             checkpoint: None,
             halt_after: None,
             shutdown: ShutdownFlag::new(),
+            status: StatusCell::new(),
         }
     }
 
@@ -402,6 +424,15 @@ impl Engine {
         self
     }
 
+    /// Attaches a shared status cell the engine keeps current (latest
+    /// epoch snapshot, counters, checkpoint age) for the `/status`
+    /// endpoint. The engine only writes to it; readers never touch
+    /// engine state, so a live observer cannot perturb the search.
+    pub fn with_status(mut self, status: StatusCell) -> Self {
+        self.status = status;
+        self
+    }
+
     /// Runs the search to budget exhaustion (or until halted).
     pub fn run(&self) -> EngineOutcome {
         self.run_inner(None)
@@ -424,6 +455,8 @@ impl Engine {
     fn run_inner(&self, restored: Option<CheckpointState>) -> EngineOutcome {
         let start = Instant::now();
         let cfg = self.config;
+        self.status.note_started();
+        let mut tracker = EpochTracker::new(cfg.analytics, cfg.population);
 
         let mut rng;
         let mut population: Vec<Evaluated>;
@@ -450,6 +483,19 @@ impl Engine {
                 rng = StdRng::from_raw_state(state.rng_state, state.rng_inc);
                 population = state.population.into_iter().map(revive).collect();
                 trace = state.trace.into_iter().map(revive).collect();
+                // Rebuild the epoch tracker by silently replaying the
+                // restored trace in epoch-sized chunks: archive, best,
+                // and stall history end up exactly as the uninterrupted
+                // run's, so the next epoch event is bit-identical.
+                tracker.set_operator_totals(state.op_counters);
+                tracker.replay(trace.iter().map(|e| {
+                    let oriented = if e.fitness.is_finite() {
+                        self.objectives.oriented_values(&e.measurement)
+                    } else {
+                        Vec::new()
+                    };
+                    (oriented, e.fitness)
+                }));
                 cache = state.cache.into_iter().collect();
                 seeds = state.seeds_remaining;
                 c.submitted_unique = state.submitted_unique;
@@ -508,6 +554,23 @@ impl Engine {
         let respawn_counter = self.obs.counter("engine.respawns");
         let eval_hist = self.obs.histogram("engine.eval_time_s");
 
+        // Epoch analytics instruments: gauges refreshed at each epoch
+        // boundary, plus a histogram of the per-epoch hypervolume so
+        // the convergence curve's distribution survives scraping gaps.
+        let epoch_gauge = self.obs.gauge("search.epoch");
+        let best_gauge = self.obs.gauge("search.best_fitness");
+        let hv_gauge = self.obs.gauge("search.hypervolume");
+        let archive_gauge = self.obs.gauge("search.archive_size");
+        let entropy_gauge = self.obs.gauge("search.gene_entropy_bits");
+        let distance_gauge = self.obs.gauge("search.mean_distance");
+        let cache_rate_gauge = self.obs.gauge("search.cache_hit_rate");
+        let fitness_p50_gauge = self.obs.gauge("search.fitness_p50");
+        let hv_hist = self.obs.histogram("search.epoch_hypervolume");
+        let op_gauges: Vec<_> = OperatorKind::ALL
+            .iter()
+            .map(|op| self.obs.gauge(&format!("search.op_{}_rate", op.name())))
+            .collect();
+
         let (req_tx, req_rx) = channel::unbounded::<(usize, CandidateGenome)>();
         let (res_tx, res_rx) = channel::unbounded::<(usize, CandidateGenome, Measurement)>();
 
@@ -557,11 +620,12 @@ impl Engine {
         let max_attempts = cfg.evaluations * Self::MAX_ATTEMPT_FACTOR;
         let mut inflight: HashMap<usize, InFlight> = HashMap::new();
         let mut stale: HashSet<usize> = HashSet::new();
-        let mut retry_q: VecDeque<(Instant, usize, CandidateGenome)> = VecDeque::new();
+        let mut retry_q: VecDeque<(Instant, usize, CandidateGenome, OperatorKind)> =
+            VecDeque::new();
         let mut halted = false;
 
         macro_rules! dispatch {
-            ($genome:expr, $attempt:expr) => {{
+            ($genome:expr, $attempt:expr, $op:expr) => {{
                 let genome: CandidateGenome = $genome;
                 let attempt: usize = $attempt;
                 let id = c.next_id;
@@ -572,6 +636,7 @@ impl Engine {
                         genome: genome.clone(),
                         attempt,
                         deadline: cfg.eval_timeout.map(|t| Instant::now() + t),
+                        op: $op,
                     },
                 );
                 req_tx.send((id, genome)).expect("workers alive");
@@ -580,7 +645,7 @@ impl Engine {
         }
 
         macro_rules! finalize {
-            ($id:expr, $genome:expr, $measurement:expr) => {{
+            ($id:expr, $genome:expr, $measurement:expr, $op:expr) => {{
                 let measurement: Measurement = $measurement;
                 evaluated_counter.inc();
                 if !measurement.hw.is_feasible() {
@@ -593,7 +658,14 @@ impl Engine {
                 if measurement.failure_kind() != Some(FailureKind::Transient) {
                     cache.insert($genome.cache_key(), measurement.clone());
                 }
-                let eval = self.admit($genome, measurement, &mut population, &mut rng);
+                let (eval, entered) = self.admit($genome, measurement, &mut population, &mut rng);
+                tracker.record_op($op, entered);
+                if eval.fitness.is_finite() {
+                    tracker.observe(
+                        &self.objectives.oriented_values(&eval.measurement),
+                        eval.fitness,
+                    );
+                }
                 rt::info!(
                     self.obs,
                     "evaluated",
@@ -603,14 +675,41 @@ impl Engine {
                     feasible = eval.measurement.hw.is_feasible(),
                 );
                 trace.push(eval);
+                if tracker.should_snapshot(trace.len()) {
+                    let (snap, stall_fired) =
+                        tracker.snapshot(trace.len(), &population, c.cache_hits);
+                    self.emit_epoch(&snap, stall_fired);
+                    epoch_gauge.set(snap.epoch as f64);
+                    best_gauge.set(snap.best_fitness);
+                    hv_gauge.set(snap.hypervolume);
+                    hv_hist.record(snap.hypervolume);
+                    archive_gauge.set(snap.archive_size as f64);
+                    entropy_gauge.set(snap.gene_entropy_bits);
+                    distance_gauge.set(snap.mean_distance);
+                    cache_rate_gauge.set(snap.cache_hit_rate);
+                    fitness_p50_gauge.set(snap.fitness.p50);
+                    for (gauge, op) in op_gauges.iter().zip(OperatorKind::ALL) {
+                        gauge.set(snap.operators.rate(op));
+                    }
+                    self.status.note_snapshot(snap);
+                }
+                self.status.note_counters(
+                    trace.len(),
+                    c.cache_hits,
+                    c.infeasible_count,
+                    c.retry_count,
+                    c.timeout_count,
+                    c.respawn_count,
+                );
                 if let Some(policy) = &self.checkpoint {
                     if trace.len() % policy.every == 0 {
                         let state = build_checkpoint(
-                            &cfg, &rng, &c, prior_wall + start.elapsed().as_secs_f64(),
+                            &cfg, &rng, &c, tracker.operator_totals(),
+                            prior_wall + start.elapsed().as_secs_f64(),
                             &seeds, &population, &trace, &cache,
                             &inflight, &retry_q, &pending_restore,
                         );
-                        save_checkpoint(policy, &state, &self.obs);
+                        save_checkpoint(policy, &state, &self.obs, &self.status);
                     }
                 }
             }};
@@ -626,11 +725,12 @@ impl Engine {
                 // already counted), then fresh candidates.
                 let now = Instant::now();
                 while inflight.len() < cfg.threads
-                    && retry_q.front().is_some_and(|&(ready, _, _)| ready <= now)
+                    && retry_q.front().is_some_and(|&(ready, _, _, _)| ready <= now)
                 {
-                    let (_, attempt, genome) = retry_q.pop_front().expect("front checked");
+                    let (_, attempt, genome, op) =
+                        retry_q.pop_front().expect("front checked");
                     let key = genome.cache_key();
-                    let id = dispatch!(genome, attempt);
+                    let id = dispatch!(genome, attempt, op);
                     rt::warn!(
                         self.obs,
                         "retry",
@@ -643,7 +743,7 @@ impl Engine {
                     let job = pending_restore.pop_front().expect("nonempty");
                     let key = job.genome.cache_key();
                     let attempt = job.attempt;
-                    let id = dispatch!(job.genome, attempt);
+                    let id = dispatch!(job.genome, attempt, job.op);
                     if attempt == 0 {
                         rt::debug!(self.obs, "submit", id = id, key = format!("{key:016x}"));
                     } else {
@@ -660,8 +760,8 @@ impl Engine {
                     && c.submitted_unique < cfg.evaluations
                     && c.attempts < max_attempts
                 {
-                    let genome = match seeds.pop() {
-                        Some(g) => g,
+                    let (genome, op) = match seeds.pop() {
+                        Some(g) => (g, OperatorKind::Seed),
                         None => self.breed(&population, &mut rng),
                     };
                     c.attempts += 1;
@@ -672,7 +772,11 @@ impl Engine {
                         c.cache_hits += 1;
                         cache_hit_counter.inc();
                         rt::debug!(self.obs, "cache_hit", key = format!("{key:016x}"));
-                        let eval = self.admit(genome, cached.clone(), &mut population, &mut rng);
+                        let (eval, entered) =
+                            self.admit(genome, cached.clone(), &mut population, &mut rng);
+                        // A cached duplicate still says something about
+                        // its operator's usefulness.
+                        tracker.record_op(op, entered);
                         // Cached repeats are not re-appended to the
                         // trace; Table III counts unique models.
                         let _ = eval;
@@ -689,7 +793,7 @@ impl Engine {
                         key = format!("{key:016x}"),
                     );
                     c.submitted_unique += 1;
-                    dispatch!(genome, 0);
+                    dispatch!(genome, 0, op);
                 }
             }
 
@@ -704,11 +808,12 @@ impl Engine {
                     rt::trace!(self.obs, "halt", evaluations_done = trace.len());
                     if let Some(policy) = &self.checkpoint {
                         let state = build_checkpoint(
-                            &cfg, &rng, &c, prior_wall + start.elapsed().as_secs_f64(),
+                            &cfg, &rng, &c, tracker.operator_totals(),
+                            prior_wall + start.elapsed().as_secs_f64(),
                             &seeds, &population, &trace, &cache,
                             &inflight, &retry_q, &pending_restore,
                         );
-                        save_checkpoint(policy, &state, &self.obs);
+                        save_checkpoint(policy, &state, &self.obs, &self.status);
                     }
                 }
                 break;
@@ -719,7 +824,7 @@ impl Engine {
             let wake = inflight
                 .values()
                 .filter_map(|j| j.deadline)
-                .chain(retry_q.iter().map(|&(ready, _, _)| ready))
+                .chain(retry_q.iter().map(|&(ready, _, _, _)| ready))
                 .min();
             let received = match wake {
                 None => Some(res_rx.recv().expect("worker pool alive")),
@@ -756,9 +861,10 @@ impl Engine {
                             Instant::now() + backoff_delay(&cfg, key, attempt),
                             attempt,
                             genome,
+                            job.op,
                         ));
                     } else {
-                        finalize!(id, genome, measurement);
+                        finalize!(id, genome, measurement, job.op);
                     }
                 }
                 None => {
@@ -799,6 +905,7 @@ impl Engine {
                                 now + backoff_delay(&cfg, key, attempt),
                                 attempt,
                                 job.genome,
+                                job.op,
                             ));
                         } else {
                             let mut m =
@@ -808,7 +915,7 @@ impl Engine {
                             m.eval_time_s =
                                 cfg.eval_timeout.map_or(0.0, |t| t.as_secs_f64());
                             c.total_eval_time += m.eval_time_s;
-                            finalize!(id, job.genome, m);
+                            finalize!(id, job.genome, m, job.op);
                         }
                     }
                 }
@@ -827,13 +934,23 @@ impl Engine {
             );
             if let Some(policy) = &self.checkpoint {
                 let state = build_checkpoint(
-                    &cfg, &rng, &c, prior_wall + start.elapsed().as_secs_f64(),
+                    &cfg, &rng, &c, tracker.operator_totals(),
+                    prior_wall + start.elapsed().as_secs_f64(),
                     &seeds, &population, &trace, &cache,
                     &inflight, &retry_q, &pending_restore,
                 );
-                save_checkpoint(policy, &state, &self.obs);
+                save_checkpoint(policy, &state, &self.obs, &self.status);
             }
         }
+        self.status.note_counters(
+            trace.len(),
+            c.cache_hits,
+            c.infeasible_count,
+            c.retry_count,
+            c.timeout_count,
+            c.respawn_count,
+        );
+        self.status.note_done();
         self.obs.flush();
         let stats = EngineStats {
             models_evaluated,
@@ -860,15 +977,63 @@ impl Engine {
         }
     }
 
+    /// Emits the structured `epoch` trace event (and the `stall`
+    /// warning on a detector rising edge). Every field is derived from
+    /// deterministic engine state — no clocks — so seeded traces stay
+    /// byte-reproducible with analytics on.
+    fn emit_epoch(&self, snap: &crate::analytics::PopulationSnapshot, stall_fired: bool) {
+        rt::info!(
+            self.obs,
+            "epoch",
+            epoch = snap.epoch,
+            evaluations = snap.evaluations,
+            population = snap.population,
+            has_best = snap.has_best,
+            best_fitness = snap.best_fitness,
+            fitness_min = snap.fitness.min,
+            fitness_p25 = snap.fitness.p25,
+            fitness_p50 = snap.fitness.p50,
+            fitness_p75 = snap.fitness.p75,
+            fitness_max = snap.fitness.max,
+            fitness_mean = snap.fitness.mean,
+            hypervolume = snap.hypervolume,
+            archive_size = snap.archive_size,
+            gene_entropy_bits = snap.gene_entropy_bits,
+            mean_distance = snap.mean_distance,
+            cache_hit_rate = snap.cache_hit_rate,
+            seed_total = snap.operators.total(OperatorKind::Seed),
+            seed_entered = snap.operators.entered(OperatorKind::Seed),
+            sample_total = snap.operators.total(OperatorKind::Sample),
+            sample_entered = snap.operators.entered(OperatorKind::Sample),
+            crossover_total = snap.operators.total(OperatorKind::Crossover),
+            crossover_entered = snap.operators.entered(OperatorKind::Crossover),
+            mutate_total = snap.operators.total(OperatorKind::Mutate),
+            mutate_entered = snap.operators.entered(OperatorKind::Mutate),
+            stalled = snap.stalled,
+        );
+        if stall_fired {
+            rt::warn!(
+                self.obs,
+                "stall",
+                epoch = snap.epoch,
+                window = self.config.analytics.stall_window,
+                hypervolume = snap.hypervolume,
+                best_fitness = snap.best_fitness,
+            );
+        }
+    }
+
     /// Scores a measured candidate and inserts it into the population
-    /// (steady-state replacement). Returns the evaluated record.
+    /// (steady-state replacement). Returns the evaluated record plus
+    /// whether it actually entered the population (filled a slot or
+    /// displaced a member) — the per-operator success signal.
     fn admit(
         &self,
         genome: CandidateGenome,
         measurement: Measurement,
         population: &mut Vec<Evaluated>,
         rng: &mut StdRng,
-    ) -> Evaluated {
+    ) -> (Evaluated, bool) {
         let fitness = self.objectives.scalar(&measurement);
         let eval = Evaluated {
             genome,
@@ -877,7 +1042,7 @@ impl Engine {
         };
         if population.len() < self.config.population {
             population.push(eval.clone());
-            return eval;
+            return (eval, true);
         }
         match self.config.selection {
             SelectionMode::WeightedScalar => {
@@ -904,17 +1069,20 @@ impl Engine {
                 if replaced {
                     population[worst_idx] = eval.clone();
                 }
+                (eval, replaced)
             }
             SelectionMode::Nsga2 => {
                 // Child joins, then the (rank, crowding)-worst member
-                // is evicted.
+                // is evicted. The child "entered" unless it was itself
+                // the evicted member (it sat at the last index).
                 population.push(eval.clone());
                 let evict = Self::nsga2_worst(&self.rank_keys(population));
                 rt::trace!(self.obs, "replace", victim = evict, replaced = true);
+                let entered = evict != population.len() - 1;
                 population.swap_remove(evict);
+                (eval, entered)
             }
         }
-        eval
     }
 
     /// Oriented objective vectors for ranking; infeasible candidates map
@@ -948,22 +1116,26 @@ impl Engine {
     }
 
     /// Breeds one child from the current population (or samples fresh if
-    /// the population is still too small).
-    fn breed(&self, population: &[Evaluated], rng: &mut StdRng) -> CandidateGenome {
+    /// the population is still too small), tagging it with the operator
+    /// that produced it for the epoch analytics.
+    fn breed(&self, population: &[Evaluated], rng: &mut StdRng) -> (CandidateGenome, OperatorKind) {
         if population.len() < 2 {
             rt::trace!(self.obs, "breed", method = "sample");
-            return self.space.sample(rng);
+            return (self.space.sample(rng), OperatorKind::Sample);
         }
         let a = self.tournament_select(population, rng);
-        let child = if rng.gen_bool(self.config.crossover_rate) {
+        let (child, op) = if rng.gen_bool(self.config.crossover_rate) {
             rt::trace!(self.obs, "breed", method = "crossover");
             let b = self.tournament_select(population, rng);
-            self.space.crossover(&a.genome, &b.genome, rng)
+            (
+                self.space.crossover(&a.genome, &b.genome, rng),
+                OperatorKind::Crossover,
+            )
         } else {
             rt::trace!(self.obs, "breed", method = "mutate");
-            a.genome.clone()
+            (a.genome.clone(), OperatorKind::Mutate)
         };
-        self.space.mutate(&child, rng)
+        (self.space.mutate(&child, rng), op)
     }
 
     fn tournament_select<'a>(
@@ -1261,6 +1433,121 @@ mod tests {
             (out.stats.models_evaluated + out.stats.cache_hits) as u64
         );
         assert_eq!(metric("engine.infeasible"), out.stats.infeasible_count as u64);
+    }
+
+    fn numeric_field(e: &rt::obs::Event, key: &str) -> f64 {
+        e.fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| match v {
+                rt::obs::Value::F64(x) => *x,
+                rt::obs::Value::U64(x) => *x as f64,
+                rt::obs::Value::I64(x) => *x as f64,
+                other => panic!("field {key:?} is not numeric: {other:?}"),
+            })
+            .unwrap_or_else(|| panic!("epoch event missing field {key:?}"))
+    }
+
+    #[test]
+    fn epoch_events_fire_with_monotone_hypervolume() {
+        let ring = rt::obs::RingSink::new(rt::obs::Level::Trace, 8192);
+        let obs = rt::obs::Obs::builder().sink(Arc::clone(&ring)).build();
+        let out = engine(60, 7, 1).with_obs(obs.clone()).run();
+
+        let events = ring.snapshot();
+        let epochs: Vec<_> = events.iter().filter(|e| e.name == "epoch").collect();
+        // population 12, 60 evaluations => one epoch per population.
+        assert_eq!(epochs.len(), 5);
+        let mut prev_hv = 0.0;
+        for (i, e) in epochs.iter().enumerate() {
+            assert_eq!(numeric_field(e, "epoch") as usize, i + 1);
+            assert_eq!(numeric_field(e, "evaluations") as usize, (i + 1) * 12);
+            let hv = numeric_field(e, "hypervolume");
+            assert!(hv >= prev_hv, "hypervolume fell: {prev_hv} -> {hv}");
+            prev_hv = hv;
+            assert!(numeric_field(e, "gene_entropy_bits") >= 0.0);
+            assert!((0.0..=1.0).contains(&numeric_field(e, "mean_distance")));
+        }
+        assert!(prev_hv > 0.0, "feasible toy run must accumulate volume");
+
+        // Operator totals account for every admission: unique
+        // evaluations plus cache-hit re-admissions.
+        let last = epochs.last().unwrap();
+        let produced = ["seed_total", "sample_total", "crossover_total", "mutate_total"]
+            .iter()
+            .map(|k| numeric_field(last, k) as usize)
+            .sum::<usize>();
+        assert_eq!(produced, out.stats.models_evaluated + out.stats.cache_hits);
+
+        // The metrics registry carries the epoch gauges.
+        let gauge = |name: &str| {
+            obs.snapshot()
+                .iter()
+                .find_map(|(n, v)| match (n == name, v) {
+                    (true, rt::obs::MetricValue::Gauge(g)) => Some(*g),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("no gauge {name:?}"))
+        };
+        assert_eq!(gauge("search.epoch"), 5.0);
+        assert!((gauge("search.hypervolume") - prev_hv).abs() < 1e-15);
+        assert!(gauge("search.best_fitness") > 0.0);
+    }
+
+    #[test]
+    fn resumed_run_reports_identical_epochs() {
+        let epoch_lines = |events: &[rt::obs::Event]| -> Vec<String> {
+            events
+                .iter()
+                .filter(|e| e.name == "epoch")
+                .map(|e| e.to_json(0, false).to_string())
+                .collect()
+        };
+
+        let full_ring = rt::obs::RingSink::new(rt::obs::Level::Trace, 8192);
+        let full_obs = rt::obs::Obs::builder().sink(Arc::clone(&full_ring)).build();
+        let _ = engine(40, 47, 1).with_obs(full_obs).run();
+        let full = epoch_lines(&full_ring.snapshot());
+        assert_eq!(full.len(), 3); // epochs at 12, 24, 36
+
+        let path = tmp_path("epoch-resume.json");
+        let first_ring = rt::obs::RingSink::new(rt::obs::Level::Trace, 8192);
+        let first_obs = rt::obs::Obs::builder().sink(Arc::clone(&first_ring)).build();
+        // Halt at 20: mid-epoch, so the tracker state to rebuild is a
+        // partial chunk — the hardest restore case.
+        let _ = engine(40, 47, 1)
+            .with_obs(first_obs)
+            .with_checkpoint(CheckpointPolicy::new(&path, 5))
+            .with_halt_after(20)
+            .run();
+        let state = CheckpointState::load(&path).unwrap();
+        let resumed_ring = rt::obs::RingSink::new(rt::obs::Level::Trace, 8192);
+        let resumed_obs = rt::obs::Obs::builder().sink(Arc::clone(&resumed_ring)).build();
+        let _ = engine(40, 47, 1)
+            .with_obs(resumed_obs)
+            .resume(state)
+            .unwrap();
+
+        let mut stitched = epoch_lines(&first_ring.snapshot());
+        stitched.extend(epoch_lines(&resumed_ring.snapshot()));
+        assert_eq!(stitched, full, "resumed epoch events must be bit-identical");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn status_cell_tracks_run_lifecycle() {
+        use rt::json::Json;
+        let status = crate::analytics::StatusCell::new();
+        let out = engine(24, 9, 1).with_status(status.clone()).run();
+        let json = status.to_json();
+        assert_eq!(json.get("running"), Some(&Json::Bool(false)));
+        assert_eq!(json.get("done"), Some(&Json::Bool(true)));
+        assert_eq!(
+            json.get("models_evaluated").and_then(Json::as_f64),
+            Some(out.stats.models_evaluated as f64)
+        );
+        let epoch = json.get("epoch").expect("epoch snapshot present");
+        assert_eq!(epoch.get("evaluations").and_then(Json::as_f64), Some(24.0));
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   so an interrupted search resumes byte-identically.
 //! * [`faults`] — a deterministic fault-injecting evaluator wrapper for
 //!   exercising the engine's retry/timeout/respawn machinery in tests.
+//! * [`analytics`] — the search observatory: per-epoch population
+//!   snapshots (fitness quantiles, Pareto-archive hypervolume, genome
+//!   diversity, operator success rates), a stall detector, and the
+//!   live `/metrics` + `/status` HTTP endpoints.
 //! * [`config`] — the flow's configuration-file entry point (§III).
 //! * [`search`] — high-level drivers tying it all together.
 //!
@@ -48,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod checkpoint;
 pub mod config;
 pub mod engine;
@@ -62,6 +67,10 @@ pub mod workers;
 
 /// Convenience re-exports for the common search workflow.
 pub mod prelude {
+    pub use crate::analytics::{
+        observatory, AnalyticsConfig, EpochTracker, OperatorKind, OperatorStats, ParetoArchive,
+        PopulationSnapshot, StatusCell,
+    };
     pub use crate::checkpoint::{CheckpointPolicy, CheckpointState};
     pub use crate::engine::{EngineStats, EvolutionConfig, SelectionMode};
     pub use crate::faults::{FaultKind, FaultSchedule, FaultyEvaluator};

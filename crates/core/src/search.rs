@@ -17,6 +17,7 @@ use rt::rand::rngs::StdRng;
 use rt::rand::SeedableRng;
 use rt::supervise::ShutdownFlag;
 
+use crate::analytics::StatusCell;
 use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointState};
 use crate::config::FlowConfig;
 use crate::engine::{Engine, EngineOutcome, EngineStats, Evaluated, EvolutionConfig};
@@ -205,6 +206,7 @@ pub struct Search {
     halt_after: Option<usize>,
     resume_from: Option<CheckpointState>,
     shutdown: Option<ShutdownFlag>,
+    status: Option<StatusCell>,
 }
 
 impl Search {
@@ -232,6 +234,7 @@ impl Search {
             halt_after: None,
             resume_from: None,
             shutdown: None,
+            status: None,
         }
     }
 
@@ -369,6 +372,14 @@ impl Search {
         self
     }
 
+    /// Attaches a shared status cell that the engine updates as the run
+    /// progresses (counters, latest epoch snapshot, lifecycle flags).
+    /// Serve it over HTTP with [`crate::analytics::observatory`].
+    pub fn status(mut self, status: StatusCell) -> Self {
+        self.status = Some(status);
+        self
+    }
+
     /// Attaches a cooperative shutdown flag (e.g. wired to
     /// SIGINT/SIGTERM via
     /// [`ShutdownFlag::install_termination_handler`]). When it trips,
@@ -446,6 +457,9 @@ impl Search {
         }
         if let Some(flag) = self.shutdown.clone() {
             engine = engine.with_shutdown(flag);
+        }
+        if let Some(status) = self.status.clone() {
+            engine = engine.with_status(status);
         }
         let outcome = match self.resume_from {
             Some(state) => engine.resume(state)?,

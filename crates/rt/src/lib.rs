@@ -26,6 +26,9 @@
 //! * [`supervise`] — restartable worker slots with panic/stall/respawn
 //!   accounting and a cooperative shutdown flag, so a hung or crashed
 //!   evaluation cannot take down the search.
+//! * [`http`] — a minimal GET-only HTTP/1.1 server plus a Prometheus
+//!   text-exposition writer/parser, so a live search can expose
+//!   `/metrics`, `/status`, and `/healthz` without a web framework.
 //!
 //! The crate has **no dependencies** (not even workspace-internal ones)
 //! and must stay that way: CI builds the workspace `--offline` exactly
@@ -35,6 +38,7 @@
 
 pub mod bench;
 pub mod check;
+pub mod http;
 pub mod json;
 pub mod obs;
 pub mod rand;

@@ -363,6 +363,14 @@ impl JsonlSink {
         self.include_timing = include;
         self
     }
+
+    /// Flushes buffered lines to the underlying writer. Also runs on
+    /// drop, so short-lived (or panicking) processes don't truncate
+    /// the tail of a trace; call it explicitly before reading the file
+    /// back while the sink is still alive.
+    pub fn flush(&self) {
+        let _ = self.inner.lock().expect("jsonl sink poisoned").out.flush();
+    }
 }
 
 impl Sink for JsonlSink {
@@ -379,7 +387,7 @@ impl Sink for JsonlSink {
     }
 
     fn flush(&self) {
-        let _ = self.inner.lock().expect("jsonl sink poisoned").out.flush();
+        JsonlSink::flush(self);
     }
 }
 
@@ -1165,6 +1173,29 @@ mod tests {
             let q = h.quantile(0.5);
             assert!((q / v).log2().abs() <= 0.5 / HIST_SUB + 1e-9, "{q} vs {v}");
         }
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let dir = std::env::temp_dir().join(format!(
+            "rt-obs-dropflush-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        {
+            let obs = Obs::builder()
+                .sink(JsonlSink::create(Level::Debug, &path).unwrap())
+                .build();
+            crate::info!(obs, "only_event", x = 1);
+            // No explicit flush: dropping the Obs (and with it the
+            // sink) must still land the buffered line on disk.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("only_event"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

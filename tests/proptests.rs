@@ -137,6 +137,26 @@ rt::prop! {
         }
     }
 
+    /// Pareto-archive hypervolume (the per-epoch convergence metric):
+    /// monotone non-decreasing under any insertion sequence, bounded
+    /// by the unit box, and zero only while the archive is empty.
+    fn archive_hypervolume_monotone(points in vec(vec(-1e3f64..1e3, 2..4usize), 1..40)) {
+        let dims = points[0].len();
+        let rect: Vec<Vec<f64>> = points.into_iter().map(|mut p| { p.resize(dims, 0.0); p }).collect();
+        let mut archive = ecad_repro::core::analytics::ParetoArchive::new();
+        let mut prev = archive.hypervolume();
+        prop_assert_eq!(prev, 0.0);
+        for p in &rect {
+            archive.insert(p);
+            let hv = archive.hypervolume();
+            prop_assert!(hv >= prev - 1e-12, "hypervolume fell: {} -> {}", prev, hv);
+            prop_assert!(hv <= 1.0 + 1e-12);
+            prop_assert!(hv > 0.0); // finite points always dominate some volume
+            prev = hv;
+        }
+        prop_assert!(archive.len() >= 1 && archive.len() <= rect.len());
+    }
+
     /// FPGA model monotonicity: adding DDR banks never lowers
     /// throughput, and effective never exceeds the compute roofline.
     fn fpga_bandwidth_monotonicity(

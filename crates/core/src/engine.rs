@@ -35,7 +35,7 @@
 //! seed; more threads trade determinism for wall-clock speed (result
 //! arrival order feeds back into breeding).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -51,6 +51,7 @@ use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointState, Pend
 use crate::fitness::ObjectiveSet;
 use crate::genome::CandidateGenome;
 use crate::measurement::{FailureKind, InfeasibleReason, Measurement};
+use crate::protocol::{DispatchLedger, ResultClass};
 use crate::space::SearchSpace;
 use crate::workers::Evaluator;
 
@@ -216,13 +217,14 @@ pub struct Engine {
     status: StatusCell,
 }
 
-/// One dispatched evaluation the master is waiting on.
-struct InFlight {
-    genome: CandidateGenome,
-    attempt: usize,
-    deadline: Option<Instant>,
-    op: OperatorKind,
-}
+/// The ledger payload: what travels with each dispatched evaluation
+/// besides the attempt counter the protocol itself tracks.
+type JobPayload = (CandidateGenome, OperatorKind);
+
+/// The engine's concrete ledger: wall-clock deadlines over the shared
+/// protocol state machine (model checks instantiate the same machine
+/// with virtual-time ticks).
+type EngineLedger = DispatchLedger<JobPayload, Instant>;
 
 /// The master loop's mutable scalars, grouped so checkpoints can
 /// snapshot them in one place.
@@ -270,8 +272,7 @@ fn build_checkpoint(
     population: &[Evaluated],
     trace: &[Evaluated],
     cache: &HashMap<u64, Measurement>,
-    inflight: &HashMap<usize, InFlight>,
-    retry_q: &VecDeque<(Instant, usize, CandidateGenome, OperatorKind)>,
+    ledger: &EngineLedger,
     pending_restore: &VecDeque<PendingJob>,
 ) -> CheckpointState {
     let (rng_state, rng_inc) = rng.raw_state();
@@ -283,23 +284,17 @@ fn build_checkpoint(
     let mut cache_entries: Vec<(u64, Measurement)> =
         cache.iter().map(|(&k, m)| (k, m.clone())).collect();
     cache_entries.sort_by_key(|&(k, _)| k);
-    let mut inflight_ids: Vec<&usize> = inflight.keys().collect();
-    inflight_ids.sort_unstable();
-    let pending = inflight_ids
+    // The ledger yields in-flight jobs in id order, then queued
+    // retries in FIFO order — the same deterministic layout the
+    // hand-rolled snapshot produced.
+    let pending = ledger
+        .pending_jobs()
         .into_iter()
-        .map(|id| {
-            let j = &inflight[id];
-            PendingJob {
-                attempt: j.attempt,
-                genome: j.genome.clone(),
-                op: j.op,
-            }
-        })
-        .chain(retry_q.iter().map(|(_, attempt, genome, op)| PendingJob {
-            attempt: *attempt,
+        .map(|(attempt, (genome, op))| PendingJob {
+            attempt,
             genome: genome.clone(),
             op: *op,
-        }))
+        })
         .chain(pending_restore.iter().cloned())
         .collect();
     CheckpointState {
@@ -618,10 +613,7 @@ impl Engine {
         drop(res_tx); // workers (via the supervisor) hold the clones
 
         let max_attempts = cfg.evaluations * Self::MAX_ATTEMPT_FACTOR;
-        let mut inflight: HashMap<usize, InFlight> = HashMap::new();
-        let mut stale: HashSet<usize> = HashSet::new();
-        let mut retry_q: VecDeque<(Instant, usize, CandidateGenome, OperatorKind)> =
-            VecDeque::new();
+        let mut ledger = EngineLedger::new();
         let mut halted = false;
 
         macro_rules! dispatch {
@@ -630,14 +622,11 @@ impl Engine {
                 let attempt: usize = $attempt;
                 let id = c.next_id;
                 c.next_id += 1;
-                inflight.insert(
-                    id,
-                    InFlight {
-                        genome: genome.clone(),
-                        attempt,
-                        deadline: cfg.eval_timeout.map(|t| Instant::now() + t),
-                        op: $op,
-                    },
+                ledger.dispatch(
+                    id as u64,
+                    (genome.clone(), $op),
+                    attempt,
+                    cfg.eval_timeout.map(|t| Instant::now() + t),
                 );
                 req_tx.send((id, genome)).expect("workers alive");
                 id
@@ -707,7 +696,7 @@ impl Engine {
                             &cfg, &rng, &c, tracker.operator_totals(),
                             prior_wall + start.elapsed().as_secs_f64(),
                             &seeds, &population, &trace, &cache,
-                            &inflight, &retry_q, &pending_restore,
+                            &ledger, &pending_restore,
                         );
                         save_checkpoint(policy, &state, &self.obs, &self.status);
                     }
@@ -724,11 +713,10 @@ impl Engine {
                 // work restored from a checkpoint (its unique budget is
                 // already counted), then fresh candidates.
                 let now = Instant::now();
-                while inflight.len() < cfg.threads
-                    && retry_q.front().is_some_and(|&(ready, _, _, _)| ready <= now)
-                {
-                    let (_, attempt, genome, op) =
-                        retry_q.pop_front().expect("front checked");
+                while ledger.in_flight_len() < cfg.threads {
+                    let Some((attempt, (genome, op))) = ledger.pop_ready_retry(now) else {
+                        break;
+                    };
                     let key = genome.cache_key();
                     let id = dispatch!(genome, attempt, op);
                     rt::warn!(
@@ -739,7 +727,7 @@ impl Engine {
                         key = format!("{key:016x}"),
                     );
                 }
-                while inflight.len() < cfg.threads && !pending_restore.is_empty() {
+                while ledger.in_flight_len() < cfg.threads && !pending_restore.is_empty() {
                     let job = pending_restore.pop_front().expect("nonempty");
                     let key = job.genome.cache_key();
                     let attempt = job.attempt;
@@ -756,7 +744,7 @@ impl Engine {
                         );
                     }
                 }
-                while inflight.len() < cfg.threads
+                while ledger.in_flight_len() < cfg.threads
                     && c.submitted_unique < cfg.evaluations
                     && c.attempts < max_attempts
                 {
@@ -797,8 +785,7 @@ impl Engine {
                 }
             }
 
-            let drained =
-                inflight.is_empty() && retry_q.is_empty() && pending_restore.is_empty();
+            let drained = ledger.quiescent() && pending_restore.is_empty();
             if halt_requested || drained {
                 if halt_requested {
                     halted = true;
@@ -811,7 +798,7 @@ impl Engine {
                             &cfg, &rng, &c, tracker.operator_totals(),
                             prior_wall + start.elapsed().as_secs_f64(),
                             &seeds, &population, &trace, &cache,
-                            &inflight, &retry_q, &pending_restore,
+                            &ledger, &pending_restore,
                         );
                         save_checkpoint(policy, &state, &self.obs, &self.status);
                     }
@@ -821,11 +808,7 @@ impl Engine {
 
             // Sleep until a result arrives — or the earliest deadline /
             // retry-ready time, whichever comes first.
-            let wake = inflight
-                .values()
-                .filter_map(|j| j.deadline)
-                .chain(retry_q.iter().map(|&(ready, _, _, _)| ready))
-                .min();
+            let wake = ledger.next_wake();
             let received = match wake {
                 None => Some(res_rx.recv().expect("worker pool alive")),
                 Some(deadline) => match res_rx.recv_deadline(deadline) {
@@ -839,13 +822,17 @@ impl Engine {
 
             match received {
                 Some((id, genome, measurement)) => {
-                    if stale.remove(&id) {
-                        // A timed-out dispatch finally reported; its
-                        // verdict was already decided.
-                        rt::trace!(self.obs, "late_result", id = id);
-                        continue;
-                    }
-                    let job = inflight.remove(&id).expect("result for in-flight id");
+                    let job = match ledger.take_result(id as u64) {
+                        ResultClass::Stale => {
+                            // A timed-out dispatch finally reported;
+                            // its verdict was already decided.
+                            rt::trace!(self.obs, "late_result", id = id);
+                            continue;
+                        }
+                        ResultClass::Fresh(job) => job,
+                        ResultClass::Unknown => unreachable!("result for in-flight id"),
+                    };
+                    let op = job.payload.1;
                     c.total_eval_time += measurement.eval_time_s;
                     c.train_time += measurement.train_time_s;
                     c.hw_time += measurement.hw_time_s;
@@ -857,27 +844,23 @@ impl Engine {
                         let attempt = job.attempt + 1;
                         c.retry_count += 1;
                         retry_counter.inc();
-                        retry_q.push_back((
+                        ledger.schedule_retry(
                             Instant::now() + backoff_delay(&cfg, key, attempt),
                             attempt,
-                            genome,
-                            job.op,
-                        ));
+                            (genome, op),
+                        );
                     } else {
-                        finalize!(id, genome, measurement, job.op);
+                        finalize!(id, genome, measurement, op);
                     }
                 }
                 None => {
                     // Deadline pass: abandon every overdue dispatch.
+                    // The ledger marks each id stale so its late
+                    // result (if one ever arrives) drops on receipt.
                     let now = Instant::now();
-                    let mut expired: Vec<usize> = inflight
-                        .iter()
-                        .filter(|(_, j)| j.deadline.is_some_and(|d| d <= now))
-                        .map(|(&id, _)| id)
-                        .collect();
-                    expired.sort_unstable();
-                    for id in expired {
-                        let job = inflight.remove(&id).expect("expired id in flight");
+                    for (id, job) in ledger.expire(now) {
+                        let id = id as usize;
+                        let (genome, op) = job.payload;
                         c.timeout_count += 1;
                         timeout_counter.inc();
                         rt::warn!(
@@ -886,7 +869,6 @@ impl Engine {
                             id = id,
                             attempt = job.attempt,
                         );
-                        stale.insert(id);
                         if let Some(slot) = supervisor.claimed_slot(id as u64) {
                             // The slot is wedged inside this job:
                             // abandon its thread and start a fresh one.
@@ -896,17 +878,16 @@ impl Engine {
                             respawn_counter.inc();
                             rt::warn!(self.obs, "worker_respawn", slot = slot, id = id);
                         }
-                        let key = job.genome.cache_key();
+                        let key = genome.cache_key();
                         if job.attempt < cfg.max_retries {
                             let attempt = job.attempt + 1;
                             c.retry_count += 1;
                             retry_counter.inc();
-                            retry_q.push_back((
+                            ledger.schedule_retry(
                                 now + backoff_delay(&cfg, key, attempt),
                                 attempt,
-                                job.genome,
-                                job.op,
-                            ));
+                                (genome, op),
+                            );
                         } else {
                             let mut m =
                                 Measurement::infeasible(InfeasibleReason::EvalTimeout);
@@ -915,7 +896,7 @@ impl Engine {
                             m.eval_time_s =
                                 cfg.eval_timeout.map_or(0.0, |t| t.as_secs_f64());
                             c.total_eval_time += m.eval_time_s;
-                            finalize!(id, job.genome, m, job.op);
+                            finalize!(id, genome, m, op);
                         }
                     }
                 }
@@ -937,7 +918,7 @@ impl Engine {
                     &cfg, &rng, &c, tracker.operator_totals(),
                     prior_wall + start.elapsed().as_secs_f64(),
                     &seeds, &population, &trace, &cache,
-                    &inflight, &retry_q, &pending_restore,
+                    &ledger, &pending_restore,
                 );
                 save_checkpoint(policy, &state, &self.obs, &self.status);
             }

@@ -24,6 +24,10 @@
 //!   evaluated twice").
 //! * [`pareto`] — non-dominated sorting and Pareto-front extraction for
 //!   accuracy-vs-throughput analyses (Table IV, Figs 2–4).
+//! * [`protocol`] — the master loop's dispatch/deadline/retry/stale
+//!   bookkeeping as a pure, clock-generic state machine, shared between
+//!   the engine (wall clock) and the `rt::sched` model checks (virtual
+//!   time).
 //! * [`checkpoint`] — periodic JSON snapshots of the full master state
 //!   so an interrupted search resumes byte-identically.
 //! * [`faults`] — a deterministic fault-injecting evaluator wrapper for
@@ -61,6 +65,7 @@ pub mod fitness;
 pub mod genome;
 pub mod measurement;
 pub mod pareto;
+pub mod protocol;
 pub mod search;
 pub mod space;
 pub mod workers;

@@ -1,0 +1,69 @@
+//! Adversarial fuzz of the configuration-file parser: `parse_ini`
+//! and the full `FlowConfig::from_ini` resolution must return `Err`
+//! on malformed input — never panic — whatever bytes a user's editor,
+//! a truncated download, or a hostile file hands them.
+
+use ecad_core::config::{parse_ini, FlowConfig};
+use rt::check::{select, vec};
+
+rt::prop! {
+    #![cases(256)]
+    /// Raw byte soup through both entry points.
+    fn ini_parser_survives_byte_soup(bytes in vec(0u8..=255, 0..96)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_ini(&text);
+        let _ = FlowConfig::from_ini(&text);
+    }
+
+    /// INI-shaped line soup: section headers, half-headers, comments,
+    /// bare keys, duplicate sections, and values the typed getters
+    /// must refuse gracefully (bad numbers, unknown devices,
+    /// mismatched objective/weight lists).
+    fn ini_parser_survives_line_soup(lines in vec(select(std::vec::Vec::from([
+        "[nna]", "[hardware]", "[optimization]", "[", "]", "[]", "[nna",
+        "layers = 3", "layers = banana", "layers =", "= 3", "layers",
+        "target = fpga", "target = abacus", "device = arria10_gx1150",
+        "objectives = accuracy, throughput", "weights = 0.5",
+        "weights = not,numbers", "; comment", "# comment", "", " ",
+        "max_neurons = 99999999999999999999", "seed = -1", "\u{0}=\u{0}",
+    ])), 0..16)) {
+        let text = lines.join("\n");
+        let _ = parse_ini(&text);
+        let _ = FlowConfig::from_ini(&text);
+    }
+
+    /// Whatever `parse_ini` accepts must be internally consistent:
+    /// the documented shape is section → key → value with keys
+    /// holding their text verbatim, so re-serializing a parsed file
+    /// and parsing again is a fixpoint of the section/key structure.
+    fn ini_accepted_input_reparses(lines in vec(select(std::vec::Vec::from([
+        "[nna]", "[hardware]", "[a b]", "k = v", "k=v", "k = v v",
+        "key2 = 1.5", "; note", "", "   ", "k = [x]",
+    ])), 0..12)) {
+        let text = lines.join("\n");
+        if let Ok(sections) = parse_ini(&text) {
+            let rendered: String = {
+                let mut names: Vec<_> = sections.keys().collect();
+                names.sort();
+                names
+                    .iter()
+                    .map(|name| {
+                        let mut body: Vec<_> = sections[*name]
+                            .iter()
+                            .map(|(k, v)| format!("{k} = {v}"))
+                            .collect();
+                        body.sort();
+                        if name.is_empty() {
+                            body.join("\n")
+                        } else {
+                            format!("[{name}]\n{}", body.join("\n"))
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            let reparsed = parse_ini(&rendered).expect("rendered config parses");
+            rt::prop_assert_eq!(reparsed, sections);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Deeper invariant properties for `core::pareto`, complementing the
+//! basics in `properties.rs`: front *rank* semantics (each front is
+//! exactly the non-dominated set of what remains), crowding-distance
+//! permutation invariance, and tie-heavy integer grids where many
+//! points coincide — the regime where sort comparators and range
+//! normalization tend to break.
+
+use ecad_core::pareto;
+use rt::check::vec;
+use rt::rand::rngs::StdRng;
+use rt::rand::seq::SliceRandom;
+use rt::rand::SeedableRng;
+
+/// Tiny integer grids cast to f64: lots of exact ties and duplicate
+/// points, which continuous generators essentially never produce.
+fn grid(points: &[Vec<u8>]) -> Vec<Vec<f64>> {
+    points
+        .iter()
+        .map(|p| p.iter().map(|&x| f64::from(x)).collect())
+        .collect()
+}
+
+rt::prop! {
+    #![cases(256)]
+    /// Fronts come in rank order: front 0 is the non-dominated set of
+    /// the whole input, and every point in front i+1 is dominated by
+    /// at least one point in front i (otherwise it would have ranked
+    /// earlier). Members of one front never dominate each other.
+    fn nds_fronts_are_ranks(points in vec(vec(0u8..5, 3), 1..20)) {
+        let points = grid(&points);
+        let fronts = pareto::non_dominated_sort(&points);
+
+        // Partition: every index exactly once.
+        let mut seen: Vec<usize> = fronts.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        rt::prop_assert_eq!(seen, (0..points.len()).collect::<Vec<_>>());
+
+        for (fi, front) in fronts.iter().enumerate() {
+            rt::prop_assert!(!front.is_empty(), "empty front {fi} emitted");
+            // Mutually non-dominating within the front.
+            for &i in front {
+                for &j in front {
+                    rt::prop_assert!(
+                        !pareto::dominates(&points[i], &points[j]),
+                        "front {fi} members {i} and {j} are not mutually non-dominating"
+                    );
+                }
+            }
+            // Rank: each member of front i+1 is dominated by someone
+            // in front i.
+            if let Some(next) = fronts.get(fi + 1) {
+                for &j in next {
+                    rt::prop_assert!(
+                        front.iter().any(|&i| pareto::dominates(&points[i], &points[j])),
+                        "point {j} in front {} is not dominated from front {fi}",
+                        fi + 1
+                    );
+                }
+            }
+        }
+    }
+
+    /// `pareto_front` is exactly the first front of the full sort.
+    fn pareto_front_matches_first_rank(points in vec(vec(0u8..5, 2), 1..20)) {
+        let points = grid(&points);
+        let mut front = pareto::pareto_front(&points);
+        let mut rank0 = pareto::non_dominated_sort(&points)[0].clone();
+        front.sort_unstable();
+        rank0.sort_unstable();
+        rt::prop_assert_eq!(front, rank0);
+    }
+
+    /// Crowding distance is a function of the point *set*, not its
+    /// order: permuting the input permutes the distances with it.
+    fn crowding_is_permutation_invariant(
+        points in vec(vec(0.0f64..1.0, 2), 3..16),
+        perm_seed in 0u64..1_000_000,
+    ) {
+        let base = pareto::crowding_distance(&points);
+
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(perm_seed));
+        let shuffled: Vec<Vec<f64>> = order.iter().map(|&i| points[i].clone()).collect();
+        let permuted = pareto::crowding_distance(&shuffled);
+
+        for (slot, &original_index) in order.iter().enumerate() {
+            let a = base[original_index];
+            let b = permuted[slot];
+            rt::prop_assert!(
+                (a.is_infinite() && b.is_infinite() && a.signum() == b.signum())
+                    || (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
+                "distance for point {original_index} changed under permutation: {a} vs {b}"
+            );
+        }
+    }
+
+    /// Boundary points carry infinite distance in every dimension —
+    /// both the minimum and the maximum — so NSGA-II never evicts the
+    /// extremes of the frontier.
+    fn crowding_boundaries_are_infinite(points in vec(vec(0.0f64..1.0, 3), 3..16)) {
+        let d = pareto::crowding_distance(&points);
+        rt::prop_assert_eq!(d.len(), points.len());
+        for dim in 0..3 {
+            let lo = (0..points.len())
+                .min_by(|&a, &b| points[a][dim].partial_cmp(&points[b][dim]).unwrap())
+                .unwrap();
+            let hi = (0..points.len())
+                .max_by(|&a, &b| points[a][dim].partial_cmp(&points[b][dim]).unwrap())
+                .unwrap();
+            rt::prop_assert!(d[lo].is_infinite(), "min of dim {dim} not infinite");
+            rt::prop_assert!(d[hi].is_infinite(), "max of dim {dim} not infinite");
+        }
+        for &x in &d {
+            rt::prop_assert!(x >= 0.0, "negative crowding distance {x}");
+        }
+    }
+
+    /// Degenerate fronts — all points identical — still produce a
+    /// total, non-negative, panic-free answer.
+    fn crowding_survives_total_ties(point in vec(0u8..3, 2), copies in 1usize..12) {
+        let p: Vec<f64> = point.iter().map(|&x| f64::from(x)).collect();
+        let points: Vec<Vec<f64>> = std::iter::repeat_with(|| p.clone()).take(copies).collect();
+        let d = pareto::crowding_distance(&points);
+        rt::prop_assert_eq!(d.len(), copies);
+        for &x in &d {
+            rt::prop_assert!(x >= 0.0 || x.is_infinite());
+        }
+    }
+}

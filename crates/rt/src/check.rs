@@ -20,12 +20,18 @@
 //! [`from_fn`], and [`map`] compose the rest. A failing case is
 //! replayed with `RT_CHECK_SEED=<seed> cargo test <name>`.
 //!
-//! Unlike proptest there is no persistence file and no integrated
-//! shrinking through [`map`]/[`from_fn`] — those generators report no
-//! shrink candidates, so failures show the originally drawn value.
+//! Shrinking is two-phase. Generators draw from a [`CheckRng`] that
+//! records every random word consumed onto a **tape**; when a case
+//! fails, the harness first shrinks the *tape* (truncating it, and
+//! deleting/zeroing-toward-1/halving/decrementing words) and re-runs
+//! the generator over the transformed tape — so shrinking works
+//! through [`map`] and [`from_fn`], whose mappings cannot be inverted.
+//! A structural pass over [`Gen::shrink`] candidates then polishes the
+//! result. Unlike proptest there is still no persistence file: replay
+//! goes through the printed seed.
 
 use crate::rand::rngs::StdRng;
-use crate::rand::{Rng, SeedableRng};
+use crate::rand::{Rng, RngCore, SeedableRng};
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
 use std::panic::{self, AssertUnwindSafe};
@@ -36,6 +42,106 @@ pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
 /// thrown by [`prop_assume!`](crate::prop_assume).
 pub struct Discard;
 
+/// The RNG handed to [`Gen::generate`]: a PCG64 stream whose consumed
+/// words are recorded on a tape (record mode), or a tape being played
+/// back — possibly after shrinking transformations — with a seeded
+/// PRNG supplying any words past its end (replay mode).
+///
+/// The fallback stream matters: rejection-sampling generators (integer
+/// ranges, `char` ranges) would spin forever on a constant-zero
+/// suffix, so an exhausted tape hands over to real (but deterministic)
+/// randomness instead.
+pub struct CheckRng {
+    mode: RngMode,
+}
+
+enum RngMode {
+    Record {
+        inner: StdRng,
+        tape: Vec<u64>,
+    },
+    Replay {
+        tape: Vec<u64>,
+        pos: usize,
+        fallback: StdRng,
+        consumed: Vec<u64>,
+    },
+}
+
+/// Seed for the replay-mode fallback stream; fixed so shrink attempts
+/// are reproducible run to run.
+const TAPE_FALLBACK_SEED: u64 = 0x5EED_FA11_BACC;
+
+impl CheckRng {
+    /// A recording generator seeded like [`StdRng::seed_from_u64`].
+    pub fn from_seed(seed: u64) -> Self {
+        CheckRng {
+            mode: RngMode::Record {
+                inner: StdRng::seed_from_u64(seed),
+                tape: Vec::new(),
+            },
+        }
+    }
+
+    /// A generator that replays `tape` word-for-word, then continues
+    /// with a deterministic fallback stream.
+    pub fn replay(tape: Vec<u64>) -> Self {
+        CheckRng {
+            mode: RngMode::Replay {
+                tape,
+                pos: 0,
+                fallback: StdRng::seed_from_u64(TAPE_FALLBACK_SEED),
+                consumed: Vec::new(),
+            },
+        }
+    }
+
+    /// Marks a case boundary in record mode: the tape restarts so
+    /// [`CheckRng::case_tape`] covers exactly one generated value.
+    fn begin_case(&mut self) {
+        if let RngMode::Record { tape, .. } = &mut self.mode {
+            tape.clear();
+        }
+    }
+
+    /// The words consumed since the last [`CheckRng::begin_case`]
+    /// (record mode) or since construction (replay mode).
+    fn case_tape(&self) -> Vec<u64> {
+        match &self.mode {
+            RngMode::Record { tape, .. } => tape.clone(),
+            RngMode::Replay { consumed, .. } => consumed.clone(),
+        }
+    }
+}
+
+impl RngCore for CheckRng {
+    fn next_u64(&mut self) -> u64 {
+        match &mut self.mode {
+            RngMode::Record { inner, tape } => {
+                let word = inner.next_u64();
+                tape.push(word);
+                word
+            }
+            RngMode::Replay {
+                tape,
+                pos,
+                fallback,
+                consumed,
+            } => {
+                let word = if *pos < tape.len() {
+                    let w = tape[*pos];
+                    *pos += 1;
+                    w
+                } else {
+                    fallback.next_u64()
+                };
+                consumed.push(word);
+                word
+            }
+        }
+    }
+}
+
 /// A value generator: draws a value from an RNG and proposes smaller
 /// variants of a failing value.
 pub trait Gen {
@@ -43,7 +149,7 @@ pub trait Gen {
     type Value: Clone + Debug;
 
     /// Draws one value.
-    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    fn generate(&self, rng: &mut CheckRng) -> Self::Value;
 
     /// Proposes simpler candidates, most-shrunk first. Returning an
     /// empty list opts out of shrinking for this generator.
@@ -58,7 +164,7 @@ macro_rules! int_gen {
         impl Gen for Range<$t> {
             type Value = $t;
 
-            fn generate(&self, rng: &mut StdRng) -> $t {
+            fn generate(&self, rng: &mut CheckRng) -> $t {
                 rng.gen_range(self.clone())
             }
 
@@ -82,7 +188,7 @@ macro_rules! int_gen {
         impl Gen for RangeInclusive<$t> {
             type Value = $t;
 
-            fn generate(&self, rng: &mut StdRng) -> $t {
+            fn generate(&self, rng: &mut CheckRng) -> $t {
                 rng.gen_range(self.clone())
             }
 
@@ -112,7 +218,7 @@ macro_rules! float_gen {
         impl Gen for Range<$t> {
             type Value = $t;
 
-            fn generate(&self, rng: &mut StdRng) -> $t {
+            fn generate(&self, rng: &mut CheckRng) -> $t {
                 rng.gen_range(self.clone())
             }
 
@@ -134,7 +240,7 @@ macro_rules! float_gen {
         impl Gen for RangeInclusive<$t> {
             type Value = $t;
 
-            fn generate(&self, rng: &mut StdRng) -> $t {
+            fn generate(&self, rng: &mut CheckRng) -> $t {
                 rng.gen_range(self.clone())
             }
 
@@ -160,7 +266,7 @@ float_gen!(f32, f64);
 impl Gen for Range<char> {
     type Value = char;
 
-    fn generate(&self, rng: &mut StdRng) -> char {
+    fn generate(&self, rng: &mut CheckRng) -> char {
         let lo = self.start as u32;
         let hi = self.end as u32;
         loop {
@@ -206,7 +312,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
 }
 
 impl SizeRange {
-    fn sample(&self, rng: &mut StdRng) -> usize {
+    fn sample(&self, rng: &mut CheckRng) -> usize {
         rng.gen_range(self.min..=self.max)
     }
 }
@@ -229,7 +335,7 @@ pub struct VecGen<G> {
 impl<G: Gen> Gen for VecGen<G> {
     type Value = Vec<G::Value>;
 
-    fn generate(&self, rng: &mut StdRng) -> Vec<G::Value> {
+    fn generate(&self, rng: &mut CheckRng) -> Vec<G::Value> {
         let len = self.size.sample(rng);
         (0..len).map(|_| self.element.generate(rng)).collect()
     }
@@ -271,7 +377,7 @@ pub struct Select<T> {
 impl<T: Clone + Debug + PartialEq> Gen for Select<T> {
     type Value = T;
 
-    fn generate(&self, rng: &mut StdRng) -> T {
+    fn generate(&self, rng: &mut CheckRng) -> T {
         let idx = rng.gen_range(0..self.options.len());
         self.options[idx].clone()
     }
@@ -298,7 +404,7 @@ pub struct AsciiString {
 impl Gen for AsciiString {
     type Value = String;
 
-    fn generate(&self, rng: &mut StdRng) -> String {
+    fn generate(&self, rng: &mut CheckRng) -> String {
         let len = self.len.sample(rng);
         (0..len)
             .map(|_| rng.gen_range(0x20u8..=0x7e) as char)
@@ -323,11 +429,13 @@ impl Gen for AsciiString {
     }
 }
 
-/// Wraps a closure as a generator. No shrinking.
+/// Wraps a closure as a generator. No structural shrink candidates,
+/// but failures still minimize through the tape: the harness replays
+/// the closure over shrunk word streams.
 pub fn from_fn<T, F>(f: F) -> FromFn<F>
 where
     T: Clone + Debug,
-    F: Fn(&mut StdRng) -> T,
+    F: Fn(&mut CheckRng) -> T,
 {
     FromFn { f }
 }
@@ -340,17 +448,19 @@ pub struct FromFn<F> {
 impl<T, F> Gen for FromFn<F>
 where
     T: Clone + Debug,
-    F: Fn(&mut StdRng) -> T,
+    F: Fn(&mut CheckRng) -> T,
 {
     type Value = T;
 
-    fn generate(&self, rng: &mut StdRng) -> T {
+    fn generate(&self, rng: &mut CheckRng) -> T {
         (self.f)(rng)
     }
 }
 
-/// Applies a function to another generator's output. No shrinking
-/// (the mapping cannot be inverted to shrink through it).
+/// Applies a function to another generator's output. The mapping
+/// cannot be inverted, so there are no structural shrink candidates —
+/// instead failures shrink through the tape, re-running the inner
+/// generator (and the mapping) over shrunk word streams.
 pub fn map<G, O, F>(inner: G, f: F) -> Map<G, F>
 where
     G: Gen,
@@ -374,7 +484,7 @@ where
 {
     type Value = O;
 
-    fn generate(&self, rng: &mut StdRng) -> O {
+    fn generate(&self, rng: &mut CheckRng) -> O {
         (self.f)(self.inner.generate(rng))
     }
 }
@@ -384,7 +494,7 @@ macro_rules! tuple_gen {
         impl<$($g: Gen),+> Gen for ($($g,)+) {
             type Value = ($($g::Value,)+);
 
-            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            fn generate(&self, rng: &mut CheckRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
             }
 
@@ -475,9 +585,10 @@ where
     let max_discards = cases.saturating_mul(16).max(64);
     let mut discards = 0usize;
     let mut executed = 0usize;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = CheckRng::from_seed(seed);
 
     while executed < cases {
+        rng.begin_case();
         let value = gen.generate(&mut rng);
         match run_case(&mut f, value.clone()) {
             CaseOutcome::Pass => executed += 1,
@@ -492,7 +603,9 @@ where
                 }
             }
             CaseOutcome::Fail(message) => {
-                let (shrunk, shrunk_message, steps) = shrink_failure(&gen, &mut f, value.clone());
+                let tape = rng.case_tape();
+                let (shrunk, shrunk_message, steps) =
+                    shrink_failure(&gen, &mut f, value.clone(), tape);
                 panic!(
                     "property '{name}' failed (seed {seed}, case {executed}).\n\
                      original input: {value:?}\n\
@@ -510,11 +623,22 @@ where
     }
 }
 
-/// Greedily minimizes a failing input: repeatedly take the first
-/// shrink candidate that still fails, until none do or the budget is
-/// spent. Panic output from candidate executions is suppressed so the
-/// final report stays readable.
-fn shrink_failure<G, F>(gen: &G, f: &mut F, mut current: G::Value) -> (G::Value, String, usize)
+/// Minimizes a failing input in two phases. Phase 1 shrinks the
+/// *tape* the failing case consumed — truncating it and deleting /
+/// setting-to-1 / halving / decrementing individual words — and
+/// re-runs the generator over each transformed tape, keeping any
+/// regenerated value that still fails. Because this operates below
+/// the generator, it minimizes through [`map`] and [`from_fn`] whose
+/// mappings cannot be inverted. Phase 2 then greedily polishes with
+/// the structural [`Gen::shrink`] candidates. Panic output from
+/// candidate executions is suppressed so the final report stays
+/// readable.
+fn shrink_failure<G, F>(
+    gen: &G,
+    f: &mut F,
+    mut current: G::Value,
+    mut tape: Vec<u64>,
+) -> (G::Value, String, usize)
 where
     G: Gen,
     F: FnMut(G::Value),
@@ -529,6 +653,73 @@ where
     let mut message = String::new();
     let mut attempts = 0usize;
     let mut steps = 0usize;
+
+    // Phase 1: tape shrinking. Capped at half the budget so the
+    // structural pass always gets a turn.
+    'tape: loop {
+        if attempts >= SHRINK_BUDGET / 2 {
+            break;
+        }
+        let n = tape.len();
+        let mut candidates: Vec<Vec<u64>> = Vec::new();
+        if n > 1 {
+            candidates.push(tape[..n / 2].to_vec());
+            candidates.push(tape[..n - 1].to_vec());
+        }
+        // Cap per-word transforms so huge tapes don't exhaust the
+        // budget in a single round.
+        let idxs: Vec<usize> = if n <= 32 {
+            (0..n).collect()
+        } else {
+            (0..32).map(|i| i * n / 32).collect()
+        };
+        for &i in &idxs {
+            let w = tape[i];
+            if w > 1 {
+                let mut t = tape.clone();
+                t[i] = 1;
+                candidates.push(t);
+                let mut t = tape.clone();
+                t[i] = w / 2;
+                candidates.push(t);
+                let mut t = tape.clone();
+                t[i] = w - 1;
+                candidates.push(t);
+            }
+            if n > 1 {
+                let mut t = tape.clone();
+                t.remove(i);
+                candidates.push(t);
+            }
+        }
+        // `Gen::Value` is only `Debug`, so compare candidate values by
+        // their debug representation to skip no-op transformations
+        // (e.g. a word decrement too small to move the sampled value).
+        let current_repr = format!("{current:?}");
+        for candidate in candidates {
+            if attempts >= SHRINK_BUDGET / 2 {
+                break 'tape;
+            }
+            attempts += 1;
+            let mut rng = CheckRng::replay(candidate);
+            let value = gen.generate(&mut rng);
+            if format!("{value:?}") == current_repr {
+                continue;
+            }
+            if let CaseOutcome::Fail(m) = run_case(f, value.clone()) {
+                current = value;
+                message = m;
+                // Canonicalize to the words actually consumed, so the
+                // next round transforms a tape of the right length.
+                tape = rng.case_tape();
+                steps += 1;
+                continue 'tape;
+            }
+        }
+        break;
+    }
+
+    // Phase 2: structural polish via `Gen::shrink`.
     'outer: loop {
         for candidate in gen.shrink(&current) {
             if attempts >= SHRINK_BUDGET {
@@ -649,11 +840,11 @@ mod tests {
     fn generators_are_deterministic_per_seed() {
         let gen = vec(0u32..1000, 0..10);
         let a: Vec<Vec<u32>> = {
-            let mut rng = StdRng::seed_from_u64(99);
+            let mut rng = CheckRng::from_seed(99);
             (0..20).map(|_| gen.generate(&mut rng)).collect()
         };
         let b: Vec<Vec<u32>> = {
-            let mut rng = StdRng::seed_from_u64(99);
+            let mut rng = CheckRng::from_seed(99);
             (0..20).map(|_| gen.generate(&mut rng)).collect()
         };
         assert_eq!(a, b);
@@ -740,12 +931,62 @@ mod tests {
     #[test]
     fn ascii_string_stays_printable() {
         let gen = ascii_string(0..=12);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = CheckRng::from_seed(3);
         for _ in 0..200 {
             let s = gen.generate(&mut rng);
             assert!(s.len() <= 12);
             assert!(s.chars().all(|c| (' '..='~').contains(&c)));
         }
+    }
+
+    #[test]
+    fn tape_replay_regenerates_identical_value() {
+        let gen = (vec(0u32..1000, 0..10), ascii_string(0..=8));
+        let mut rng = CheckRng::from_seed(42);
+        rng.begin_case();
+        let value = gen.generate(&mut rng);
+        let tape = rng.case_tape();
+        let mut replayed = CheckRng::replay(tape);
+        let again = gen.generate(&mut replayed);
+        assert_eq!(value, again);
+    }
+
+    #[test]
+    fn shrinking_reaches_through_map() {
+        // `map` has no structural shrink candidates, so any
+        // minimization here comes from the tape phase.
+        let result = std::panic::catch_unwind(|| {
+            run_prop(
+                "map_big",
+                256,
+                (map(0u64..1_000_000, |x| x + 1),),
+                |(x,)| {
+                    assert!(x <= 1000, "x too big");
+                },
+            );
+        });
+        let message = match result {
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        let tail = message
+            .split("steps): (")
+            .nth(1)
+            .unwrap_or_else(|| panic!("unexpected report: {message}"));
+        let shrunk: u64 = tail
+            .split(',')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("unexpected report: {message}"));
+        // Still failing, but word-halving must have pulled it close to
+        // the 1000 boundary from anywhere in 0..1_000_000.
+        assert!(shrunk > 1000, "shrunk value passes: {message}");
+        assert!(shrunk <= 4000, "tape shrinking barely moved: {message}");
     }
 
     #[test]

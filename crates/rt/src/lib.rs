@@ -29,6 +29,10 @@
 //! * [`http`] — a minimal GET-only HTTP/1.1 server plus a Prometheus
 //!   text-exposition writer/parser, so a live search can expose
 //!   `/metrics`, `/status`, and `/healthz` without a web framework.
+//! * [`sched`] — a deterministic cooperative scheduler and bounded
+//!   interleaving explorer (a loom-lite model checker): virtual
+//!   threads, virtual time, and replayable failure schedules for the
+//!   engine's concurrency protocols.
 //!
 //! The crate has **no dependencies** (not even workspace-internal ones)
 //! and must stay that way: CI builds the workspace `--offline` exactly
@@ -42,5 +46,6 @@ pub mod http;
 pub mod json;
 pub mod obs;
 pub mod rand;
+pub mod sched;
 pub mod supervise;
 pub mod sync;

@@ -57,12 +57,14 @@ impl ShutdownFlag {
     /// Requests shutdown. Loops holding a clone observe it via
     /// [`ShutdownFlag::is_requested`] at their next check.
     pub fn request(&self) {
+        crate::sched::maybe_yield();
         self.requested.store(true, Ordering::Release);
     }
 
     /// Whether shutdown has been requested on any clone of this flag
     /// (or by an installed signal handler).
     pub fn is_requested(&self) -> bool {
+        crate::sched::maybe_yield();
         self.requested.load(Ordering::Acquire) || signal::tripped()
     }
 
@@ -135,13 +137,85 @@ pub struct SupervisorStats {
 }
 
 /// Per-slot state shared between the supervisor and the slot's threads
-/// (current plus any abandoned predecessors).
-struct SlotShared {
+/// (current plus any abandoned predecessors): the generation fence and
+/// the claim table for one worker slot.
+///
+/// Public so the generation-fencing protocol can be model-checked under
+/// [`crate::sched`] without spawning detached OS threads: a model
+/// builds `SlotState`s directly and drives claim/release/respawn from
+/// virtual threads. Every operation is a scheduling point under an
+/// active model execution ([`crate::sched::maybe_yield`]), so the
+/// explorer can interleave a stale worker's release with a respawn's
+/// claim-clear — exactly the races the fence exists for.
+#[derive(Debug, Default)]
+pub struct SlotState {
     /// Bumped on every respawn; threads from older generations exit at
     /// their next [`SlotCtx::is_current`] check.
     generation: AtomicU64,
     /// Job id + 1 currently claimed by the slot's thread; 0 when idle.
     claim: AtomicU64,
+}
+
+impl SlotState {
+    /// A fresh slot at generation 0 with no claim.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The slot's current generation.
+    pub fn generation(&self) -> u64 {
+        crate::sched::maybe_yield();
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Whether a thread launched at `generation` is still the slot's
+    /// active generation.
+    pub fn is_current(&self, generation: u64) -> bool {
+        crate::sched::maybe_yield();
+        self.generation.load(Ordering::Acquire) == generation
+    }
+
+    /// Abandons the current generation (a respawn): bumps the fence
+    /// and returns the new generation. The caller separately clears
+    /// the claim via [`SlotState::clear_claim`] — the window between
+    /// the two is a real protocol state the model checker explores.
+    pub fn bump_generation(&self) -> u64 {
+        crate::sched::maybe_yield();
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Clears the claim unconditionally (respawn path: the replacement
+    /// must start from an idle slot).
+    pub fn clear_claim(&self) {
+        crate::sched::maybe_yield();
+        self.claim.store(0, Ordering::Release);
+    }
+
+    /// Records that the slot is processing `job` (stored as `job + 1`;
+    /// 0 means idle).
+    pub fn claim(&self, job: u64) {
+        crate::sched::maybe_yield();
+        self.claim.store(job + 1, Ordering::Release);
+    }
+
+    /// Clears the claim on `job` if it is still held. A stale thread
+    /// whose slot was respawned (and re-claimed) in the meantime
+    /// leaves the newer claim untouched.
+    pub fn release(&self, job: u64) {
+        crate::sched::maybe_yield();
+        let _ = self
+            .claim
+            .compare_exchange(job + 1, 0, Ordering::AcqRel, Ordering::Relaxed);
+    }
+
+    /// The job currently claimed by the slot, if any.
+    pub fn claimed_job(&self) -> Option<u64> {
+        crate::sched::maybe_yield();
+        match self.claim.load(Ordering::Acquire) {
+            0 => None,
+            v => Some(v - 1),
+        }
+    }
 }
 
 struct StatsInner {
@@ -153,7 +227,7 @@ struct StatsInner {
 type SlotBody = Arc<dyn Fn(&SlotCtx) + Send + Sync + 'static>;
 
 struct SlotEntry {
-    shared: Arc<SlotShared>,
+    shared: Arc<SlotState>,
     body: SlotBody,
 }
 
@@ -181,7 +255,7 @@ impl Default for StatsInner {
 pub struct SlotCtx {
     slot: usize,
     generation: u64,
-    shared: Arc<SlotShared>,
+    shared: Arc<SlotState>,
 }
 
 impl SlotCtx {
@@ -200,25 +274,20 @@ impl SlotCtx {
     /// turns false — that is how an abandoned (respawned-over) thread
     /// winds down.
     pub fn is_current(&self) -> bool {
-        self.shared.generation.load(Ordering::Acquire) == self.generation
+        self.shared.is_current(self.generation)
     }
 
     /// Records that this slot is now processing `job`, so the driver
     /// can map a timed-out job back to the slot holding it.
     pub fn claim(&self, job: u64) {
-        self.shared.claim.store(job + 1, Ordering::Release);
+        self.shared.claim(job);
     }
 
     /// Clears this slot's claim on `job`. A stale thread whose slot was
     /// respawned (and re-claimed) in the meantime leaves the newer
     /// claim untouched.
     pub fn release(&self, job: u64) {
-        let _ = self.shared.claim.compare_exchange(
-            job + 1,
-            0,
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        );
+        self.shared.release(job);
     }
 }
 
@@ -245,10 +314,7 @@ impl Supervisor {
     {
         let idx = self.slots.len();
         self.slots.push(SlotEntry {
-            shared: Arc::new(SlotShared {
-                generation: AtomicU64::new(0),
-                claim: AtomicU64::new(0),
-            }),
+            shared: Arc::new(SlotState::new()),
             body: Arc::new(body),
         });
         self.launch(idx);
@@ -262,8 +328,8 @@ impl Supervisor {
     /// cleared here so the fresh thread starts from an idle slot.
     pub fn respawn(&self, slot: usize) {
         let entry = &self.slots[slot];
-        entry.shared.generation.fetch_add(1, Ordering::AcqRel);
-        entry.shared.claim.store(0, Ordering::Release);
+        entry.shared.bump_generation();
+        entry.shared.clear_claim();
         self.stats.respawns.fetch_add(1, Ordering::Relaxed);
         self.launch(slot);
     }
@@ -279,7 +345,7 @@ impl Supervisor {
     pub fn claimed_slot(&self, job: u64) -> Option<usize> {
         self.slots
             .iter()
-            .position(|s| s.shared.claim.load(Ordering::Acquire) == job + 1)
+            .position(|s| s.shared.claimed_job() == Some(job))
     }
 
     /// A snapshot of the panic/stall/respawn counters.
@@ -295,7 +361,7 @@ impl Supervisor {
         let shared = Arc::clone(&self.slots[idx].shared);
         let body = Arc::clone(&self.slots[idx].body);
         let stats = Arc::clone(&self.stats);
-        let generation = shared.generation.load(Ordering::Acquire);
+        let generation = shared.generation();
         let builder = thread::Builder::new().name(format!("rt-worker-{idx}"));
         let handle = builder.spawn(move || {
             let ctx = SlotCtx {

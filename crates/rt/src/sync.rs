@@ -1,4 +1,5 @@
-//! Thread-communication primitives: MPMC channels and lock re-exports.
+//! Thread-communication primitives: MPMC channels, scheduler-aware
+//! locks, and the pluggable blocking [`backend`].
 //!
 //! [`channel::unbounded`] and [`channel::bounded`] replace the one
 //! `crossbeam::channel` use in the engine's master/worker pool. Both
@@ -12,22 +13,452 @@
 //! * `Receiver::iter` yields until the channel is empty *and*
 //!   disconnected.
 //!
-//! The implementation is a mutex-guarded ring with two condvars — not a
-//! lock-free queue. For the engine's workload (one candidate genome per
-//! message, milliseconds of evaluation per item) the lock is invisible
-//! next to the work.
+//! Every blocking operation in this module routes through the
+//! [`backend`]: an eventcount-style [`backend::Signal`] plus a
+//! [`backend::Backend`] trait with two implementations. Outside a
+//! model execution the std backend blocks on a real
+//! `Mutex`/`Condvar` pair and measures time with `Instant`; inside
+//! [`crate::sched::check`] the sched backend parks the calling
+//! *virtual* thread, waits in **virtual time**, and turns every
+//! operation entry into an explorable scheduling point. Production
+//! code and model code therefore share these exact types.
 //!
-//! [`Mutex`] and [`RwLock`] are re-exported from `std` as the
-//! `parking_lot` replacements; `std`'s poisoning API is the only
-//! difference callers see.
+//! [`Mutex`] and [`Condvar`] mirror the `std::sync` surface (including
+//! poisoning) but cooperate with the scheduler the same way, so a
+//! guard held across a yield point still excludes — and deadlocks
+//! still get *detected* rather than hanging the test. [`RwLock`] stays
+//! a std re-export: nothing on the engine's hot path blocks on it.
 
-pub use std::sync::{Mutex, RwLock};
+pub use std::sync::RwLock;
+
+use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+
+use crate::sched;
+
+/// The pluggable blocking layer: an eventcount [`backend::Signal`] and
+/// the [`backend::Backend`] trait that gives it semantics.
+pub mod backend {
+    use super::sched;
+    use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, OnceLock};
+    use std::time::{Duration, Instant};
+
+    /// An eventcount: a monotonically increasing epoch plus a wait
+    /// queue. The lost-wakeup-free pattern is
+    ///
+    /// ```text
+    /// loop {
+    ///     let e = signal.prepare();
+    ///     { check predicate under your own lock; return if satisfied }
+    ///     signal.wait(e, deadline);   // no-op if notified since prepare
+    /// }
+    /// ```
+    ///
+    /// because a notify that lands between the predicate check and the
+    /// wait bumps the epoch and makes the wait return immediately.
+    pub struct Signal {
+        epoch: StdMutex<u64>,
+        cv: StdCondvar,
+    }
+
+    impl Signal {
+        /// A fresh signal at epoch 0.
+        pub const fn new() -> Self {
+            Signal {
+                epoch: StdMutex::new(0),
+                cv: StdCondvar::new(),
+            }
+        }
+
+        /// Reads the current epoch; pass it to [`Signal::wait`].
+        pub fn prepare(&self) -> u64 {
+            current().prepare(self)
+        }
+
+        /// Blocks until the epoch moves past `epoch` or the absolute
+        /// `deadline` (in backend ticks) passes. Returns `false` only
+        /// on timeout. Returns immediately if the epoch already moved.
+        pub fn wait(&self, epoch: u64, deadline: Option<u64>) -> bool {
+            current().wait(self, epoch, deadline)
+        }
+
+        /// Bumps the epoch and wakes every waiter.
+        pub fn notify_all(&self) {
+            current().notify_all(self)
+        }
+
+        fn addr(&self) -> usize {
+            self as *const Signal as usize
+        }
+    }
+
+    impl Default for Signal {
+        fn default() -> Self {
+            Signal::new()
+        }
+    }
+
+    /// Blocking/time semantics behind [`Signal`] and the lock types.
+    /// One tick is one nanosecond; under the std backend ticks count
+    /// from process start, under the sched backend they are the model
+    /// execution's virtual clock.
+    pub trait Backend: Send + Sync {
+        /// Current epoch of `s`.
+        fn prepare(&self, s: &Signal) -> u64;
+        /// Waits for `s` to move past `epoch`; `false` means the
+        /// deadline (absolute ticks) expired first.
+        fn wait(&self, s: &Signal, epoch: u64, deadline: Option<u64>) -> bool;
+        /// Bumps the epoch of `s` and wakes all waiters.
+        fn notify_all(&self, s: &Signal);
+        /// The clock, in ticks (1 tick = 1ns).
+        fn now_ticks(&self) -> u64;
+        /// A possible context switch. No-op under std; a scheduling
+        /// point under the model checker.
+        fn preempt(&self);
+    }
+
+    /// Real blocking on OS primitives and wall-clock time.
+    pub struct StdBackend;
+
+    /// Virtual blocking through [`crate::sched`]: parks the calling
+    /// virtual thread and waits in virtual time.
+    pub struct SchedBackend;
+
+    static STD: StdBackend = StdBackend;
+    static SCHED: SchedBackend = SchedBackend;
+
+    /// The backend for the calling thread: the sched backend inside a
+    /// model execution, the std backend everywhere else.
+    pub fn current() -> &'static dyn Backend {
+        if sched::active() {
+            &SCHED
+        } else {
+            &STD
+        }
+    }
+
+    fn origin() -> Instant {
+        static ORIGIN: OnceLock<Instant> = OnceLock::new();
+        *ORIGIN.get_or_init(Instant::now)
+    }
+
+    impl Backend for StdBackend {
+        fn prepare(&self, s: &Signal) -> u64 {
+            *s.epoch.lock().expect("signal epoch")
+        }
+
+        fn wait(&self, s: &Signal, epoch: u64, deadline: Option<u64>) -> bool {
+            let mut guard = s.epoch.lock().expect("signal epoch");
+            while *guard == epoch {
+                match deadline {
+                    None => guard = s.cv.wait(guard).expect("signal epoch"),
+                    Some(dl) => {
+                        let now = self.now_ticks();
+                        if now >= dl {
+                            return false;
+                        }
+                        let (g, _) = s
+                            .cv
+                            .wait_timeout(guard, Duration::from_nanos(dl - now))
+                            .expect("signal epoch");
+                        guard = g;
+                    }
+                }
+            }
+            true
+        }
+
+        fn notify_all(&self, s: &Signal) {
+            *s.epoch.lock().expect("signal epoch") += 1;
+            s.cv.notify_all();
+        }
+
+        fn now_ticks(&self) -> u64 {
+            u64::try_from(origin().elapsed().as_nanos()).unwrap_or(u64::MAX)
+        }
+
+        fn preempt(&self) {}
+    }
+
+    impl Backend for SchedBackend {
+        fn prepare(&self, s: &Signal) -> u64 {
+            *s.epoch.lock().expect("signal epoch")
+        }
+
+        fn wait(&self, s: &Signal, epoch: u64, deadline: Option<u64>) -> bool {
+            loop {
+                if *s.epoch.lock().expect("signal epoch") != epoch {
+                    return true;
+                }
+                // No other virtual thread can run between the epoch
+                // check above and the park below, so the re-check on a
+                // timed-out wake is the only subtlety.
+                let woken = sched::block_on_addr(s.addr(), deadline);
+                if !woken {
+                    return *s.epoch.lock().expect("signal epoch") != epoch;
+                }
+            }
+        }
+
+        fn notify_all(&self, s: &Signal) {
+            *s.epoch.lock().expect("signal epoch") += 1;
+            s.cv.notify_all();
+            sched::wake_addr(s.addr());
+        }
+
+        fn now_ticks(&self) -> u64 {
+            sched::now()
+        }
+
+        fn preempt(&self) {
+            sched::yield_now();
+        }
+    }
+
+    /// Converts a relative `Duration` into an absolute tick deadline on
+    /// the current backend, saturating far-future values.
+    pub fn deadline_after(timeout: Duration) -> u64 {
+        let ticks = u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX);
+        current().now_ticks().saturating_add(ticks)
+    }
+}
+
+/// A mutual-exclusion lock with the `std::sync::Mutex` surface
+/// (poisoning included) that cooperates with [`crate::sched`]: inside
+/// a model execution, `lock` is a scheduling point and contention
+/// parks the virtual thread instead of the OS thread, so a deadlock
+/// becomes a reported model failure rather than a hung test.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; unlocking wakes parked virtual threads
+/// when a model execution is active.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mx: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the lock.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        self as *const Mutex<T> as *const () as usize
+    }
+
+    fn wrap<'a>(&'a self, g: std::sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        MutexGuard {
+            mx: self,
+            inner: Some(g),
+        }
+    }
+
+    /// Acquires the lock, blocking (cooperatively, under a model
+    /// execution) until it is free.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if sched::active() {
+            backend::current().preempt();
+            loop {
+                match self.inner.try_lock() {
+                    Ok(g) => return Ok(self.wrap(g)),
+                    Err(TryLockError::Poisoned(e)) => {
+                        return Err(PoisonError::new(self.wrap(e.into_inner())))
+                    }
+                    Err(TryLockError::WouldBlock) => {
+                        sched::block_on_addr(self.addr(), None);
+                    }
+                }
+            }
+        } else {
+            match self.inner.lock() {
+                Ok(g) => Ok(self.wrap(g)),
+                Err(e) => Err(PoisonError::new(self.wrap(e.into_inner()))),
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Ok(self.wrap(g)),
+            Err(TryLockError::Poisoned(e)) => Err(TryLockError::Poisoned(PoisonError::new(
+                self.wrap(e.into_inner()),
+            ))),
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() && sched::active() {
+            sched::wake_addr(self.mx.addr());
+        }
+    }
+}
+
+/// Outcome of a [`Condvar::wait_timeout`]; mirrors
+/// `std::sync::WaitTimeoutResult` (which cannot be constructed outside
+/// std).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable paired with [`Mutex`], scheduler-aware the
+/// same way: under a model execution, waits park the virtual thread
+/// and timeouts elapse in virtual time.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates the condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Condvar as usize
+    }
+
+    /// Atomically releases `guard` and waits for a notification.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if sched::active() {
+            let mx = guard.mx;
+            // Dropping the guard releases the lock without yielding;
+            // the park below is the next scheduling point, so no
+            // notification can be lost in between.
+            drop(guard);
+            sched::block_on_addr(self.addr(), None);
+            mx.lock()
+        } else {
+            let mut guard = guard;
+            let std_g = guard.inner.take().expect("guard present");
+            let mx = guard.mx;
+            drop(guard);
+            match self.inner.wait(std_g) {
+                Ok(g) => Ok(mx.wrap(g)),
+                Err(e) => Err(PoisonError::new(mx.wrap(e.into_inner()))),
+            }
+        }
+    }
+
+    /// [`Condvar::wait`] with a timeout.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if sched::active() {
+            let mx = guard.mx;
+            drop(guard);
+            let deadline = backend::deadline_after(timeout);
+            let woken = sched::block_on_addr(self.addr(), Some(deadline));
+            let res = WaitTimeoutResult { timed_out: !woken };
+            match mx.lock() {
+                Ok(g) => Ok((g, res)),
+                Err(e) => Err(PoisonError::new((e.into_inner(), res))),
+            }
+        } else {
+            let mut guard = guard;
+            let std_g = guard.inner.take().expect("guard present");
+            let mx = guard.mx;
+            drop(guard);
+            match self.inner.wait_timeout(std_g, timeout) {
+                Ok((g, r)) => Ok((
+                    mx.wrap(g),
+                    WaitTimeoutResult {
+                        timed_out: r.timed_out(),
+                    },
+                )),
+                Err(e) => {
+                    let (g, r) = e.into_inner();
+                    Err(PoisonError::new((
+                        mx.wrap(g),
+                        WaitTimeoutResult {
+                            timed_out: r.timed_out(),
+                        },
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+        if sched::active() {
+            sched::wake_one_addr(self.addr());
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+        if sched::active() {
+            sched::wake_addr(self.addr());
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
 
 /// Multi-producer multi-consumer FIFO channels.
 pub mod channel {
+    use super::backend::{self, Signal};
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::{Arc, Mutex};
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -37,8 +468,8 @@ pub mod channel {
 
     struct Shared<T> {
         state: Mutex<State<T>>,
-        not_empty: Condvar,
-        not_full: Condvar,
+        not_empty: Signal,
+        not_full: Signal,
         cap: Option<usize>,
     }
 
@@ -108,8 +539,8 @@ pub mod channel {
                 senders: 1,
                 receivers: 1,
             }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
+            not_empty: Signal::new(),
+            not_full: Signal::new(),
             cap,
         });
         (
@@ -124,26 +555,27 @@ pub mod channel {
         /// Enqueues a message, blocking while a bounded buffer is full.
         /// Fails (returning the message) once every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            let mut state = self.shared.state.lock().expect("channel lock");
+            backend::current().preempt();
+            let mut slot = Some(value);
             loop {
-                if state.receivers == 0 {
-                    return Err(SendError(value));
+                let epoch = self.shared.not_full.prepare();
+                {
+                    let mut state = self.shared.state.lock().expect("channel lock");
+                    if state.receivers == 0 {
+                        return Err(SendError(slot.take().expect("unsent value")));
+                    }
+                    let full = self
+                        .shared
+                        .cap
+                        .is_some_and(|cap| state.queue.len() >= cap);
+                    if !full {
+                        state.queue.push_back(slot.take().expect("unsent value"));
+                        drop(state);
+                        self.shared.not_empty.notify_all();
+                        return Ok(());
+                    }
                 }
-                let full = self
-                    .shared
-                    .cap
-                    .is_some_and(|cap| state.queue.len() >= cap);
-                if !full {
-                    state.queue.push_back(value);
-                    drop(state);
-                    self.shared.not_empty.notify_one();
-                    return Ok(());
-                }
-                state = self
-                    .shared
-                    .not_full
-                    .wait(state)
-                    .expect("channel lock");
+                self.shared.not_full.wait(epoch, None);
             }
         }
     }
@@ -180,21 +612,21 @@ pub mod channel {
         /// Dequeues the next message, blocking while the channel is
         /// empty. Fails once the channel is empty with no senders left.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut state = self.shared.state.lock().expect("channel lock");
+            backend::current().preempt();
             loop {
-                if let Some(value) = state.queue.pop_front() {
-                    drop(state);
-                    self.shared.not_full.notify_one();
-                    return Ok(value);
+                let epoch = self.shared.not_empty.prepare();
+                {
+                    let mut state = self.shared.state.lock().expect("channel lock");
+                    if let Some(value) = state.queue.pop_front() {
+                        drop(state);
+                        self.shared.not_full.notify_all();
+                        return Ok(value);
+                    }
+                    if state.senders == 0 {
+                        return Err(RecvError);
+                    }
                 }
-                if state.senders == 0 {
-                    return Err(RecvError);
-                }
-                state = self
-                    .shared
-                    .not_empty
-                    .wait(state)
-                    .expect("channel lock");
+                self.shared.not_empty.wait(epoch, None);
             }
         }
 
@@ -203,12 +635,9 @@ pub mod channel {
         /// a disconnect, so a message racing the deadline is preferred
         /// over the timeout whenever the lock observes it in time.
         pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
-            // `Instant::checked_add` saturates huge timeouts to "wait
-            // forever" semantics instead of panicking on overflow.
-            match std::time::Instant::now().checked_add(timeout) {
-                Some(deadline) => self.recv_deadline(deadline),
-                None => self.recv().map_err(|RecvError| RecvTimeoutError::Disconnected),
-            }
+            backend::current().preempt();
+            let deadline = backend::deadline_after(timeout);
+            self.recv_until(deadline)
         }
 
         /// Dequeues the next message, giving up once `deadline` passes.
@@ -218,39 +647,47 @@ pub mod channel {
             &self,
             deadline: std::time::Instant,
         ) -> Result<T, RecvTimeoutError> {
-            let mut state = self.shared.state.lock().expect("channel lock");
+            backend::current().preempt();
+            // Re-expressed as a relative wait on the backend clock, so
+            // a model execution measures it in virtual time.
+            let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+            let deadline = backend::deadline_after(timeout);
+            self.recv_until(deadline)
+        }
+
+        /// The shared wait loop behind the timed receives: `deadline`
+        /// is absolute backend ticks.
+        fn recv_until(&self, deadline: u64) -> Result<T, RecvTimeoutError> {
             loop {
-                if let Some(value) = state.queue.pop_front() {
-                    drop(state);
-                    self.shared.not_full.notify_one();
-                    return Ok(value);
+                let epoch = self.shared.not_empty.prepare();
+                {
+                    let mut state = self.shared.state.lock().expect("channel lock");
+                    if let Some(value) = state.queue.pop_front() {
+                        drop(state);
+                        self.shared.not_full.notify_all();
+                        return Ok(value);
+                    }
+                    if state.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
                 }
-                if state.senders == 0 {
-                    return Err(RecvTimeoutError::Disconnected);
-                }
-                let now = std::time::Instant::now();
-                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
-                else {
+                if backend::current().now_ticks() >= deadline {
                     return Err(RecvTimeoutError::Timeout);
-                };
-                let (guard, _timed_out) = self
-                    .shared
-                    .not_empty
-                    .wait_timeout(state, remaining)
-                    .expect("channel lock");
-                // Spurious wakeups and timed-out waits both loop back to
-                // re-check the queue: a message that landed exactly at
-                // the deadline is still delivered.
-                state = guard;
+                }
+                // A timed-out wait still loops once more: the queue is
+                // re-checked before the deadline verdict, so a message
+                // landing exactly at the deadline is delivered.
+                self.shared.not_empty.wait(epoch, Some(deadline));
             }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            backend::current().preempt();
             let mut state = self.shared.state.lock().expect("channel lock");
             if let Some(value) = state.queue.pop_front() {
                 drop(state);
-                self.shared.not_full.notify_one();
+                self.shared.not_full.notify_all();
                 return Ok(value);
             }
             if state.senders == 0 {
@@ -330,7 +767,11 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{self, TryRecvError};
+    use super::channel::{self, RecvTimeoutError, TryRecvError};
+    use super::{Condvar, Mutex};
+    use crate::sched::{self, CheckOptions};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
     use std::thread;
     use std::time::Duration;
 
@@ -491,5 +932,128 @@ mod tests {
         assert_eq!(rx.len(), 2);
         let _ = rx.recv();
         assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn mutex_and_condvar_work_under_std_backend() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock().unwrap();
+            *ready = true;
+            cv.notify_all();
+            drop(ready);
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        handle.join().unwrap();
+        let (g, res) = cv
+            .wait_timeout(ready, Duration::from_millis(5))
+            .unwrap();
+        assert!(res.timed_out());
+        assert!(*g);
+    }
+
+    #[test]
+    fn channel_disconnect_vs_delivery_under_model() {
+        // Every interleaving of "send 9" vs "drop the sender" resolves
+        // to exactly one of two outcomes — never a timeout, because the
+        // parent only blocks at join, letting virtual time advance only
+        // after the outcome is sealed.
+        let report = sched::check(CheckOptions::default(), || {
+            let (tx, rx) = channel::unbounded::<u8>();
+            let h = sched::spawn(move || rx.recv_timeout(Duration::from_millis(5)));
+            if sched::choice(2) == 0 {
+                tx.send(9).unwrap();
+                assert_eq!(h.join(), Ok(9));
+            } else {
+                drop(tx);
+                assert_eq!(h.join(), Err(RecvTimeoutError::Disconnected));
+            }
+        });
+        report.assert_pass();
+        assert!(report.executions > 1);
+    }
+
+    #[test]
+    fn channel_timeout_elapses_in_virtual_time() {
+        let report = sched::check(CheckOptions::default(), || {
+            let (tx, rx) = channel::unbounded::<u8>();
+            let h = sched::spawn(move || rx.recv_timeout(Duration::from_millis(5)));
+            // Sender stays alive but silent: the receiver must time
+            // out — after 5ms of *virtual* time, not wall clock.
+            assert_eq!(h.join(), Err(RecvTimeoutError::Timeout));
+            assert!(sched::now() >= 5_000_000);
+            drop(tx);
+        });
+        report.assert_pass();
+    }
+
+    #[test]
+    fn mutex_excludes_across_yield_points_under_model() {
+        let report = sched::check(CheckOptions::default(), || {
+            let m = Arc::new(Mutex::new(0u32));
+            let m2 = Arc::clone(&m);
+            let h = sched::spawn(move || {
+                let mut g = m2.lock().unwrap();
+                let v = *g;
+                sched::yield_now();
+                *g = v + 1;
+            });
+            {
+                let mut g = m.lock().unwrap();
+                let v = *g;
+                sched::yield_now();
+                *g = v + 1;
+            }
+            h.join();
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+        report.assert_pass();
+    }
+
+    #[test]
+    fn explorer_finds_lost_update_without_a_lock() {
+        // The same read-modify-write as above but unsynchronized: the
+        // checker must find the interleaving where one increment is
+        // lost. This is the checker's teeth at the primitive level.
+        let report = sched::check(CheckOptions::default(), || {
+            let c = Arc::new(AtomicU32::new(0));
+            let c2 = Arc::clone(&c);
+            let h = sched::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                sched::yield_now();
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = c.load(Ordering::SeqCst);
+            sched::yield_now();
+            c.store(v + 1, Ordering::SeqCst);
+            h.join();
+            assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+        });
+        let failure = report.failure.expect("lost update must be found");
+        assert!(failure.message.contains("lost update"), "{}", failure.message);
+        // The failing schedule replays to the identical failure.
+        let token: sched::Schedule = failure.schedule.to_string().parse().unwrap();
+        let replayed = sched::replay(&token, || {
+            let c = Arc::new(AtomicU32::new(0));
+            let c2 = Arc::clone(&c);
+            let h = sched::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                sched::yield_now();
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = c.load(Ordering::SeqCst);
+            sched::yield_now();
+            c.store(v + 1, Ordering::SeqCst);
+            h.join();
+            assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+        })
+        .expect("replay reproduces");
+        assert_eq!(format!("{failure}"), format!("{replayed}"));
     }
 }

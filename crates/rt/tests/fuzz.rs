@@ -1,0 +1,115 @@
+//! Adversarial parser fuzzing: `rt::json` and the Prometheus
+//! exposition parser must never panic, whatever bytes arrive.
+//!
+//! Three input distributions, in rising order of structure:
+//!
+//! 1. raw byte soup (most inputs fail UTF-8 or the first token);
+//! 2. token soup — JSON fragments concatenated at random, which
+//!    reaches deep into the parser (unterminated strings, bare
+//!    minus signs, half-escapes, mismatched brackets);
+//! 3. generated *valid* documents, where the serializer/parser pair
+//!    must be an exact fixpoint.
+//!
+//! Failures shrink through the tape harness and replay via the
+//! printed `RT_CHECK_SEED`.
+
+use rt::check::{from_fn, select, vec, CheckRng};
+use rt::http::parse_exposition;
+use rt::json::Json;
+use rt::rand::Rng;
+
+/// Characters chosen to stress every serializer escape path: quotes,
+/// backslashes, ASCII controls, and multi-byte UTF-8.
+const STRING_CHARS: &[char] = &[
+    'a', 'z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{0}', '\u{1f}', 'é', 'Ж', '☃', '𝄞',
+];
+
+fn arbitrary_string(rng: &mut CheckRng) -> String {
+    let len = rng.gen_range(0usize..8);
+    (0..len)
+        .map(|_| STRING_CHARS[rng.gen_range(0usize..STRING_CHARS.len())])
+        .collect()
+}
+
+/// A random JSON document, depth-limited so generation terminates.
+/// Numbers stay finite (non-finite serializes as `null` by design,
+/// which would be a legitimate round-trip change, not a bug).
+fn arbitrary_json(rng: &mut CheckRng, depth: u32) -> Json {
+    let variants = if depth >= 2 { 4 } else { 6 };
+    match rng.gen_range(0u32..variants) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_range(0u32..2) == 1),
+        2 => {
+            if rng.gen_range(0u32..2) == 0 {
+                // Integral values must print without a fraction.
+                Json::Number(rng.gen_range(-1_000_000i64..1_000_000) as f64)
+            } else {
+                Json::Number(rng.gen_range(-1.0e6f64..1.0e6))
+            }
+        }
+        3 => Json::String(arbitrary_string(rng)),
+        4 => Json::Array(
+            (0..rng.gen_range(0usize..4))
+                .map(|_| arbitrary_json(rng, depth + 1))
+                .collect(),
+        ),
+        _ => Json::Object(
+            (0..rng.gen_range(0usize..4))
+                .map(|_| (arbitrary_string(rng), arbitrary_json(rng, depth + 1)))
+                .collect(),
+        ),
+    }
+}
+
+rt::prop! {
+    #![cases(256)]
+    /// The parser returns `Err` on garbage; it never panics.
+    fn json_parse_survives_byte_soup(bytes in vec(0u8..=255, 0..64)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Json::parse(&text);
+    }
+
+    /// JSON fragments glued together at random: near-valid inputs
+    /// that reach the deeper parser states byte soup rarely finds.
+    /// Anything that does parse must round-trip exactly.
+    fn json_parse_survives_token_soup(tokens in vec(select(std::vec::Vec::from([
+        "{", "}", "[", "]", ",", ":", "\"", "null", "true", "false",
+        "0", "-", "1e", "1e999", "2.5", ".5", "\\u00", "\\uD800",
+        "\"a\"", "\u{7f}", " ", "\t",
+    ])), 0..24)) {
+        let text: String = tokens.concat();
+        if let Ok(doc) = Json::parse(&text) {
+            let s = doc.to_string();
+            rt::prop_assert_eq!(Json::parse(&s).expect("serializer output parses"), doc);
+        }
+    }
+
+    /// Serialize → parse → serialize is a byte-identical fixpoint on
+    /// arbitrary generated documents (the serializer's documented
+    /// contract, here exercised beyond the hand-written cases).
+    fn json_serialize_parse_fixpoint(doc in from_fn(|rng| arbitrary_json(rng, 0))) {
+        let first = doc.to_string();
+        let reparsed = Json::parse(&first).expect("serializer output must parse");
+        rt::prop_assert_eq!(&reparsed, &doc);
+        rt::prop_assert_eq!(reparsed.to_string(), first);
+        // Pretty output is a different rendering of the same value.
+        let pretty = Json::parse(&doc.pretty()).expect("pretty output must parse");
+        rt::prop_assert_eq!(pretty, doc);
+    }
+
+    /// The Prometheus text-exposition parser holds the same contract.
+    fn prometheus_parse_survives_byte_soup(bytes in vec(0u8..=255, 0..96)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_exposition(&text);
+    }
+
+    /// Exposition-shaped line soup: comments, names, labels, and
+    /// numbers recombined at random.
+    fn prometheus_parse_survives_line_soup(lines in vec(select(std::vec::Vec::from([
+        "# HELP a b", "# TYPE a counter", "a 1", "a{", "a} 2", "a{x=\"y\"} 3",
+        "a{x=\"y\",} NaN", "a +Inf", "a 1 2 3", "{} 0", "a", "", " ", "a \u{0}",
+    ])), 0..12)) {
+        let text = lines.join("\n");
+        let _ = parse_exposition(&text);
+    }
+}

@@ -1,85 +1,6 @@
-//! One benchmark per paper artifact: each runs the corresponding
-//! experiment end-to-end at smoke scale, keeping every harness path
-//! (dataset generation → search → model scoring → aggregation) hot and
-//! measured. The `experiments` binary runs the same code at quick/full
-//! scale to regenerate the actual tables and figures.
+//! `cargo bench` target for the `experiments` suite; the benchmarks live in
+//! `ecad_bench::suites::experiments`.
 
-use rt::bench::Criterion;
-use rt::{criterion_group, criterion_main};
-use ecad_bench::experiments::{fig2, fig3, fig4, table1, table2, table3, table4};
-use ecad_bench::ExperimentContext;
-
-fn smoke() -> ExperimentContext {
-    ExperimentContext::smoke()
+fn main() {
+    ecad_bench::suites::bench_main("experiments");
 }
-
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("table1_10fold_accuracy", |b| {
-        b.iter(|| table1::run(&smoke()))
-    });
-    g.finish();
-}
-
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("table2_1fold_accuracy", |b| {
-        b.iter(|| table2::run(&smoke()))
-    });
-    g.finish();
-}
-
-fn bench_table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("table3_runtime_stats", |b| b.iter(|| table3::run(&smoke())));
-    g.finish();
-}
-
-fn bench_table4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("table4_pareto_s10_vs_tx", |b| {
-        b.iter(|| table4::run(&smoke()))
-    });
-    g.finish();
-}
-
-fn bench_fig2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("fig2_har_acc_vs_throughput", |b| {
-        b.iter(|| fig2::run(&smoke()))
-    });
-    g.finish();
-}
-
-fn bench_fig3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("fig3_ddr_bank_scaling", |b| b.iter(|| fig3::run(&smoke())));
-    g.finish();
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("fig4_efficiency_s10_vs_tx", |b| {
-        b.iter(|| fig4::run(&smoke()))
-    });
-    g.finish();
-}
-
-criterion_group!(
-    experiments,
-    bench_table1,
-    bench_table2,
-    bench_table3,
-    bench_table4,
-    bench_fig2,
-    bench_fig3,
-    bench_fig4
-);
-criterion_main!(experiments);

@@ -1,106 +1,6 @@
-//! Compute-kernel benchmarks: GEMM variants and MLP training steps.
-//!
-//! These are the hot paths of the simulation worker — per-candidate
-//! evaluation time (the paper's Table III column) is dominated by them.
+//! `cargo bench` target for the compute-kernel suite; the benchmarks
+//! live in `ecad_bench::suites::kernels`.
 
-use rt::bench::{black_box, BenchmarkId, Criterion};
-use rt::{criterion_group, criterion_main};
-use ecad_mlp::{Activation, Mlp, MlpTopology};
-use ecad_tensor::{gemm, init, ops, Matrix};
-use rt::rand::rngs::StdRng;
-use rt::rand::SeedableRng;
-
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm");
-    for &n in &[32usize, 64, 128, 256] {
-        let mut rng = StdRng::seed_from_u64(0);
-        let a = init::uniform(&mut rng, n, n, 1.0);
-        let b = init::uniform(&mut rng, n, n, 1.0);
-        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
-            bench.iter(|| gemm::matmul(black_box(&a), black_box(&b)))
-        });
-        if n <= 128 {
-            group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
-                bench.iter(|| gemm::matmul_naive(black_box(&a), black_box(&b)))
-            });
-        }
-    }
-    group.finish();
+fn main() {
+    ecad_bench::suites::bench_main("kernels");
 }
-
-fn bench_gemm_mlp_shapes(c: &mut Criterion) {
-    // The first-layer GEMM of an MNIST-shaped candidate: 32 x 784 x 128.
-    let mut rng = StdRng::seed_from_u64(1);
-    let x = init::uniform(&mut rng, 32, 784, 1.0);
-    let w = init::uniform(&mut rng, 784, 128, 1.0);
-    let bias = vec![0.1f32; 128];
-    c.bench_function("gemm/mnist_layer_32x784x128", |b| {
-        b.iter(|| gemm::matmul_bias(black_box(&x), black_box(&w), black_box(&bias)))
-    });
-}
-
-fn bench_backprop_kernels(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(2);
-    let x = init::uniform(&mut rng, 32, 256, 1.0);
-    let dy = init::uniform(&mut rng, 32, 128, 1.0);
-    let w = init::uniform(&mut rng, 256, 128, 1.0);
-    c.bench_function("gemm/at_b_weight_grad", |b| {
-        b.iter(|| gemm::matmul_at_b(black_box(&x), black_box(&dy)))
-    });
-    c.bench_function("gemm/a_bt_delta", |b| {
-        b.iter(|| gemm::matmul_a_bt(black_box(&dy), black_box(&w)))
-    });
-}
-
-fn bench_softmax_and_loss(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(3);
-    let logits = init::uniform(&mut rng, 256, 10, 5.0);
-    let labels: Vec<usize> = (0..256).map(|i| i % 10).collect();
-    let targets = ops::one_hot(&labels, 10);
-    c.bench_function("ops/softmax_256x10", |b| {
-        b.iter(|| ops::softmax_rows(black_box(&logits)))
-    });
-    let probs = ops::softmax_rows(&logits);
-    c.bench_function("ops/cross_entropy_256x10", |b| {
-        b.iter(|| ops::cross_entropy(black_box(&probs), black_box(&targets)))
-    });
-}
-
-fn bench_mlp_train_step(c: &mut Criterion) {
-    let topo = MlpTopology::builder(561, 6)
-        .hidden(128, Activation::Relu, true)
-        .hidden(64, Activation::Relu, true)
-        .build();
-    let mut rng = StdRng::seed_from_u64(4);
-    let net = Mlp::from_topology(&topo, &mut rng);
-    let x = init::uniform(&mut rng, 32, 561, 1.0);
-    let labels: Vec<usize> = (0..32).map(|i| i % 6).collect();
-    let t = ops::one_hot(&labels, 6);
-    c.bench_function("mlp/har_forward_batch32", |b| {
-        b.iter(|| net.forward(black_box(&x)))
-    });
-    c.bench_function("mlp/har_backprop_batch32", |b| {
-        b.iter(|| net.backprop(black_box(&x), black_box(&t)))
-    });
-}
-
-fn bench_matrix_ops(c: &mut Criterion) {
-    let m = Matrix::from_fn(512, 512, |r, c2| (r * 512 + c2) as f32);
-    c.bench_function("matrix/transpose_512", |b| {
-        b.iter(|| black_box(&m).transposed())
-    });
-    c.bench_function("matrix/argmax_rows_512", |b| {
-        b.iter(|| black_box(&m).argmax_rows())
-    });
-}
-
-criterion_group!(
-    kernels,
-    bench_gemm,
-    bench_gemm_mlp_shapes,
-    bench_backprop_kernels,
-    bench_softmax_and_loss,
-    bench_mlp_train_step,
-    bench_matrix_ops
-);
-criterion_main!(kernels);

@@ -26,6 +26,8 @@
 
 pub mod context;
 pub mod experiments;
+pub mod history;
 pub mod report;
+pub mod suites;
 
 pub use context::{ExperimentContext, Scale};

@@ -1,0 +1,199 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! Each group isolates one mechanism and measures its cost or effect
+//! with everything else held fixed:
+//!
+//! * **dedup cache** — search wall time in a collision-heavy space with
+//!   the cache exercised vs a collision-free space (the cache's value
+//!   is exactly the paper's Table III note);
+//! * **selection mode** — weighted-scalar vs NSGA-II survivor
+//!   selection, same budget;
+//! * **tournament size** — selection-pressure knob;
+//! * **interleaving** — the double-buffer depth's effect on FPGA model
+//!   evaluation (deeper interleave = fewer, larger blocks; the
+//!   bandwidth-relief mechanism of §III-C);
+//! * **worker threads** — engine scaling with an artificial per-eval
+//!   cost.
+
+use std::sync::Arc;
+
+use ecad_core::engine::{Engine, EvolutionConfig, SelectionMode};
+use ecad_core::fitness::{Objective, ObjectiveSet};
+use ecad_core::genome::CandidateGenome;
+use ecad_core::measurement::{HwMetrics, Measurement};
+use ecad_core::space::SearchSpace;
+use ecad_core::workers::Evaluator;
+use ecad_hw::fpga::{FpgaDevice, FpgaModel, GridConfig};
+use rt::bench::{black_box, BenchmarkId, Criterion};
+
+/// Registers the suite's benchmarks on `c`.
+pub fn register(c: &mut Criterion) {
+    ablate_cache(c);
+    ablate_selection_mode(c);
+    ablate_tournament_size(c);
+    ablate_interleave(c);
+    ablate_threads(c);
+}
+
+/// Synthetic evaluator with an optional artificial cost per call.
+struct ToyEvaluator {
+    spin_ns: u64,
+}
+
+impl Evaluator for ToyEvaluator {
+    fn evaluate(&self, genome: &CandidateGenome) -> Measurement {
+        if self.spin_ns > 0 {
+            let t = std::time::Instant::now();
+            while (t.elapsed().as_nanos() as u64) < self.spin_ns {
+                std::hint::spin_loop();
+            }
+        }
+        let neurons = genome.nna.total_neurons() as f32;
+        let accuracy = 1.0 - ((neurons - 256.0).abs() / 512.0).min(1.0);
+        Measurement {
+            accuracy,
+            train_accuracy: accuracy,
+            params: neurons as usize * 10,
+            neurons: neurons as usize,
+            hw: HwMetrics::Gpu {
+                outputs_per_s: 1e6 / (1.0 + neurons as f64),
+                efficiency: 0.01,
+                latency_s: 1e-4,
+                effective_gflops: 1.0,
+                power_w: 50.0,
+            },
+            eval_time_s: 0.0,
+            train_time_s: 0.0,
+            hw_time_s: 0.0,
+        }
+    }
+
+    fn target_name(&self) -> String {
+        "toy".to_string()
+    }
+}
+
+fn config(evals: usize) -> EvolutionConfig {
+    EvolutionConfig {
+        population: 16,
+        evaluations: evals,
+        tournament: 3,
+        crossover_rate: 0.5,
+        seed: 7,
+        threads: 1,
+        selection: SelectionMode::WeightedScalar,
+        ..EvolutionConfig::small()
+    }
+}
+
+fn run(space: SearchSpace, cfg: EvolutionConfig, spin_ns: u64) -> usize {
+    Engine::new(
+        Arc::new(ToyEvaluator { spin_ns }),
+        space,
+        ObjectiveSet::new(vec![
+            Objective::maximize("accuracy"),
+            Objective::maximize("log_throughput").with_weight(0.02),
+        ]),
+        cfg,
+    )
+    .run()
+    .stats
+    .models_evaluated
+}
+
+/// Cache value: a tiny space forces duplicate candidates; with the
+/// artificial 50 µs evaluation cost, every cache hit saves that cost.
+fn ablate_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/cache");
+    g.sample_size(10);
+    let collision_heavy = SearchSpace::gpu_default()
+        .with_layers(1, 1)
+        .with_neurons(4, 10);
+    let collision_free = SearchSpace::gpu_default();
+    g.bench_function("tiny_space_cache_hits", |b| {
+        b.iter(|| run(collision_heavy.clone(), config(150), 50_000))
+    });
+    g.bench_function("large_space_no_hits", |b| {
+        b.iter(|| run(collision_free.clone(), config(150), 50_000))
+    });
+    g.finish();
+}
+
+fn ablate_selection_mode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/selection");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("weighted_scalar", SelectionMode::WeightedScalar),
+        ("nsga2", SelectionMode::Nsga2),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = EvolutionConfig {
+                    selection: mode,
+                    ..config(200)
+                };
+                run(SearchSpace::gpu_default(), cfg, 0)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_tournament_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/tournament");
+    g.sample_size(10);
+    for t in [2usize, 3, 5, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                let cfg = EvolutionConfig {
+                    tournament: t,
+                    ..config(200)
+                };
+                run(SearchSpace::gpu_default(), cfg, 0)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The §III-C interleave mechanism: deeper double buffers amortize a
+/// tile load over more compute cycles, trading M20K for bandwidth.
+fn ablate_interleave(c: &mut Criterion) {
+    let model = FpgaModel::new(FpgaDevice::arria10_gx1150(1));
+    let shapes = [(64usize, 2048usize, 2048usize)];
+    let mut g = c.benchmark_group("ablation/interleave");
+    for il in [1u32, 4, 16] {
+        let grid = GridConfig::new(16, 16, il, il, 4).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(il), &il, |b, _| {
+            b.iter(|| {
+                model
+                    .evaluate(black_box(&grid), black_box(&shapes))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/threads");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let cfg = EvolutionConfig {
+                        threads,
+                        ..config(100)
+                    };
+                    // 200 µs artificial evaluation cost: enough for the
+                    // pool to matter.
+                    run(SearchSpace::gpu_default(), cfg, 200_000)
+                })
+            },
+        );
+    }
+    g.finish();
+}

@@ -1,0 +1,126 @@
+//! Evolutionary-engine benchmarks: genetic operators, cache hashing,
+//! Pareto analysis, and a full GA loop over a synthetic fitness
+//! landscape (no MLP training, isolating engine overhead).
+
+use std::sync::Arc;
+
+use ecad_core::engine::{Engine, EvolutionConfig, SelectionMode};
+use ecad_core::fitness::ObjectiveSet;
+use ecad_core::genome::CandidateGenome;
+use ecad_core::measurement::{HwMetrics, Measurement};
+use ecad_core::pareto;
+use ecad_core::space::SearchSpace;
+use ecad_core::workers::Evaluator;
+use rt::bench::{black_box, Criterion};
+use rt::rand::rngs::StdRng;
+use rt::rand::SeedableRng;
+
+/// Registers the suite's benchmarks on `c`.
+pub fn register(c: &mut Criterion) {
+    bench_genetic_operators(c);
+    bench_cache_key(c);
+    bench_pareto(c);
+    bench_full_ga_loop(c);
+}
+
+struct ToyEvaluator;
+
+impl Evaluator for ToyEvaluator {
+    fn evaluate(&self, genome: &CandidateGenome) -> Measurement {
+        let neurons = genome.nna.total_neurons() as f32;
+        let accuracy = 1.0 - ((neurons - 256.0).abs() / 512.0).min(1.0);
+        Measurement {
+            accuracy,
+            train_accuracy: accuracy,
+            params: neurons as usize * 10,
+            neurons: neurons as usize,
+            hw: HwMetrics::Gpu {
+                outputs_per_s: 1e6 / (1.0 + neurons as f64),
+                efficiency: 0.01,
+                latency_s: 1e-4,
+                effective_gflops: 1.0,
+                power_w: 50.0,
+            },
+            eval_time_s: 0.0,
+            train_time_s: 0.0,
+            hw_time_s: 0.0,
+        }
+    }
+
+    fn target_name(&self) -> String {
+        "toy".to_string()
+    }
+}
+
+fn bench_genetic_operators(c: &mut Criterion) {
+    let space = SearchSpace::fpga_default();
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = space.sample(&mut rng);
+    let b = space.sample(&mut rng);
+    c.bench_function("space/sample", |bench| {
+        let mut rng = StdRng::seed_from_u64(1);
+        bench.iter(|| space.sample(&mut rng))
+    });
+    c.bench_function("space/mutate", |bench| {
+        let mut rng = StdRng::seed_from_u64(2);
+        bench.iter(|| space.mutate(black_box(&a), &mut rng))
+    });
+    c.bench_function("space/crossover", |bench| {
+        let mut rng = StdRng::seed_from_u64(3);
+        bench.iter(|| space.crossover(black_box(&a), black_box(&b), &mut rng))
+    });
+}
+
+fn bench_cache_key(c: &mut Criterion) {
+    let space = SearchSpace::fpga_default();
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = space.sample(&mut rng);
+    c.bench_function("genome/cache_key", |bench| {
+        bench.iter(|| black_box(&g).cache_key())
+    });
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    use rt::rand::Rng;
+    let points: Vec<Vec<f64>> = (0..1000)
+        .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+        .collect();
+    c.bench_function("pareto/front_1000", |bench| {
+        bench.iter(|| pareto::pareto_front(black_box(&points)))
+    });
+    let small: Vec<Vec<f64>> = points[..200].to_vec();
+    c.bench_function("pareto/nds_200", |bench| {
+        bench.iter(|| pareto::non_dominated_sort(black_box(&small)))
+    });
+    c.bench_function("pareto/crowding_1000", |bench| {
+        bench.iter(|| pareto::crowding_distance(black_box(&points)))
+    });
+}
+
+fn bench_full_ga_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("steady_state_200_evals", |bench| {
+        bench.iter(|| {
+            let cfg = EvolutionConfig {
+                population: 16,
+                evaluations: 200,
+                tournament: 3,
+                crossover_rate: 0.5,
+                seed: 9,
+                threads: 1,
+                selection: SelectionMode::WeightedScalar,
+                ..EvolutionConfig::small()
+            };
+            Engine::new(
+                Arc::new(ToyEvaluator),
+                SearchSpace::gpu_default(),
+                ObjectiveSet::accuracy_only(),
+                cfg,
+            )
+            .run()
+        })
+    });
+    group.finish();
+}

@@ -1,0 +1,87 @@
+//! Hardware-model benchmarks.
+//!
+//! The paper's hardware database worker exists because the analytical
+//! model "assess[es] many configurations in a relatively swift manner
+//! compared to running through synthesis tools" — these benches verify
+//! the models are indeed microsecond-fast, which is what lets the
+//! evolutionary engine score thousands of candidates.
+
+use ecad_hw::fpga::{FpgaDevice, FpgaModel, GridConfig, PhysicalModel};
+use ecad_hw::gpu::{GpuDevice, GpuModel};
+use rt::bench::{black_box, BenchmarkId, Criterion};
+
+/// Registers the suite's benchmarks on `c`.
+pub fn register(c: &mut Criterion) {
+    bench_fpga_model(c);
+    bench_fpga_deep_network(c);
+    bench_physical_model(c);
+    bench_gpu_model(c);
+    bench_grid_validation(c);
+}
+
+fn mlp_shapes(batch: usize) -> Vec<(usize, usize, usize)> {
+    vec![(batch, 784, 256), (batch, 256, 128), (batch, 128, 10)]
+}
+
+fn bench_fpga_model(c: &mut Criterion) {
+    let model = FpgaModel::new(FpgaDevice::arria10_gx1150(1));
+    let grid = GridConfig::new(8, 8, 4, 4, 8).unwrap();
+    let mut group = c.benchmark_group("fpga_model");
+    for &batch in &[1usize, 32, 256] {
+        let shapes = mlp_shapes(batch);
+        group.bench_with_input(BenchmarkId::new("evaluate", batch), &batch, |b, _| {
+            b.iter(|| {
+                model
+                    .evaluate(black_box(&grid), black_box(&shapes))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fpga_deep_network(c: &mut Criterion) {
+    let model = FpgaModel::new(FpgaDevice::stratix10_2800(4));
+    let grid = GridConfig::new(16, 16, 8, 8, 8).unwrap();
+    // An 8-layer candidate: the deepest genome the search space allows,
+    // plus margin.
+    let shapes: Vec<(usize, usize, usize)> = (0..8)
+        .map(|i| (64, 512 >> (i / 3), 512 >> (i / 3)))
+        .collect();
+    c.bench_function("fpga_model/deep_8_layers", |b| {
+        b.iter(|| {
+            model
+                .evaluate(black_box(&grid), black_box(&shapes))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_physical_model(c: &mut Criterion) {
+    let model = PhysicalModel::new(FpgaDevice::arria10_gx1150(1));
+    let grid = GridConfig::new(8, 8, 4, 4, 8).unwrap();
+    c.bench_function("physical_model/report", |b| {
+        b.iter(|| model.report(black_box(&grid)).unwrap())
+    });
+}
+
+fn bench_gpu_model(c: &mut Criterion) {
+    let model = GpuModel::new(GpuDevice::titan_x());
+    let biases = vec![true, true, true];
+    let mut group = c.benchmark_group("gpu_model");
+    for &batch in &[32usize, 1024] {
+        let shapes = mlp_shapes(batch);
+        group.bench_with_input(BenchmarkId::new("evaluate", batch), &batch, |b, _| {
+            b.iter(|| model.evaluate(black_box(&shapes), black_box(&biases)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_validation(c: &mut Criterion) {
+    let device = FpgaDevice::arria10_gx1150(1);
+    let grid = GridConfig::new(8, 8, 4, 4, 8).unwrap();
+    c.bench_function("grid/validate_for", |b| {
+        b.iter(|| black_box(&grid).validate_for(black_box(&device)))
+    });
+}

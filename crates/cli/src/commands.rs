@@ -22,6 +22,10 @@ pub enum CliError {
     Io(String),
     /// A domain error (bad config, bad CSV, infeasible grid, ...).
     Domain(String),
+    /// The benchmark regression gate failed; the payload is the full
+    /// rendered verdict. A distinct variant so the binary exits
+    /// non-zero on a gate failure while still printing the report.
+    Gate(String),
 }
 
 impl fmt::Display for CliError {
@@ -30,6 +34,7 @@ impl fmt::Display for CliError {
             CliError::Args(e) => write!(f, "{e}\n\n{USAGE}"),
             CliError::Io(msg) => write!(f, "io error: {msg}"),
             CliError::Domain(msg) => write!(f, "{msg}"),
+            CliError::Gate(report) => write!(f, "{report}"),
         }
     }
 }
@@ -54,7 +59,16 @@ const USAGE: &str = "usage:
   ecad datasets [--generate NAME --out FILE [--samples N] [--seed N]]
   ecad devices
   ecad estimate --layers 784,256,10 [--device NAME] [--batch N]
-                [--grid RxCxV[,IMxIN]] [--banks N]";
+                [--grid RxCxV[,IMxIN]] [--banks N]
+  ecad bench run   --suite NAME|all [--filter SUBSTR] [--quick]
+                   [--iters N] [--sample-size N] [--out FILE] [--dir DIR]
+  ecad bench list  [--limit N] [--dir DIR] [--format text|json]
+  ecad bench trend [--suite NAME] [--filter SUBSTR] [--window N]
+                   [--dir DIR] [--format text|json]
+  ecad bench gate  [--suite NAME] [--filter SUBSTR]
+                   [--threshold-p95-ms MS] [--max-p95-regression-pct PCT]
+                   [--window-size N] [--required-passes N]
+                   [--dir DIR] [--format text|json]";
 
 /// Runs the CLI against `argv` (program name excluded), returning the
 /// text to print.
@@ -64,7 +78,15 @@ const USAGE: &str = "usage:
 /// Returns [`CliError`] on bad arguments, I/O failures, or domain
 /// errors; the binary prints it and exits non-zero.
 pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> {
-    let parsed = Parsed::parse(argv)?;
+    let mut it = argv.into_iter().peekable();
+    if it.peek().map(String::as_str) == Some("bench") {
+        // `bench` has its own action verb (run/list/trend/gate):
+        // strip the `bench` token and let the action land in the
+        // ordinary parser's command position.
+        it.next();
+        return crate::bench_cmd::cmd_bench(it);
+    }
+    let parsed = Parsed::parse(it)?;
     match parsed.command.as_str() {
         "search" => cmd_search(&parsed),
         "analyze" => crate::analyze::cmd_analyze(&parsed),

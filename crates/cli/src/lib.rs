@@ -18,12 +18,15 @@
 //! ecad devices
 //! ecad estimate --layers 784,256,10 [--device NAME] [--batch N]
 //!               [--grid RxCxV[,ILMxILN]] [--banks N]
+//! ecad bench    run|list|trend|gate [--suite NAME] [--filter SUBSTR]
+//!               [--threshold-p95-ms MS] [--max-p95-regression-pct PCT]
 //! ```
 
 #![warn(missing_docs)]
 
 mod analyze;
 mod args;
+mod bench_cmd;
 mod commands;
 
 pub use args::{ArgError, Parsed};

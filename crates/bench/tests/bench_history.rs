@@ -26,6 +26,7 @@ fn result(id: &str, p95: f64) -> BenchResult {
         },
         samples: 10,
         iters_per_sample: 100,
+        profile: None,
     }
 }
 

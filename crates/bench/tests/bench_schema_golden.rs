@@ -34,6 +34,7 @@ fn golden_report() -> String {
         },
         samples,
         iters_per_sample: iters,
+        profile: None,
     };
     let entries = vec![
         result_to_json("models", &result("mlp/forward/credit_g", 125.5, 150.25, 10, 1000)),
@@ -110,6 +111,7 @@ fn history_round_trips_golden_report() {
                     },
                     samples: e.samples as usize,
                     iters_per_sample: e.iters_per_sample,
+                    profile: None,
                 },
             )
         })

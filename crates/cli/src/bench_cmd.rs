@@ -78,7 +78,16 @@ fn load(p: &Parsed) -> Result<Vec<history::HistoryFile>, CliError> {
 /// `ecad bench run --suite NAME|all`: executes the suite in-process
 /// and merges the measurements into `BENCH_<date>.json`.
 fn bench_run(p: &Parsed) -> Result<String, CliError> {
-    p.check_allowed(&["suite", "filter", "quick", "iters", "sample-size", "out", "dir"])?;
+    p.check_allowed(&[
+        "suite",
+        "filter",
+        "quick",
+        "profile",
+        "iters",
+        "sample-size",
+        "out",
+        "dir",
+    ])?;
     let suite = p.require("suite")?;
     let selected: Vec<&str> = if suite == "all" {
         suites::names()
@@ -101,6 +110,9 @@ fn bench_run(p: &Parsed) -> Result<String, CliError> {
         c.quiet();
         if p.is_set("quick") {
             c.quick();
+        }
+        if p.is_set("profile") {
+            c.profile();
         }
         if p.get("iters").is_some() {
             c.iters(p.get_parse("iters", 1u64)?);

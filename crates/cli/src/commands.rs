@@ -54,13 +54,15 @@ const USAGE: &str = "usage:
                 [--trace-out OUT.jsonl] [--metrics] [--serve ADDR]
                 [--checkpoint STATE.json [--checkpoint-every N] [--resume]]
                 [--halt-after N] [--eval-timeout SECS] [--max-retries N]
+                [--profile-out OUT.json [--profile-clock wall|ticks]]
   ecad analyze  --file TRACE.jsonl [--format text|json|csv]
   ecad trace    --file TRACE.jsonl [--require EVENT1,EVENT2,...] [--summary]
+  ecad profile  --file PROFILE.json [--format text|json|collapsed]
   ecad datasets [--generate NAME --out FILE [--samples N] [--seed N]]
   ecad devices
   ecad estimate --layers 784,256,10 [--device NAME] [--batch N]
                 [--grid RxCxV[,IMxIN]] [--banks N]
-  ecad bench run   --suite NAME|all [--filter SUBSTR] [--quick]
+  ecad bench run   --suite NAME|all [--filter SUBSTR] [--quick] [--profile]
                    [--iters N] [--sample-size N] [--out FILE] [--dir DIR]
   ecad bench list  [--limit N] [--dir DIR] [--format text|json]
   ecad bench trend [--suite NAME] [--filter SUBSTR] [--window N]
@@ -91,6 +93,7 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
         "search" => cmd_search(&parsed),
         "analyze" => crate::analyze::cmd_analyze(&parsed),
         "trace" => cmd_trace(&parsed),
+        "profile" => crate::profile::cmd_profile(&parsed),
         "datasets" => cmd_datasets(&parsed),
         "devices" => Ok(cmd_devices()),
         "estimate" => cmd_estimate(&parsed),
@@ -108,15 +111,29 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
 /// the `/metrics` endpoint even when nothing else asked for one).
 /// Under `--resume` the JSONL sink appends, continuing the sequence
 /// numbers of the interrupted run's file so the resumed trace is
-/// byte-identical to an uninterrupted one.
-fn build_obs(p: &Parsed, force_metrics: bool) -> Result<rt::obs::Obs, CliError> {
+/// byte-identical to an uninterrupted one. A `--profile-out` profiler
+/// rides along on the handle so the engine and its workers install it
+/// and span closes feed the attribution tree.
+fn build_obs(
+    p: &Parsed,
+    force_metrics: bool,
+    profiler: Option<rt::prof::Profiler>,
+) -> Result<rt::obs::Obs, CliError> {
     use rt::obs::{JsonlSink, Level, Obs, StderrSink};
     let level_text = p.get("log-level");
     let trace_out = p.get("trace-out");
-    if level_text.is_none() && trace_out.is_none() && !p.is_set("metrics") && !force_metrics {
+    if level_text.is_none()
+        && trace_out.is_none()
+        && !p.is_set("metrics")
+        && !force_metrics
+        && profiler.is_none()
+    {
         return Ok(Obs::disabled());
     }
     let mut builder = Obs::builder();
+    if let Some(prof) = profiler {
+        builder = builder.profiler(prof);
+    }
     match level_text {
         None | Some("off") => {}
         Some(text) => {
@@ -160,14 +177,35 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
         "eval-timeout",
         "max-retries",
         "serve",
+        "profile-out",
+        "profile-clock",
     ])?;
     if p.is_set("resume") && p.get("checkpoint").is_none() {
         return Err(CliError::Domain(
             "--resume requires --checkpoint <path>".to_string(),
         ));
     }
+    let profile_out = p.get("profile-out");
+    if p.get("profile-clock").is_some() && profile_out.is_none() {
+        return Err(CliError::Domain(
+            "--profile-clock requires --profile-out <path>".to_string(),
+        ));
+    }
+    let profiler = match profile_out {
+        Some(_) => {
+            let clock_text = p.get("profile-clock").unwrap_or("wall");
+            let clock = rt::prof::ClockKind::parse(clock_text).ok_or_else(|| {
+                CliError::Args(ArgError::BadValue {
+                    flag: "--profile-clock".to_string(),
+                    value: clock_text.to_string(),
+                })
+            })?;
+            Some(rt::prof::Profiler::new(clock))
+        }
+        None => None,
+    };
     let serve_addr = p.get("serve");
-    let obs = build_obs(p, serve_addr.is_some())?;
+    let obs = build_obs(p, serve_addr.is_some(), profiler.clone())?;
     let data_path = p.require("data")?;
     let dataset = csv::read_dataset_file(data_path).map_err(|e| CliError::Domain(e.to_string()))?;
     let mut config = match p.get("config") {
@@ -317,6 +355,17 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
         obs.flush();
         out.push_str(&format!("event trace written to {path}\n"));
     }
+    if let (Some(path), Some(profiler)) = (profile_out, &profiler) {
+        let report = profiler.report();
+        let doc = rt::prof::profile_to_json(profiler.clock(), &report);
+        std::fs::write(path, doc.pretty() + "\n")
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        out.push_str(&format!(
+            "\nprofile ({} clock) written to {path}\n\n{}",
+            profiler.clock().name(),
+            report.render_table()
+        ));
+    }
     if let Some(handle) = server {
         out.push_str(&format!(
             "observatory served on http://{}/ (stopped)\n",
@@ -396,6 +445,12 @@ fn cmd_trace(p: &Parsed) -> Result<String, CliError> {
         let events = crate::analyze::parse_events(path, &text)?;
         out.push('\n');
         out.push_str(&crate::analyze::kind_summary(&events));
+        // Traces recorded with a tick-clock profiler attached carry
+        // path/span_us on span closes; rebuild the attribution tree.
+        if let Some(tree) = crate::profile::tree_from_events(&events) {
+            out.push_str("\nspan attribution (rebuilt from profiled span closes):\n");
+            out.push_str(&tree.render_table());
+        }
     }
     Ok(out)
 }
@@ -986,6 +1041,97 @@ mod tests {
             "serving must not perturb the event stream"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The profiling acceptance path end-to-end: a seeded single-thread
+    /// search with `--profile-out --profile-clock ticks` writes a
+    /// byte-identical profile across two runs, the attribution table
+    /// puts `gemm` under `train`, `ecad profile` renders the file in
+    /// all three formats, and `ecad trace --summary` rebuilds the tree
+    /// from the profiled trace.
+    #[test]
+    fn search_profile_out_deterministic_with_gemm_under_train() {
+        let dir = std::env::temp_dir().join("ecad_cli_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("toy.csv");
+        let cfg = dir.join("toy.ini");
+        let ds = ecad_dataset::synth::SyntheticSpec::new("toy", 120, 6, 2)
+            .with_seed(1)
+            .generate();
+        csv::write_dataset_file(&ds, &data).unwrap();
+        std::fs::write(
+            &cfg,
+            "[nna]\nmax_layers = 1\nmax_neurons = 12\n[optimization]\nevaluations = 6\npopulation = 4\nepochs = 3\n",
+        )
+        .unwrap();
+        let p1 = dir.join("p1.json");
+        let p2 = dir.join("p2.json");
+        let base = |out: &std::path::Path| {
+            format!(
+                "search --data {} --config {} --seed 5 --threads 1 \
+                 --profile-out {} --profile-clock ticks",
+                data.display(),
+                cfg.display(),
+                out.display()
+            )
+        };
+        let out = run(argv(&base(&p1))).unwrap();
+        assert!(out.contains("profile (ticks clock) written"), "got: {out}");
+        assert!(out.contains("gemm"), "got: {out}");
+        run(argv(&base(&p2))).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&p1).unwrap(),
+            std::fs::read_to_string(&p2).unwrap(),
+            "seeded single-thread tick-clock profiles must be byte-identical"
+        );
+
+        // gemm attributes under train in the recorded tree.
+        let doc = rt::json::Json::parse(&std::fs::read_to_string(&p1).unwrap()).unwrap();
+        let (clock, root) = rt::prof::profile_from_json(&doc).unwrap();
+        assert_eq!(clock, "ticks");
+        let train = root.find("train").expect("train span recorded");
+        let gemm = train.find("gemm").expect("gemm nests under train");
+        assert!(gemm.calls > 0 && gemm.total_ns > 0);
+
+        // The renderer consumes the file in all three formats.
+        let table = run(argv(&format!("profile --file {}", p1.display()))).unwrap();
+        assert!(table.contains("gemm") && table.contains("total"), "got: {table}");
+        let collapsed = run(argv(&format!(
+            "profile --file {} --format collapsed",
+            p1.display()
+        )))
+        .unwrap();
+        assert!(
+            collapsed.lines().any(|l| l.contains(";gemm ")),
+            "got: {collapsed}"
+        );
+        run(argv(&format!("profile --file {} --format json", p1.display()))).unwrap();
+
+        // A profiled trace feeds the same table via `trace --summary`.
+        let jsonl = dir.join("events.jsonl");
+        run(argv(&format!(
+            "{} --trace-out {}",
+            base(&p1),
+            jsonl.display()
+        )))
+        .unwrap();
+        let summary = run(argv(&format!(
+            "trace --file {} --summary",
+            jsonl.display()
+        )))
+        .unwrap();
+        assert!(summary.contains("span attribution"), "got: {summary}");
+        assert!(summary.contains("train"), "got: {summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn search_profile_clock_requires_profile_out() {
+        let err = run(argv("search --data x.csv --profile-clock ticks")).unwrap_err();
+        assert!(err.to_string().contains("--profile-clock requires"));
+        let err = run(argv("search --data x.csv --profile-out p.json --profile-clock sundial"))
+            .unwrap_err();
+        assert!(matches!(err, CliError::Args(ArgError::BadValue { .. })));
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! ```text
 //! ecad search   --data table.csv [--config ecad.ini] [--trace out.csv]
 //!               [--serve ADDR] [--trace-out out.jsonl]
+//!               [--profile-out out.json [--profile-clock wall|ticks]]
 //! ecad analyze  --file trace.jsonl [--format text|json|csv]
 //! ecad trace    --file trace.jsonl [--require E1,E2] [--summary]
+//! ecad profile  --file profile.json [--format text|json|collapsed]
 //! ecad datasets [--generate NAME --out FILE [--samples N] [--seed N]]
 //! ecad devices
 //! ecad estimate --layers 784,256,10 [--device NAME] [--batch N]
@@ -28,6 +30,7 @@ mod analyze;
 mod args;
 mod bench_cmd;
 mod commands;
+mod profile;
 
 pub use args::{ArgError, Parsed};
 pub use commands::{run, CliError};

@@ -449,6 +449,9 @@ impl Engine {
 
     fn run_inner(&self, restored: Option<CheckpointState>) -> EngineOutcome {
         let start = Instant::now();
+        // Master-side prof_span! sites (dispatch/breed/replace) record
+        // under the engine's profile tree when one is attached.
+        let _prof_install = self.obs.profiler().map(|p| p.install());
         let cfg = self.config;
         self.status.note_started();
         let mut tracker = EpochTracker::new(cfg.analytics, cfg.population);
@@ -579,7 +582,11 @@ impl Engine {
             let res_tx = res_tx.clone();
             let evaluator = Arc::clone(&self.evaluator);
             let obs = self.obs.clone();
-            supervisor.spawn(move |ctx| loop {
+            supervisor.spawn(move |ctx| {
+                // Kernel-level prof_span! sites (gemm, activation, …)
+                // inside the evaluator record under the engine's tree.
+                let _prof_install = obs.profiler().map(|p| p.install());
+                loop {
                 let (id, genome) = match req_rx.recv() {
                     Ok(job) => job,
                     Err(_) => return,
@@ -607,6 +614,7 @@ impl Engine {
                 ctx.release(id as u64);
                 if res_tx.send((id, genome, m)).is_err() || !ctx.is_current() {
                     return;
+                }
                 }
             });
         }
@@ -680,6 +688,17 @@ impl Engine {
                     for (gauge, op) in op_gauges.iter().zip(OperatorKind::ALL) {
                         gauge.set(snap.operators.rate(op));
                     }
+                    // Mirror per-phase profile seconds (top-level spans
+                    // of the attached profiler) into gauges, so the
+                    // /metrics Prometheus exposition carries the time
+                    // breakdown of a live search.
+                    if let Some(profiler) = self.obs.profiler() {
+                        for (phase, secs) in profiler.phase_seconds() {
+                            self.obs
+                                .gauge(&format!("profile.phase.{phase}_s"))
+                                .set(secs);
+                        }
+                    }
                     self.status.note_snapshot(snap);
                 }
                 self.status.note_counters(
@@ -748,9 +767,17 @@ impl Engine {
                     && c.submitted_unique < cfg.evaluations
                     && c.attempts < max_attempts
                 {
-                    let (genome, op) = match seeds.pop() {
-                        Some(g) => (g, OperatorKind::Seed),
-                        None => self.breed(&population, &mut rng),
+                    let (genome, op) = {
+                        // Scoped to candidate selection only: the span
+                        // must close before the job is handed to the
+                        // pool, so master-side clock reads never overlap
+                        // a running worker (which would make ticks-clock
+                        // profiles depend on thread interleaving).
+                        let _prof = rt::prof_span!("dispatch");
+                        match seeds.pop() {
+                            Some(g) => (g, OperatorKind::Seed),
+                            None => self.breed(&population, &mut rng),
+                        }
                     };
                     c.attempts += 1;
                     let key = genome.cache_key();
@@ -1015,6 +1042,7 @@ impl Engine {
         population: &mut Vec<Evaluated>,
         rng: &mut StdRng,
     ) -> (Evaluated, bool) {
+        let _prof = rt::prof_span!("replace");
         let fitness = self.objectives.scalar(&measurement);
         let eval = Evaluated {
             genome,
@@ -1100,6 +1128,7 @@ impl Engine {
     /// the population is still too small), tagging it with the operator
     /// that produced it for the epoch analytics.
     fn breed(&self, population: &[Evaluated], rng: &mut StdRng) -> (CandidateGenome, OperatorKind) {
+        let _prof = rt::prof_span!("breed");
         if population.len() < 2 {
             rt::trace!(self.obs, "breed", method = "sample");
             return (self.space.sample(rng), OperatorKind::Sample);

@@ -197,6 +197,7 @@ pub fn emit<R: AsRef<[String]>>(rows: &[R]) -> String {
 /// Returns [`CsvError`] for ragged rows, non-numeric fields, or an empty
 /// table.
 pub fn read_dataset(name: &str, text: &str) -> Result<Dataset, CsvError> {
+    let _prof = rt::prof_span!("dataset_load");
     let rows = parse(text)?;
     if rows.len() < 2 {
         return Err(CsvError::NoData);

@@ -103,6 +103,7 @@ impl CpuModel {
         with_bias: &[bool],
         obs: &rt::obs::Obs,
     ) -> CpuPerf {
+        let _prof = rt::prof_span!("cpu_model");
         let perf = self.evaluate(layers, with_bias);
         rt::debug!(
             obs,

@@ -197,6 +197,7 @@ impl FpgaModel {
         layers: &[(usize, usize, usize)],
         obs: &rt::obs::Obs,
     ) -> Result<FpgaPerf, GridError> {
+        let _prof = rt::prof_span!("fpga_model");
         let result = self.evaluate(grid, layers);
         match &result {
             Err(e) => {

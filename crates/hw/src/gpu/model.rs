@@ -130,6 +130,7 @@ impl GpuModel {
         with_bias: &[bool],
         obs: &rt::obs::Obs,
     ) -> GpuPerf {
+        let _prof = rt::prof_span!("gpu_model");
         let perf = self.evaluate(layers, with_bias);
         rt::debug!(
             obs,

@@ -89,6 +89,7 @@ impl DenseLayer {
         } else {
             gemm::matmul(x, &self.weights)
         };
+        let _prof = rt::prof_span!("activation");
         let act = self.activation;
         z.map_inplace(|v| act.apply(v));
         z

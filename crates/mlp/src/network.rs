@@ -65,6 +65,7 @@ impl Mlp {
     ///
     /// Panics if `x.cols() != topology.input()`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
+        let _prof = rt::prof_span!("forward");
         let mut h = x.clone();
         for l in &self.layers {
             h = l.forward(&h);
@@ -109,7 +110,10 @@ impl Mlp {
     /// Returns per-layer gradients (aligned with [`Mlp::layers`]) and the
     /// batch's mean loss. Gradients are already divided by the batch size.
     pub fn backprop(&self, x: &Matrix, targets_one_hot: &Matrix) -> (Vec<LayerGrads>, f32) {
+        let forward_prof = rt::prof_span!("forward");
         let acts = self.forward_trace(x);
+        drop(forward_prof);
+        let _prof = rt::prof_span!("backward");
         let logits = acts.last().expect("trace nonempty");
         let probs = ops::softmax_rows(logits);
         let loss = ops::cross_entropy(&probs, targets_one_hot);

@@ -208,6 +208,7 @@ impl Trainer {
         let mut early_stopped = false;
 
         for epoch in 0..self.config.epochs {
+            let _prof = rt::prof_span!("epoch");
             order.shuffle(rng);
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;

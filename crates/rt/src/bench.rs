@@ -198,6 +198,9 @@ pub struct BenchResult {
     /// Iterations per batch (after calibration, or pinned by
     /// `--iters`).
     pub iters_per_sample: u64,
+    /// Span-attribution tree captured during the measurement loop when
+    /// `--profile` is active (see [`crate::prof`]); `None` otherwise.
+    pub profile: Option<crate::prof::ProfileNode>,
 }
 
 /// Default target wall-clock duration for one calibrated batch.
@@ -223,6 +226,7 @@ pub struct Criterion {
     fixed_iters: Option<u64>,
     quiet: bool,
     json_out: Option<JsonOut>,
+    profile: bool,
     results: Vec<BenchResult>,
 }
 
@@ -247,6 +251,7 @@ impl Default for Criterion {
             fixed_iters: None,
             quiet: false,
             json_out: None,
+            profile: false,
             results: Vec::new(),
         }
     }
@@ -289,6 +294,9 @@ impl Criterion {
                     }
                 }
                 "--no-json" => c.json_out = Some(JsonOut::Disabled),
+                "--profile" => {
+                    c.profile();
+                }
                 // `cargo bench` passes --bench to harness binaries.
                 _ if arg.starts_with('-') => {}
                 _ => c.filter = Some(arg),
@@ -316,6 +324,14 @@ impl Criterion {
     pub fn quick(&mut self) -> &mut Criterion {
         self.target_sample = QUICK_SAMPLE;
         self.sample_size = QUICK_SAMPLE_SIZE;
+        self
+    }
+
+    /// Attaches a span-attribution profiler (see [`crate::prof`]) to
+    /// each benchmark's measurement loop; the captured tree lands in
+    /// [`BenchResult::profile`] and the JSON report's `profile` field.
+    pub fn profile(&mut self) -> &mut Criterion {
+        self.profile = true;
         self
     }
 
@@ -466,6 +482,11 @@ where
         }
     }
 
+    let profiler = criterion
+        .profile
+        .then(|| crate::prof::Profiler::with_root(crate::prof::ClockKind::Wall, "bench"));
+    let install = profiler.as_ref().map(|p| p.install());
+
     let mut per_iter_ns: Vec<f64> = Vec::with_capacity(criterion.sample_size);
     let started = Instant::now();
     for _ in 0..criterion.sample_size {
@@ -475,6 +496,8 @@ where
             break;
         }
     }
+    drop(install);
+    let profile = profiler.map(|p| p.report());
 
     let summary = Summary::from_samples(&per_iter_ns).expect("at least one finite sample");
     if !criterion.quiet {
@@ -493,6 +516,7 @@ where
         summary,
         samples: per_iter_ns.len(),
         iters_per_sample: bencher.iters,
+        profile,
     });
 }
 
@@ -608,7 +632,7 @@ pub fn bench_file_name(date: &str) -> String {
 /// Serializes one measurement as a report entry. Field order is part
 /// of the schema (the golden test pins it).
 pub fn result_to_json(suite: &str, r: &BenchResult) -> Json {
-    Json::object()
+    let entry = Json::object()
         .insert("suite", suite)
         .insert("id", r.id.as_str())
         .insert("ns_per_iter_p50", r.summary.p50_ns)
@@ -618,7 +642,13 @@ pub fn result_to_json(suite: &str, r: &BenchResult) -> Json {
         .insert("ns_per_iter_mean", r.summary.mean_ns)
         .insert("throughput_per_s", r.summary.throughput_per_s())
         .insert("samples", r.samples)
-        .insert("iters_per_sample", r.iters_per_sample)
+        .insert("iters_per_sample", r.iters_per_sample);
+    // Additive field: only present under `--profile`, so the pinned
+    // golden layout (no profile) is unchanged.
+    match &r.profile {
+        Some(node) => entry.insert("profile", node.to_json()),
+        None => entry,
+    }
 }
 
 /// Builds a full report document. Entries are sorted by
@@ -845,6 +875,7 @@ mod tests {
             summary: Summary::from_samples(&[ns]).unwrap(),
             samples: 1,
             iters_per_sample: 1,
+            profile: None,
         };
         let meta = ReportMeta::at(0, "deadbeef");
         write_report_merged(

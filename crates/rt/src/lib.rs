@@ -19,6 +19,10 @@
 //!   so any failure replays exactly.
 //! * [`bench`] — a minimal wall-clock benchmark runner with the
 //!   `criterion_group!` / `criterion_main!` shape the bench targets use.
+//! * [`prof`] — a hierarchical profiler: thread-local span stacks
+//!   accumulate a call tree with total/self time and call counts, merge
+//!   across threads, and export schema-pinned JSON, collapsed-stack
+//!   flamegraph text, and an attribution table.
 //! * [`obs`] — structured tracing and metrics: leveled events with
 //!   key=value fields routed to pluggable sinks (stderr, JSONL, ring
 //!   buffer), spans with monotonic timing, and an atomic registry of
@@ -45,6 +49,7 @@ pub mod check;
 pub mod http;
 pub mod json;
 pub mod obs;
+pub mod prof;
 pub mod rand;
 pub mod sched;
 pub mod supervise;

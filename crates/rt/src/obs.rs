@@ -41,9 +41,22 @@
 //!
 //! `seq` is a per-sink monotonic sequence number assigned under the
 //! writer lock, so line order always matches `seq` order. `fields`
-//! preserves emission order. Timing (`elapsed_us`) appears only when
-//! the sink was built [`JsonlSink::with_timing`], because wall-clock
-//! values are inherently non-deterministic.
+//! preserves emission order. Timing (`elapsed_us`, an integer count of
+//! microseconds) appears only when the sink was built
+//! [`JsonlSink::with_timing`], because wall-clock values are inherently
+//! non-deterministic.
+//!
+//! ## Profiling
+//!
+//! Attaching a [`crate::prof::Profiler`] via [`ObsBuilder::profiler`]
+//! upgrades spans from flat histograms to a hierarchical call tree:
+//! every [`Obs::span`] enters the profiler, and close events gain a
+//! deterministic `path` field (the semicolon-joined ancestry, e.g.
+//! `engine;evaluate;train`). Under the deterministic `ticks` clock
+//! they also gain `span_us` (integer microseconds, byte-stable); the
+//! wall clock keeps durations out of the trace — for the same reason
+//! `elapsed_us` is opt-in — so profiled runs stay reproducible.
+//! Without an attached profiler, spans behave exactly as before.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -53,6 +66,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::json::Json;
+use crate::prof::{ProfGuard, Profiler};
 
 // ---------------------------------------------------------------------------
 // Levels
@@ -221,7 +235,9 @@ impl Event {
             .insert("fields", fields);
         if include_timing {
             if let Some(s) = self.elapsed_s {
-                obj = obj.insert("elapsed_us", s * 1e6);
+                // Whole microseconds: rt::json renders integral f64s
+                // without a fraction, so the field is a JSON integer.
+                obj = obj.insert("elapsed_us", (s * 1e6).round());
             }
         }
         obj
@@ -760,6 +776,10 @@ struct ObsInner {
     level: Level,
     sinks: Vec<Box<dyn Sink>>,
     metrics: Metrics,
+    profiler: Option<Profiler>,
+    /// Span-name → histogram handle, so opening a span never formats a
+    /// metric name or takes the registry lock after first use.
+    span_hists: Mutex<HashMap<&'static str, HistogramHandle>>,
 }
 
 /// The observability handle threaded through the stack: a level gate,
@@ -793,7 +813,10 @@ impl Obs {
 
     /// Starts building an enabled handle.
     pub fn builder() -> ObsBuilder {
-        ObsBuilder { sinks: Vec::new() }
+        ObsBuilder {
+            sinks: Vec::new(),
+            profiler: None,
+        }
     }
 
     /// Whether anything is listening at all (sinks or metrics).
@@ -848,10 +871,19 @@ impl Obs {
         name: &'static str,
         fields: Vec<(&'static str, Value)>,
     ) -> Span {
-        if self.inner.is_none() {
+        let Some(inner) = &self.inner else {
             return Span { state: None };
-        }
-        let hist = self.histogram(&format!("span.{name}_s"));
+        };
+        let hist = {
+            let mut cache = inner.span_hists.lock().expect("span hist cache");
+            cache
+                .entry(name)
+                .or_insert_with(|| {
+                    HistogramHandle(Some(inner.metrics.histogram(&format!("span.{name}_s"))))
+                })
+                .clone()
+        };
+        let prof = inner.profiler.as_ref().map(|p| p.enter(name));
         Span {
             state: Some(SpanState {
                 obs: self.clone(),
@@ -860,9 +892,17 @@ impl Obs {
                 name,
                 fields,
                 hist,
+                prof,
                 start: Instant::now(),
             }),
         }
+    }
+
+    /// The attached profiler, if any — worker threads install it so
+    /// kernel-level [`crate::prof_span!`] sites record under the same
+    /// tree as the `Obs` spans above them.
+    pub fn profiler(&self) -> Option<Profiler> {
+        self.inner.as_ref().and_then(|i| i.profiler.clone())
     }
 
     /// A counter handle for `name` (no-op when disabled).
@@ -912,12 +952,22 @@ impl Obs {
 /// Builder for an enabled [`Obs`] handle.
 pub struct ObsBuilder {
     sinks: Vec<Box<dyn Sink>>,
+    profiler: Option<Profiler>,
 }
 
 impl ObsBuilder {
     /// Adds a sink.
     pub fn sink(mut self, sink: impl Sink + 'static) -> Self {
         self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Attaches a hierarchical profiler: every span enters it, and
+    /// close events carry a `path` field (plus `span_us` under the
+    /// deterministic ticks clock — see the module docs' Profiling
+    /// section).
+    pub fn profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = Some(profiler);
         self
     }
 
@@ -935,6 +985,8 @@ impl ObsBuilder {
                 level,
                 sinks: self.sinks,
                 metrics: Metrics::default(),
+                profiler: self.profiler,
+                span_hists: Mutex::new(HashMap::new()),
             })),
         }
     }
@@ -947,6 +999,7 @@ struct SpanState {
     name: &'static str,
     fields: Vec<(&'static str, Value)>,
     hist: HistogramHandle,
+    prof: Option<ProfGuard>,
     start: Instant,
 }
 
@@ -961,12 +1014,34 @@ impl Drop for Span {
         if let Some(state) = self.state.take() {
             let elapsed = state.start.elapsed().as_secs_f64();
             state.hist.record(elapsed);
-            if state.obs.is_enabled(state.level) {
+            let enabled = state.obs.is_enabled(state.level);
+            // Close the profiler span either way; build the path only
+            // when a close event will carry it.
+            let prof_close = match state.prof {
+                Some(guard) if enabled => guard.finish(),
+                _ => None,
+            };
+            if enabled {
+                let mut fields = state.fields;
+                if let Some((ns, path)) = prof_close {
+                    fields.push(("path", Value::Str(path)));
+                    // Wall-clock durations would make the JSONL trace
+                    // non-reproducible (the sink strips `elapsed_us`
+                    // for the same reason), so only the deterministic
+                    // ticks clock puts timings into the trace.
+                    let deterministic = state
+                        .obs
+                        .profiler()
+                        .is_some_and(|p| p.clock() == crate::prof::ClockKind::Ticks);
+                    if deterministic {
+                        fields.push(("span_us", Value::U64(ns / 1_000)));
+                    }
+                }
                 state.obs.dispatch(Event {
                     level: state.level,
                     target: state.target,
                     name: state.name,
-                    fields: state.fields,
+                    fields,
                     elapsed_s: Some(elapsed),
                 });
             }
@@ -1196,6 +1271,107 @@ mod tests {
         assert_eq!(text.lines().count(), 1);
         assert!(text.contains("only_event"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Trace-schema pin: `elapsed_us` serializes as a JSON integer
+    /// (whole microseconds), not a float.
+    #[test]
+    fn elapsed_us_is_integer_microseconds() {
+        let e = Event {
+            level: Level::Debug,
+            target: "t",
+            name: "train",
+            fields: vec![],
+            elapsed_s: Some(0.0015004),
+        };
+        let line = e.to_json(0, true).to_string();
+        assert!(
+            line.contains("\"elapsed_us\":1500"),
+            "expected integer elapsed_us in {line}"
+        );
+        assert!(!line.contains("1500."), "float leaked into {line}");
+        // Timing stays out entirely when the sink excludes it.
+        assert!(!e.to_json(0, false).to_string().contains("elapsed_us"));
+    }
+
+    #[test]
+    fn span_reuses_cached_histogram_handle() {
+        let obs = Obs::builder().build();
+        for _ in 0..3 {
+            let _s = crate::span!(obs, "train");
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, "span.train_s");
+        match &snap[0].1 {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 3),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_with_profiler_emits_path_and_builds_tree() {
+        use crate::prof::{ClockKind, TICK_NS};
+        let ring = RingSink::new(Level::Debug, 16);
+        let p = Profiler::new(ClockKind::Ticks);
+        let obs = Obs::builder()
+            .sink(Arc::clone(&ring))
+            .profiler(p.clone())
+            .build();
+        {
+            let _outer = crate::span!(obs, "evaluate");
+            let _inner = crate::span!(obs, "train");
+        }
+        let events = ring.snapshot();
+        let close = events.iter().find(|e| e.name == "train").unwrap();
+        let field = |k: &str| {
+            close
+                .fields
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(
+            field("path"),
+            Some(Value::Str("engine;evaluate;train".into()))
+        );
+        assert_eq!(field("span_us"), Some(Value::U64(TICK_NS / 1_000)));
+        let root = p.report();
+        let train = root.find("train").unwrap();
+        assert_eq!(train.calls, 1);
+        assert!(root.find("evaluate").unwrap().total_ns >= train.total_ns);
+    }
+
+    #[test]
+    fn wall_clock_profiler_emits_path_but_no_span_us() {
+        use crate::prof::ClockKind;
+        let ring = RingSink::new(Level::Debug, 16);
+        let p = Profiler::new(ClockKind::Wall);
+        let obs = Obs::builder()
+            .sink(Arc::clone(&ring))
+            .profiler(p.clone())
+            .build();
+        {
+            let _s = crate::span!(obs, "train");
+        }
+        let close = ring.snapshot().pop().unwrap();
+        assert!(close.fields.iter().any(|(k, _)| *k == "path"));
+        // Wall durations must not leak into the trace; the profile
+        // report still carries them.
+        assert!(close.fields.iter().all(|(k, _)| *k != "span_us"));
+        assert_eq!(p.report().find("train").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn span_without_profiler_has_no_path_field() {
+        let ring = RingSink::new(Level::Debug, 16);
+        let obs = Obs::builder().sink(Arc::clone(&ring)).build();
+        {
+            let _s = crate::span!(obs, "train");
+        }
+        let close = ring.snapshot().pop().unwrap();
+        assert!(close.fields.iter().all(|(k, _)| *k != "path"));
+        assert!(close.fields.iter().all(|(k, _)| *k != "span_us"));
     }
 
     #[test]

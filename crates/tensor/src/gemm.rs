@@ -72,6 +72,7 @@ pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
 /// assert_eq!(gemm::matmul(&a, &b)[(0, 0)], 6.0);
 /// ```
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let _prof = rt::prof_span!("gemm");
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -141,6 +142,7 @@ pub fn matmul_bias(a: &Matrix, b: &Matrix, bias: &[f32]) -> Matrix {
 ///
 /// Panics if `a.rows() != b.rows()`.
 pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    let _prof = rt::prof_span!("gemm_at_b");
     assert_eq!(
         a.rows(),
         b.rows(),
@@ -176,6 +178,7 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// Panics if `a.cols() != b.cols()`.
 pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    let _prof = rt::prof_span!("gemm_a_bt");
     assert_eq!(
         a.cols(),
         b.cols(),

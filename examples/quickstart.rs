@@ -12,6 +12,9 @@
 //! With `--trace-out` the engine also streams its structured events
 //! (submissions, evaluations, cache hits, infeasibilities) to a JSONL
 //! file that `ecad trace --file OUT.jsonl` can validate. With
+//! `--profile-out` a tick-clock profiler is attached: the run writes a
+//! schema-pinned profile JSON (`ecad profile --file OUT.json` renders
+//! it) that is byte-identical across runs with the same seed. With
 //! `--faults` the evaluator is wrapped in a deterministic
 //! fault-injection harness (worker panic, stalled evaluation, transient
 //! failure) to demonstrate the engine's retry/deadline/respawn
@@ -25,14 +28,17 @@ use ecad_repro::core::prelude::*;
 use ecad_repro::dataset::benchmarks::{self, Benchmark};
 use ecad_repro::hw::fpga::FpgaDevice;
 use ecad_repro::rt::obs::{JsonlSink, Level, Obs};
+use ecad_repro::rt::prof::{profile_to_json, ClockKind, Profiler};
 use ecad_repro::rt::rand::rngs::StdRng;
 use ecad_repro::rt::rand::SeedableRng;
 
-/// Parses `--seed N` (default 7), `--trace-out FILE` (default none),
-/// and the `--faults` switch from the argument list.
-fn args() -> (u64, Option<String>, bool) {
+/// Parses `--seed N` (default 7), `--trace-out FILE`,
+/// `--profile-out FILE`, and the `--faults` switch from the argument
+/// list.
+fn args() -> (u64, Option<String>, Option<String>, bool) {
     let mut seed = 7;
     let mut trace_out = None;
+    let mut profile_out = None;
     let mut faults = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -44,11 +50,14 @@ fn args() -> (u64, Option<String>, bool) {
             "--trace-out" => {
                 trace_out = Some(args.next().expect("--trace-out takes a path"));
             }
+            "--profile-out" => {
+                profile_out = Some(args.next().expect("--profile-out takes a path"));
+            }
             "--faults" => faults = true,
             other => panic!("unknown argument {other:?}"),
         }
     }
-    (seed, trace_out, faults)
+    (seed, trace_out, profile_out, faults)
 }
 
 /// The `--faults` tour: the same co-design evaluator, wrapped so that
@@ -113,15 +122,27 @@ fn run_faulted(dataset: &ecad_repro::dataset::Dataset, seed: u64, obs: Obs) {
 }
 
 fn main() {
-    let (seed, trace_out, faults) = args();
-    let obs = match &trace_out {
-        Some(path) => Obs::builder()
-            .sink(
+    let (seed, trace_out, profile_out, faults) = args();
+    // The tick clock (one fixed step per read) makes the profile JSON
+    // byte-identical for two seeded single-thread runs; pass the
+    // profiler to the engine through the observability handle.
+    let profiler = profile_out
+        .as_ref()
+        .map(|_| Profiler::new(ClockKind::Ticks));
+    let obs = if trace_out.is_some() || profiler.is_some() {
+        let mut builder = Obs::builder();
+        if let Some(path) = &trace_out {
+            builder = builder.sink(
                 JsonlSink::create(Level::Debug, std::path::Path::new(path))
                     .expect("create trace file"),
-            )
-            .build(),
-        None => Obs::disabled(),
+            );
+        }
+        if let Some(p) = &profiler {
+            builder = builder.profiler(p.clone());
+        }
+        builder.build()
+    } else {
+        Obs::disabled()
     };
     // 1. A dataset. The flow's real entry point is a CSV export
     //    (`ecad_dataset::csv::read_dataset_file`); here we use the
@@ -143,6 +164,11 @@ fn main() {
         if let Some(path) = trace_out {
             obs.flush();
             println!("event trace written to {path}");
+        }
+        if let (Some(path), Some(profiler)) = (profile_out, profiler) {
+            let doc = profile_to_json(profiler.clock(), &profiler.report());
+            std::fs::write(&path, doc.pretty() + "\n").expect("write profile");
+            println!("profile written to {path}");
         }
         return;
     }
@@ -199,5 +225,10 @@ fn main() {
     if let Some(path) = trace_out {
         obs.flush();
         println!("event trace written to {path}");
+    }
+    if let (Some(path), Some(profiler)) = (profile_out, profiler) {
+        let doc = profile_to_json(profiler.clock(), &profiler.report());
+        std::fs::write(&path, doc.pretty() + "\n").expect("write profile");
+        println!("profile written to {path}");
     }
 }

@@ -70,7 +70,12 @@ const USAGE: &str = "usage:
   ecad bench gate  [--suite NAME] [--filter SUBSTR]
                    [--threshold-p95-ms MS] [--max-p95-regression-pct PCT]
                    [--window-size N] [--required-passes N]
-                   [--dir DIR] [--format text|json]";
+                   [--dir DIR] [--format text|json]
+  ecad cluster worker --listen HOST:PORT [--log-level L]
+                   [--max-frame BYTES] [--io-timeout SECS] [--idle-timeout SECS]
+  ecad cluster search --workers HOST:PORT,... [all `ecad search` flags]
+                   [--net-timeout SECS] [--connect-retries N]
+                   [--reconnect-backoff-ms MS] [--island-every N] [--island-k N]";
 
 /// Runs the CLI against `argv` (program name excluded), returning the
 /// text to print.
@@ -87,6 +92,18 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
         // ordinary parser's command position.
         it.next();
         return crate::bench_cmd::cmd_bench(it);
+    }
+    if it.peek().map(String::as_str) == Some("cluster") {
+        // Same trick for `cluster worker` / `cluster search`.
+        it.next();
+        let parsed = Parsed::parse(it)?;
+        return match parsed.command.as_str() {
+            "worker" => cmd_cluster_worker(&parsed),
+            // The coordinator is an ordinary search with remote slots:
+            // `cmd_search` grows the cluster flags.
+            "search" => cmd_search(&parsed),
+            other => Err(ArgError::UnknownCommand(format!("cluster {other}")).into()),
+        };
     }
     let parsed = Parsed::parse(it)?;
     match parsed.command.as_str() {
@@ -179,6 +196,12 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
         "serve",
         "profile-out",
         "profile-clock",
+        "workers",
+        "net-timeout",
+        "connect-retries",
+        "reconnect-backoff-ms",
+        "island-every",
+        "island-k",
     ])?;
     if p.is_set("resume") && p.get("checkpoint").is_none() {
         return Err(CliError::Domain(
@@ -203,6 +226,53 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
             Some(rt::prof::Profiler::new(clock))
         }
         None => None,
+    };
+    let cluster_options = match p.get("workers") {
+        Some(list) => {
+            let workers: Vec<String> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|w| !w.is_empty())
+                .map(str::to_string)
+                .collect();
+            if workers.is_empty() {
+                return Err(CliError::Args(ArgError::BadValue {
+                    flag: "--workers".to_string(),
+                    value: list.to_string(),
+                }));
+            }
+            let mut options = ecad_core::cluster::ClusterOptions {
+                workers,
+                ..ecad_core::cluster::ClusterOptions::default()
+            };
+            if let Some(secs) = parse_seconds(p, "net-timeout")? {
+                options.net_timeout = secs;
+            }
+            options.connect_retries = p.get_parse("connect-retries", options.connect_retries)?;
+            options.reconnect_backoff = std::time::Duration::from_millis(p.get_parse(
+                "reconnect-backoff-ms",
+                options.reconnect_backoff.as_millis() as u64,
+            )?);
+            options.island_every = p.get_parse("island-every", options.island_every)?;
+            options.island_k = p.get_parse("island-k", options.island_k)?;
+            Some(options)
+        }
+        None => {
+            for flag in [
+                "net-timeout",
+                "connect-retries",
+                "reconnect-backoff-ms",
+                "island-every",
+                "island-k",
+            ] {
+                if p.get(flag).is_some() {
+                    return Err(CliError::Domain(format!(
+                        "--{flag} requires --workers <host:port,...>"
+                    )));
+                }
+            }
+            None
+        }
     };
     let serve_addr = p.get("serve");
     let obs = build_obs(p, serve_addr.is_some(), profiler.clone())?;
@@ -234,6 +304,9 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
     config.evolution.max_retries = p.get_parse("max-retries", config.evolution.max_retries)?;
 
     let mut search = Search::from_config(&config, &dataset).obs(obs.clone());
+    if let Some(options) = cluster_options {
+        search = search.cluster(options);
+    }
     let checkpoint_path = p.get("checkpoint").map(std::path::PathBuf::from);
     if let Some(path) = &checkpoint_path {
         let every: usize = p.get_parse("checkpoint-every", 25usize)?;
@@ -374,6 +447,65 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
         handle.stop();
     }
     Ok(out)
+}
+
+/// Parses a `--flag SECS` duration given as (possibly fractional)
+/// seconds; `None` when the flag is absent.
+fn parse_seconds(p: &Parsed, flag: &str) -> Result<Option<std::time::Duration>, CliError> {
+    match p.get(flag) {
+        None => Ok(None),
+        Some(text) => text
+            .parse::<f64>()
+            .ok()
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .map(std::time::Duration::from_secs_f64)
+            .map(Some)
+            .ok_or_else(|| {
+                CliError::Args(ArgError::BadValue {
+                    flag: format!("--{flag}"),
+                    value: text.to_string(),
+                })
+            }),
+    }
+}
+
+/// `ecad cluster worker`: serves genome-evaluation jobs to a remote
+/// coordinator until a `kill_all` arrives or the process receives
+/// SIGINT/SIGTERM. One session at a time, matching the coordinator's
+/// one-job-per-connection dispatch.
+fn cmd_cluster_worker(p: &Parsed) -> Result<String, CliError> {
+    p.check_allowed(&["listen", "log-level", "max-frame", "io-timeout", "idle-timeout"])?;
+    let addr = p.require("listen")?;
+    let mut options = ecad_core::cluster::WorkerOptions::default();
+    options.max_frame = p.get_parse("max-frame", options.max_frame)?;
+    if let Some(secs) = parse_seconds(p, "io-timeout")? {
+        options.io_timeout = secs;
+    }
+    if let Some(secs) = parse_seconds(p, "idle-timeout")? {
+        options.idle_timeout = secs;
+    }
+    let obs = build_obs(p, false, None)?;
+    let server = ecad_core::cluster::WorkerServer::bind(addr, options, obs)
+        .map_err(|e| CliError::Io(format!("--listen {addr}: {e}")))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    eprintln!("cluster worker listening on {local}");
+
+    // SIGINT/SIGTERM trip the server's stop flag so the accept loop
+    // winds down at its next poll instead of dying mid-session.
+    let shutdown = rt::supervise::ShutdownFlag::new();
+    shutdown.install_termination_handler();
+    let stop = server.stop_handle();
+    std::thread::spawn(move || {
+        while !shutdown.is_requested() {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+    });
+
+    server.run().map_err(|e| CliError::Io(e.to_string()))?;
+    Ok(format!("cluster worker on {local} stopped\n"))
 }
 
 /// `ecad trace`: validates a JSONL event trace written by
@@ -827,6 +959,116 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("no_such_event"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Picks a loopback port by binding an ephemeral listener and
+    /// releasing it for the CLI worker to claim. The coordinator's
+    /// connect-retry budget absorbs the handover window.
+    fn free_port() -> u16 {
+        std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port()
+    }
+
+    /// End-to-end cluster path through the CLI: `ecad cluster worker`
+    /// serves a seeded `ecad cluster search`, the coordinator's JSONL
+    /// trace is byte-identical to the plain local run's, and the
+    /// `trace` validator pins the lifecycle kinds. A second run with
+    /// islands enabled pins the `migration` event kind.
+    #[test]
+    fn cluster_search_loopback_matches_local_and_pins_trace_kinds() {
+        let dir = std::env::temp_dir().join("ecad_cli_cluster_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("toy.csv");
+        let cfg = dir.join("toy.ini");
+        let ds = ecad_dataset::synth::SyntheticSpec::new("toy", 120, 6, 2)
+            .with_seed(1)
+            .generate();
+        csv::write_dataset_file(&ds, &data).unwrap();
+        std::fs::write(
+            &cfg,
+            "[nna]\nmax_layers = 1\nmax_neurons = 12\n[optimization]\nevaluations = 8\npopulation = 4\nepochs = 3\n",
+        )
+        .unwrap();
+        let base = format!(
+            "--data {} --config {} --seed 5 --threads 1",
+            data.display(),
+            cfg.display()
+        );
+
+        let local_jsonl = dir.join("local.jsonl");
+        run(argv(&format!(
+            "search {base} --trace-out {}",
+            local_jsonl.display()
+        )))
+        .unwrap();
+
+        let port = free_port();
+        let worker =
+            std::thread::spawn(move || run(argv(&format!("cluster worker --listen 127.0.0.1:{port}"))));
+        let cluster_jsonl = dir.join("cluster.jsonl");
+        let out = run(argv(&format!(
+            "cluster search {base} --workers 127.0.0.1:{port} --connect-retries 6 --trace-out {}",
+            cluster_jsonl.display()
+        )))
+        .unwrap();
+        assert!(out.contains("models evaluated"));
+        // The coordinator's kill_all stops the worker's serve loop.
+        let worker_out = worker.join().unwrap().unwrap();
+        assert!(worker_out.contains("stopped"));
+
+        assert_eq!(
+            std::fs::read_to_string(&local_jsonl).unwrap(),
+            std::fs::read_to_string(&cluster_jsonl).unwrap(),
+            "single-worker cluster trace must match the local run byte-for-byte"
+        );
+        let report = run(argv(&format!(
+            "trace --file {} --require search_start,submit,evaluated,search_end",
+            cluster_jsonl.display()
+        )))
+        .unwrap();
+        assert!(report.contains("all lines parse"));
+
+        // Islands on: elite migrants fold into the coordinator and the
+        // validator sees the `migration` kind.
+        let port = free_port();
+        let worker =
+            std::thread::spawn(move || run(argv(&format!("cluster worker --listen 127.0.0.1:{port}"))));
+        let island_jsonl = dir.join("island.jsonl");
+        run(argv(&format!(
+            "cluster search {base} --workers 127.0.0.1:{port} --connect-retries 6 \
+             --island-every 2 --island-k 1 --trace-out {}",
+            island_jsonl.display()
+        )))
+        .unwrap();
+        worker.join().unwrap().unwrap();
+        let report = run(argv(&format!(
+            "trace --file {} --require migration",
+            island_jsonl.display()
+        )))
+        .unwrap();
+        assert!(report.contains("migration"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_args_are_validated() {
+        assert!(matches!(
+            run(argv("cluster worker")),
+            Err(CliError::Args(ArgError::MissingFlag("listen")))
+        ));
+        assert!(matches!(
+            run(argv("cluster purge")),
+            Err(CliError::Args(ArgError::UnknownCommand(_)))
+        ));
+        // Cluster tuning flags are meaningless without workers.
+        let err = run(argv("search --data nowhere.csv --island-every 2")).unwrap_err();
+        assert!(err.to_string().contains("requires --workers"));
+        // An empty worker list is rejected before any search work.
+        let err = run(argv("cluster search --data nowhere.csv --workers ,")).unwrap_err();
+        assert!(matches!(err, CliError::Args(ArgError::BadValue { .. })));
     }
 
     #[test]

@@ -174,7 +174,7 @@ impl std::error::Error for CheckpointError {}
 // JSON encoding
 // ---------------------------------------------------------------------------
 
-fn genome_to_json(g: &CandidateGenome) -> Json {
+pub(crate) fn genome_to_json(g: &CandidateGenome) -> Json {
     let layers: Vec<Json> = g
         .nna
         .layers
@@ -274,7 +274,7 @@ fn hw_metrics_to_json(hw: &HwMetrics) -> Json {
     }
 }
 
-fn measurement_to_json(m: &Measurement) -> Json {
+pub(crate) fn measurement_to_json(m: &Measurement) -> Json {
     Json::object()
         // f32 -> f64 widening is exact, so accuracy round-trips.
         .insert("accuracy", m.accuracy as f64)
@@ -420,7 +420,7 @@ fn hex_u128(j: &Json, key: &str) -> Result<u128, CheckpointError> {
         .map_err(|_| schema(format!("field {key:?} is not a 128-bit hex string")))
 }
 
-fn genome_from_json(j: &Json) -> Result<CandidateGenome, CheckpointError> {
+pub(crate) fn genome_from_json(j: &Json) -> Result<CandidateGenome, CheckpointError> {
     let layers = get_array(j, "layers")?
         .iter()
         .map(|l| {
@@ -513,7 +513,7 @@ fn hw_metrics_from_json(j: &Json) -> Result<HwMetrics, CheckpointError> {
     })
 }
 
-fn measurement_from_json(j: &Json) -> Result<Measurement, CheckpointError> {
+pub(crate) fn measurement_from_json(j: &Json) -> Result<Measurement, CheckpointError> {
     Ok(Measurement {
         // f64 -> f32 narrowing undoes the exact widening done on save.
         accuracy: get_f64(j, "accuracy")? as f32,

@@ -1,0 +1,1344 @@
+//! Distributed coordinator/worker evaluation over TCP.
+//!
+//! The paper's master/worker split (§III-A) crosses machine boundaries
+//! here: `ecad cluster worker --listen ADDR` turns a host into a
+//! genome-evaluation server, and a coordinator search routes its
+//! [`crate::protocol::DispatchLedger`] dispatches to those workers as
+//! *remote supervised slots* — the fault-tolerance substrate from the
+//! local engine (deadlines, retries, stale fencing, respawn) applies
+//! unchanged, because a remote worker is just a slot whose evaluation
+//! happens to traverse a socket.
+//!
+//! ## Wire protocol
+//!
+//! Messages are length-prefixed [`rt::json`] frames ([`rt::net`]) with
+//! a versioned hello handshake. One connection is one *session*:
+//!
+//! ```text
+//! coordinator                         worker
+//!   ── hello {version, role} ──────────▶
+//!   ◀───────── hello {version, role} ──
+//!   ── Setup {datasets, trainer, …} ───▶
+//!   ◀───────────────── Ready {stamp} ──
+//!   ── Evaluate {id, stamp, genome} ───▶
+//!   ◀── Evaluated {id, stamp, m, ev} ──     (repeated)
+//!   ── Purge / KillAll ────────────────▶
+//!   ◀───────────── Purged / Bye ───────
+//! ```
+//!
+//! [`SetupPayload`] ships everything an evaluation needs — the
+//! standardized train/test split, trainer hyperparameters, the catalog
+//! device, the search space, and the objective set — so the worker
+//! process needs no filesystem or configuration of its own. The
+//! `stamp` is a per-session generation nonce: every `Evaluated` echoes
+//! it, and the coordinator drops responses whose stamp (or job id)
+//! does not match the current session — stale-result fencing one layer
+//! below the ledger's own id fencing.
+//!
+//! ## Determinism
+//!
+//! The worker runs each evaluation under an [`Obs`] whose only sink is
+//! a [`CaptureSink`]; the captured events (training/hardware-model
+//! spans, infeasibility warnings) ride back in the `Evaluated`
+//! response and are replayed verbatim on the coordinator inside its
+//! own `evaluate` span. A seeded single-worker cluster run therefore
+//! produces a Debug-level JSONL trace byte-identical to the local
+//! engine's (absent an attached profiler, and with islands off).
+//!
+//! ## Islands
+//!
+//! With `island_every = N > 0`, each worker hosts an island: an elite
+//! pool fed by the jobs it evaluates plus its own seeded local
+//! evolution. Every N jobs it breeds and evaluates `island_k` children
+//! and migrates the feasible ones to the coordinator, which folds them
+//! into the population (never spending coordinator budget) and emits
+//! `migration` trace events.
+
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ecad_dataset::Dataset;
+use ecad_hw::cpu::CpuDevice;
+use ecad_hw::fpga::FpgaDevice;
+use ecad_hw::gpu::GpuDevice;
+use ecad_mlp::{Activation, OptimizerKind, TrainConfig};
+use ecad_tensor::Matrix;
+use rt::json::Json;
+use rt::net::{Conn, Listener, NetError};
+use rt::obs::{CaptureSink, Event, Level, Obs};
+use rt::rand::rngs::StdRng;
+use rt::rand::{Rng, SeedableRng};
+
+use crate::checkpoint::{genome_from_json, genome_to_json, measurement_from_json, measurement_to_json};
+use crate::fitness::{Objective, ObjectiveSet};
+use crate::genome::CandidateGenome;
+use crate::measurement::{InfeasibleReason, Measurement};
+use crate::space::{HwFamily, SearchSpace};
+use crate::workers::{CodesignEvaluator, Evaluator, HwTarget};
+
+/// Role string the coordinator announces in its hello.
+pub const COORDINATOR_ROLE: &str = "coordinator";
+/// Role string a worker announces in its hello.
+pub const WORKER_ROLE: &str = "worker";
+
+/// Coordinator-side knobs for a cluster search.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Worker addresses (`host:port`), one remote slot each.
+    pub workers: Vec<String>,
+    /// Per-job network deadline: connect timeout, socket read/write
+    /// deadline, and the longest the coordinator waits for an
+    /// `Evaluated` response before classifying the exchange transient.
+    pub net_timeout: Duration,
+    /// Consecutive failed (re)connect attempts before a worker is
+    /// declared lost and its slot retires.
+    pub connect_retries: usize,
+    /// Base reconnect backoff; doubles per attempt with seeded jitter.
+    pub reconnect_backoff: Duration,
+    /// Migrate worker-island elites every N jobs (`0` disables islands
+    /// and preserves byte-identical traces).
+    pub island_every: usize,
+    /// Children each island breeds and evaluates per migration.
+    pub island_k: usize,
+    /// Frame-size ceiling for every connection.
+    pub max_frame: usize,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        Self {
+            workers: Vec::new(),
+            net_timeout: Duration::from_secs(30),
+            connect_retries: 3,
+            reconnect_backoff: Duration::from_millis(50),
+            island_every: 0,
+            island_k: 2,
+            max_frame: rt::net::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Everything the engine needs to run its slots remotely: the options
+/// plus the prebuilt setup payload each session opens with.
+#[derive(Debug, Clone)]
+pub struct ClusterPlan {
+    /// Coordinator-side knobs.
+    pub options: ClusterOptions,
+    /// The session-opening payload (datasets, trainer, device, space,
+    /// objectives, seed, island config).
+    pub setup: SetupPayload,
+}
+
+/// A migrant an island shipped to the coordinator.
+#[derive(Debug, Clone)]
+pub struct Migrant {
+    /// Remote slot index that produced the migrant.
+    pub slot: usize,
+    /// The migrant's genes.
+    pub genome: CandidateGenome,
+    /// Its worker-side measurement.
+    pub measurement: Measurement,
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs
+// ---------------------------------------------------------------------------
+
+fn wire_err(msg: impl Into<String>) -> NetError {
+    NetError::Protocol(msg.into())
+}
+
+fn get_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, NetError> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| wire_err(format!("missing or non-string field {key:?}")))
+}
+
+fn get_f64(j: &Json, key: &str) -> Result<f64, NetError> {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| wire_err(format!("missing or non-numeric field {key:?}")))
+}
+
+fn get_usize(j: &Json, key: &str) -> Result<usize, NetError> {
+    let x = get_f64(j, key)?;
+    if x < 0.0 || x.fract() != 0.0 {
+        return Err(wire_err(format!("field {key:?} is not a non-negative integer")));
+    }
+    Ok(x as usize)
+}
+
+fn get_u64_hex(j: &Json, key: &str) -> Result<u64, NetError> {
+    u64::from_str_radix(get_str(j, key)?, 16)
+        .map_err(|_| wire_err(format!("field {key:?} is not a 64-bit hex string")))
+}
+
+fn get_array<'a>(j: &'a Json, key: &str) -> Result<&'a [Json], NetError> {
+    j.get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| wire_err(format!("missing or non-array field {key:?}")))
+}
+
+fn u32s_to_json(xs: &[u32]) -> Json {
+    Json::Array(xs.iter().map(|&x| Json::Number(x as f64)).collect())
+}
+
+fn u32s_from_json(j: &Json, key: &str) -> Result<Vec<u32>, NetError> {
+    get_array(j, key)?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0 && *v <= u32::MAX as f64)
+                .map(|v| v as u32)
+                .ok_or_else(|| wire_err(format!("field {key:?} holds a non-u32 element")))
+        })
+        .collect()
+}
+
+fn dataset_to_json(d: &Dataset) -> Json {
+    // f32 → f64 widening is exact, and rt::json renders f64 with
+    // Rust's shortest round-trip formatting, so features survive the
+    // wire bit-exactly.
+    let features: Vec<Json> = d
+        .features()
+        .as_slice()
+        .iter()
+        .map(|&x| Json::Number(x as f64))
+        .collect();
+    let labels: Vec<Json> = d.labels().iter().map(|&l| Json::Number(l as f64)).collect();
+    Json::object()
+        .insert("name", d.name())
+        .insert("rows", d.len())
+        .insert("cols", d.n_features())
+        .insert("n_classes", d.n_classes())
+        .insert("features", Json::Array(features))
+        .insert("labels", Json::Array(labels))
+}
+
+fn dataset_from_json(j: &Json) -> Result<Dataset, NetError> {
+    let rows = get_usize(j, "rows")?;
+    let cols = get_usize(j, "cols")?;
+    let features = get_array(j, "features")?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .map(|v| v as f32)
+                .ok_or_else(|| wire_err("non-numeric feature"))
+        })
+        .collect::<Result<Vec<f32>, NetError>>()?;
+    if features.len() != rows * cols {
+        return Err(wire_err(format!(
+            "feature count {} does not match {rows}x{cols}",
+            features.len()
+        )));
+    }
+    let labels = get_array(j, "labels")?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .map(|v| v as usize)
+                .ok_or_else(|| wire_err("non-integer label"))
+        })
+        .collect::<Result<Vec<usize>, NetError>>()?;
+    let matrix = Matrix::from_vec(rows, cols, features);
+    Dataset::new(get_str(j, "name")?.to_string(), matrix, labels, get_usize(j, "n_classes")?)
+        .map_err(|e| wire_err(format!("bad dataset payload: {e}")))
+}
+
+fn trainer_to_json(t: &TrainConfig) -> Json {
+    let optimizer = match t.optimizer {
+        OptimizerKind::Sgd { lr, momentum } => Json::object()
+            .insert("kind", "sgd")
+            .insert("lr", lr as f64)
+            .insert("momentum", momentum as f64),
+        OptimizerKind::Adam { lr } => {
+            Json::object().insert("kind", "adam").insert("lr", lr as f64)
+        }
+    };
+    Json::object()
+        .insert("epochs", t.epochs)
+        .insert("batch_size", t.batch_size)
+        .insert("optimizer", optimizer)
+        .insert("patience", t.patience)
+        .insert("min_delta", t.min_delta as f64)
+        .insert("weight_decay", t.weight_decay as f64)
+}
+
+fn trainer_from_json(j: &Json) -> Result<TrainConfig, NetError> {
+    let opt = j
+        .get("optimizer")
+        .ok_or_else(|| wire_err("trainer missing optimizer"))?;
+    let optimizer = match get_str(opt, "kind")? {
+        "sgd" => OptimizerKind::Sgd {
+            lr: get_f64(opt, "lr")? as f32,
+            momentum: get_f64(opt, "momentum")? as f32,
+        },
+        "adam" => OptimizerKind::Adam {
+            lr: get_f64(opt, "lr")? as f32,
+        },
+        other => return Err(wire_err(format!("unknown optimizer kind {other:?}"))),
+    };
+    Ok(TrainConfig {
+        epochs: get_usize(j, "epochs")?,
+        batch_size: get_usize(j, "batch_size")?,
+        optimizer,
+        patience: get_usize(j, "patience")?,
+        min_delta: get_f64(j, "min_delta")? as f32,
+        weight_decay: get_f64(j, "weight_decay")? as f32,
+    })
+}
+
+/// Serializes a catalog hardware target as its configuration-file name
+/// (`arria10`, `stratix10`, `m5000`, `titanx`, `radeonvii`, `xeon`,
+/// `desktop`) plus FPGA DDR bank count.
+///
+/// # Errors
+///
+/// [`NetError::Protocol`] for a non-catalog device: the wire format
+/// identifies devices by name, so a custom device cannot cross it.
+pub fn target_to_json(t: &HwTarget) -> Result<Json, NetError> {
+    let (name, banks) = match t {
+        HwTarget::Fpga(d) if d.name == "Arria 10 GX 1150" => ("arria10", d.ddr.banks),
+        HwTarget::Fpga(d) if d.name == "Stratix 10 2800" => ("stratix10", d.ddr.banks),
+        HwTarget::Gpu(d) if d.name == "Quadro M5000" => ("m5000", 0),
+        HwTarget::Gpu(d) if d.name == "Titan X" => ("titanx", 0),
+        HwTarget::Gpu(d) if d.name == "Radeon VII" => ("radeonvii", 0),
+        HwTarget::Cpu(d) if d.name == "Xeon 22-core" => ("xeon", 0),
+        HwTarget::Cpu(d) if d.name == "Desktop 8-core" => ("desktop", 0),
+        other => {
+            return Err(wire_err(format!(
+                "cluster mode only ships catalog devices, not {:?}",
+                other.device_name()
+            )))
+        }
+    };
+    Ok(Json::object().insert("device", name).insert("ddr_banks", banks))
+}
+
+/// Reconstructs a catalog hardware target from its wire form.
+///
+/// # Errors
+///
+/// [`NetError::Protocol`] for an unknown device name.
+pub fn target_from_json(j: &Json) -> Result<HwTarget, NetError> {
+    let banks = get_usize(j, "ddr_banks")?.max(1) as u32;
+    Ok(match get_str(j, "device")? {
+        "arria10" => HwTarget::Fpga(FpgaDevice::arria10_gx1150(banks)),
+        "stratix10" => HwTarget::Fpga(FpgaDevice::stratix10_2800(banks)),
+        "m5000" => HwTarget::Gpu(GpuDevice::quadro_m5000()),
+        "titanx" => HwTarget::Gpu(GpuDevice::titan_x()),
+        "radeonvii" => HwTarget::Gpu(GpuDevice::radeon_vii()),
+        "xeon" => HwTarget::Cpu(CpuDevice::xeon_22c()),
+        "desktop" => HwTarget::Cpu(CpuDevice::desktop_8c()),
+        other => return Err(wire_err(format!("unknown device {other:?}"))),
+    })
+}
+
+fn space_to_json(s: &SearchSpace) -> Json {
+    Json::object()
+        .insert(
+            "family",
+            match s.family {
+                HwFamily::Fpga => "fpga",
+                HwFamily::Gpu => "gpu",
+            },
+        )
+        .insert("min_layers", s.min_layers)
+        .insert("max_layers", s.max_layers)
+        .insert("min_neurons", s.min_neurons)
+        .insert("max_neurons", s.max_neurons)
+        .insert(
+            "activations",
+            Json::Array(
+                s.activations
+                    .iter()
+                    .map(|a| Json::String(a.name().to_string()))
+                    .collect(),
+            ),
+        )
+        .insert("grid_dims", u32s_to_json(&s.grid_dims))
+        .insert("interleaves", u32s_to_json(&s.interleaves))
+        .insert("vec_widths", u32s_to_json(&s.vec_widths))
+        .insert("batches", u32s_to_json(&s.batches))
+}
+
+fn space_from_json(j: &Json) -> Result<SearchSpace, NetError> {
+    let family = match get_str(j, "family")? {
+        "fpga" => HwFamily::Fpga,
+        "gpu" => HwFamily::Gpu,
+        other => return Err(wire_err(format!("unknown hw family {other:?}"))),
+    };
+    let activations = get_array(j, "activations")?
+        .iter()
+        .map(|a| {
+            a.as_str()
+                .and_then(Activation::from_name)
+                .ok_or_else(|| wire_err("unknown activation in space"))
+        })
+        .collect::<Result<Vec<_>, NetError>>()?;
+    Ok(SearchSpace {
+        family,
+        min_layers: get_usize(j, "min_layers")?,
+        max_layers: get_usize(j, "max_layers")?,
+        min_neurons: get_usize(j, "min_neurons")?,
+        max_neurons: get_usize(j, "max_neurons")?,
+        activations,
+        grid_dims: u32s_from_json(j, "grid_dims")?,
+        interleaves: u32s_from_json(j, "interleaves")?,
+        vec_widths: u32s_from_json(j, "vec_widths")?,
+        batches: u32s_from_json(j, "batches")?,
+    })
+}
+
+fn objectives_to_json(set: &ObjectiveSet) -> Json {
+    Json::Array(
+        set.objectives()
+            .iter()
+            .map(|o| {
+                Json::object()
+                    .insert("name", o.name.as_str())
+                    .insert("weight", o.weight)
+                    .insert("maximize", o.maximize)
+            })
+            .collect(),
+    )
+}
+
+fn objectives_from_json(j: &Json, key: &str) -> Result<ObjectiveSet, NetError> {
+    let objectives = get_array(j, key)?
+        .iter()
+        .map(|o| {
+            Ok(Objective {
+                name: get_str(o, "name")?.to_string(),
+                weight: get_f64(o, "weight")?,
+                maximize: o
+                    .get("maximize")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| wire_err("objective missing maximize"))?,
+            })
+        })
+        .collect::<Result<Vec<_>, NetError>>()?;
+    // Workers rebuild with the builtin registry: custom registered
+    // fitness functions cannot cross the wire.
+    Ok(ObjectiveSet::new(objectives))
+}
+
+/// The session-opening payload: everything a worker needs to evaluate
+/// genomes for this search, shipped so the worker process carries no
+/// configuration of its own.
+#[derive(Debug, Clone)]
+pub struct SetupPayload {
+    /// Search seed; candidate training seeds derive from it exactly as
+    /// in the local engine, so remote measurements match local ones.
+    pub seed: u64,
+    /// Standardized training split.
+    pub train: Dataset,
+    /// Standardized test split.
+    pub test: Dataset,
+    /// Per-candidate training hyperparameters.
+    pub trainer: TrainConfig,
+    /// The catalog hardware target.
+    pub target: HwTarget,
+    /// The search space (used by worker islands to breed).
+    pub space: SearchSpace,
+    /// The objective set (used by worker islands to rank elites).
+    pub objectives: ObjectiveSet,
+    /// Island cadence (`0` = islands off).
+    pub island_every: usize,
+    /// Island brood size per migration.
+    pub island_k: usize,
+}
+
+impl SetupPayload {
+    fn to_json(&self, stamp: u64) -> Result<Json, NetError> {
+        Ok(Json::object()
+            .insert("seed", format!("{:016x}", self.seed))
+            .insert("stamp", format!("{stamp:016x}"))
+            .insert("train", dataset_to_json(&self.train))
+            .insert("test", dataset_to_json(&self.test))
+            .insert("trainer", trainer_to_json(&self.trainer))
+            .insert("target", target_to_json(&self.target)?)
+            .insert("space", space_to_json(&self.space))
+            .insert("objectives", objectives_to_json(&self.objectives))
+            .insert("island_every", self.island_every)
+            .insert("island_k", self.island_k))
+    }
+
+    fn from_json(j: &Json) -> Result<(Self, u64), NetError> {
+        let payload = Self {
+            seed: get_u64_hex(j, "seed")?,
+            train: dataset_from_json(
+                j.get("train").ok_or_else(|| wire_err("setup missing train"))?,
+            )?,
+            test: dataset_from_json(
+                j.get("test").ok_or_else(|| wire_err("setup missing test"))?,
+            )?,
+            trainer: trainer_from_json(
+                j.get("trainer").ok_or_else(|| wire_err("setup missing trainer"))?,
+            )?,
+            target: target_from_json(
+                j.get("target").ok_or_else(|| wire_err("setup missing target"))?,
+            )?,
+            space: space_from_json(
+                j.get("space").ok_or_else(|| wire_err("setup missing space"))?,
+            )?,
+            objectives: objectives_from_json(j, "objectives")?,
+            island_every: get_usize(j, "island_every")?,
+            island_k: get_usize(j, "island_k")?,
+        };
+        Ok((payload, get_u64_hex(j, "stamp")?))
+    }
+}
+
+/// Every message a coordinator sends on an established session.
+#[derive(Debug, Clone)]
+pub enum CoordinatorRequest {
+    /// Opens the session: evaluation context plus the session stamp.
+    Setup(Box<SetupPayload>, u64),
+    /// Evaluate one genome. `id` is the ledger dispatch id; `stamp`
+    /// must echo the session stamp.
+    Evaluate {
+        /// Ledger dispatch id.
+        id: u64,
+        /// Session generation stamp.
+        stamp: u64,
+        /// The candidate to score.
+        genome: CandidateGenome,
+    },
+    /// Drop island/elite state but keep serving (sent on reconnect so
+    /// a new session never inherits a stale island).
+    Purge,
+    /// Stop serving entirely: the worker replies `Bye` and its process
+    /// exits the listen loop.
+    KillAll,
+}
+
+impl CoordinatorRequest {
+    /// Serializes for the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when a setup payload holds a non-catalog
+    /// device.
+    pub fn to_json(&self) -> Result<Json, NetError> {
+        Ok(match self {
+            CoordinatorRequest::Setup(payload, stamp) => payload
+                .to_json(*stamp)?
+                .insert("req", "setup"),
+            CoordinatorRequest::Evaluate { id, stamp, genome } => Json::object()
+                .insert("req", "evaluate")
+                .insert("id", *id)
+                .insert("stamp", format!("{stamp:016x}"))
+                .insert("genome", genome_to_json(genome)),
+            CoordinatorRequest::Purge => Json::object().insert("req", "purge"),
+            CoordinatorRequest::KillAll => Json::object().insert("req", "kill_all"),
+        })
+    }
+
+    /// Parses a received request frame.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] on structural problems.
+    pub fn from_json(j: &Json) -> Result<Self, NetError> {
+        Ok(match get_str(j, "req")? {
+            "setup" => {
+                let (payload, stamp) = SetupPayload::from_json(j)?;
+                CoordinatorRequest::Setup(Box::new(payload), stamp)
+            }
+            "evaluate" => CoordinatorRequest::Evaluate {
+                id: get_usize(j, "id")? as u64,
+                stamp: get_u64_hex(j, "stamp")?,
+                genome: genome_from_json(
+                    j.get("genome").ok_or_else(|| wire_err("evaluate missing genome"))?,
+                )
+                .map_err(|e| wire_err(format!("bad genome: {e}")))?,
+            },
+            "purge" => CoordinatorRequest::Purge,
+            "kill_all" => CoordinatorRequest::KillAll,
+            other => return Err(wire_err(format!("unknown request {other:?}"))),
+        })
+    }
+}
+
+/// Every message a worker sends back.
+#[derive(Debug, Clone)]
+pub enum WorkerResponse {
+    /// Setup accepted; echoes the session stamp.
+    Ready {
+        /// The session stamp being acknowledged.
+        stamp: u64,
+    },
+    /// One evaluation finished.
+    Evaluated {
+        /// The dispatch id being answered.
+        id: u64,
+        /// The session stamp the job carried.
+        stamp: u64,
+        /// The measurement (worker panics arrive as worker-panic
+        /// infeasible measurements, never as dropped connections).
+        measurement: Measurement,
+        /// Whether the evaluation panicked worker-side (the
+        /// coordinator re-emits the local engine's panic warning).
+        panicked: bool,
+        /// Evaluation-time events captured worker-side, for replay.
+        events: Vec<Event>,
+        /// Island elites migrating to the coordinator (empty unless
+        /// islands are on and this job crossed a migration boundary).
+        migrants: Vec<(CandidateGenome, Measurement)>,
+    },
+    /// Island/elite state dropped.
+    Purged,
+    /// Acknowledges `KillAll`; the worker is exiting.
+    Bye,
+}
+
+impl WorkerResponse {
+    /// Serializes for the wire.
+    pub fn to_json(&self) -> Json {
+        match self {
+            WorkerResponse::Ready { stamp } => Json::object()
+                .insert("resp", "ready")
+                .insert("stamp", format!("{stamp:016x}")),
+            WorkerResponse::Evaluated {
+                id,
+                stamp,
+                measurement,
+                panicked,
+                events,
+                migrants,
+            } => Json::object()
+                .insert("resp", "evaluated")
+                .insert("id", *id)
+                .insert("stamp", format!("{stamp:016x}"))
+                .insert("measurement", measurement_to_json(measurement))
+                .insert("panicked", *panicked)
+                .insert(
+                    "events",
+                    Json::Array(events.iter().map(Event::to_wire_json).collect()),
+                )
+                .insert(
+                    "migrants",
+                    Json::Array(
+                        migrants
+                            .iter()
+                            .map(|(g, m)| {
+                                Json::object()
+                                    .insert("genome", genome_to_json(g))
+                                    .insert("measurement", measurement_to_json(m))
+                            })
+                            .collect(),
+                    ),
+                ),
+            WorkerResponse::Purged => Json::object().insert("resp", "purged"),
+            WorkerResponse::Bye => Json::object().insert("resp", "bye"),
+        }
+    }
+
+    /// Parses a received response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] on structural problems.
+    pub fn from_json(j: &Json) -> Result<Self, NetError> {
+        Ok(match get_str(j, "resp")? {
+            "ready" => WorkerResponse::Ready {
+                stamp: get_u64_hex(j, "stamp")?,
+            },
+            "evaluated" => WorkerResponse::Evaluated {
+                id: get_usize(j, "id")? as u64,
+                stamp: get_u64_hex(j, "stamp")?,
+                measurement: measurement_from_json(
+                    j.get("measurement")
+                        .ok_or_else(|| wire_err("evaluated missing measurement"))?,
+                )
+                .map_err(|e| wire_err(format!("bad measurement: {e}")))?,
+                panicked: j.get("panicked").and_then(Json::as_bool).unwrap_or(false),
+                events: get_array(j, "events")?
+                    .iter()
+                    .map(|e| Event::from_wire_json(e).map_err(wire_err))
+                    .collect::<Result<Vec<_>, NetError>>()?,
+                migrants: get_array(j, "migrants")?
+                    .iter()
+                    .map(|p| {
+                        Ok((
+                            genome_from_json(
+                                p.get("genome")
+                                    .ok_or_else(|| wire_err("migrant missing genome"))?,
+                            )
+                            .map_err(|e| wire_err(format!("bad migrant genome: {e}")))?,
+                            measurement_from_json(
+                                p.get("measurement")
+                                    .ok_or_else(|| wire_err("migrant missing measurement"))?,
+                            )
+                            .map_err(|e| wire_err(format!("bad migrant measurement: {e}")))?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, NetError>>()?,
+            },
+            "purged" => WorkerResponse::Purged,
+            "bye" => WorkerResponse::Bye,
+            other => return Err(wire_err(format!("unknown response {other:?}"))),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker server
+// ---------------------------------------------------------------------------
+
+/// Worker-side knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Frame-size ceiling (must cover the dataset-bearing setup frame).
+    pub max_frame: usize,
+    /// Socket write deadline and connect-phase read deadline.
+    pub io_timeout: Duration,
+    /// How long an established session may sit idle between requests
+    /// before the worker drops it back to accepting (a coordinator
+    /// reconnects transparently on its next job).
+    pub idle_timeout: Duration,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        Self {
+            max_frame: rt::net::DEFAULT_MAX_FRAME,
+            io_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(600),
+        }
+    }
+}
+
+/// How a worker session ended.
+enum SessionEnd {
+    /// Connection dropped or errored; go back to accepting.
+    Disconnected,
+    /// The coordinator sent `kill_all`; stop serving entirely.
+    Killed,
+}
+
+/// Worker-island state: an elite pool plus seeded local evolution.
+struct Island {
+    space: SearchSpace,
+    objectives: ObjectiveSet,
+    rng: StdRng,
+    /// `(genome, measurement, fitness)` sorted best-first; keys
+    /// deduplicated.
+    elites: Vec<(CandidateGenome, Measurement, f64)>,
+    every: usize,
+    k: usize,
+    pool: usize,
+    jobs_since: usize,
+}
+
+impl Island {
+    fn new(setup: &SetupPayload, stamp: u64) -> Option<Self> {
+        if setup.island_every == 0 || setup.island_k == 0 {
+            return None;
+        }
+        Some(Self {
+            space: setup.space.clone(),
+            objectives: setup.objectives.clone(),
+            // Stamp-salted: a re-established session explores a fresh
+            // island trajectory instead of replaying the lost one.
+            rng: StdRng::seed_from_u64(setup.seed ^ stamp ^ 0x15_1A_4D),
+            elites: Vec::new(),
+            every: setup.island_every,
+            k: setup.island_k,
+            pool: (2 * setup.island_k).max(8),
+            jobs_since: 0,
+        })
+    }
+
+    fn observe(&mut self, genome: &CandidateGenome, m: &Measurement) {
+        let fitness = self.objectives.scalar(m);
+        if !fitness.is_finite() {
+            return;
+        }
+        let key = genome.cache_key();
+        if self.elites.iter().any(|(g, _, _)| g.cache_key() == key) {
+            return;
+        }
+        let at = self
+            .elites
+            .partition_point(|(_, _, f)| *f >= fitness);
+        self.elites.insert(at, (genome.clone(), m.clone(), fitness));
+        self.elites.truncate(self.pool);
+    }
+
+    /// Advances the island by one coordinator job; on a migration
+    /// boundary, breeds and evaluates `k` children and returns the
+    /// feasible ones.
+    fn step(&mut self, evaluator: &CodesignEvaluator) -> Vec<(CandidateGenome, Measurement)> {
+        self.jobs_since += 1;
+        if self.jobs_since < self.every || self.elites.is_empty() {
+            return Vec::new();
+        }
+        self.jobs_since = 0;
+        let mut migrants = Vec::new();
+        for _ in 0..self.k {
+            let child = self.breed();
+            let m = catch_unwind(AssertUnwindSafe(|| evaluator.evaluate(&child)))
+                .unwrap_or_else(|_| Measurement::infeasible(InfeasibleReason::WorkerPanic));
+            self.observe(&child, &m);
+            if m.hw.is_feasible() {
+                migrants.push((child, m));
+            }
+        }
+        migrants
+    }
+
+    fn breed(&mut self) -> CandidateGenome {
+        let a = &self.elites[self.rng.gen_range(0..self.elites.len())].0.clone();
+        let child = if self.elites.len() >= 2 && self.rng.gen_range(0.0..1.0) < 0.5 {
+            let b = &self.elites[self.rng.gen_range(0..self.elites.len())].0.clone();
+            self.space.crossover(a, b, &mut self.rng)
+        } else {
+            a.clone()
+        };
+        self.space.mutate(&child, &mut self.rng)
+    }
+}
+
+/// One established session's evaluation context.
+struct WorkerSession {
+    evaluator: CodesignEvaluator,
+    capture: Arc<CaptureSink>,
+    stamp: u64,
+    island: Option<Island>,
+}
+
+impl WorkerSession {
+    fn from_setup(setup: &SetupPayload, stamp: u64) -> Self {
+        let capture = CaptureSink::new(Level::Trace);
+        let capture_obs = Obs::builder().sink(Arc::clone(&capture)).build();
+        let evaluator = CodesignEvaluator::new(
+            setup.train.clone(),
+            setup.test.clone(),
+            setup.trainer,
+            setup.target.clone(),
+            setup.seed,
+        )
+        .with_obs(capture_obs);
+        let island = Island::new(setup, stamp);
+        Self {
+            evaluator,
+            capture,
+            stamp,
+            island,
+        }
+    }
+
+    fn evaluate(&mut self, id: u64, stamp: u64, genome: &CandidateGenome) -> WorkerResponse {
+        let started = Instant::now();
+        let (measurement, panicked) =
+            match catch_unwind(AssertUnwindSafe(|| self.evaluator.evaluate(genome))) {
+                Ok(m) => (m, false),
+                Err(_) => {
+                    let mut m = Measurement::infeasible(InfeasibleReason::WorkerPanic);
+                    m.eval_time_s = started.elapsed().as_secs_f64();
+                    (m, true)
+                }
+            };
+        // The job's own events, drained before any island work so
+        // island-local evaluations never leak into the replay stream.
+        let events = self.capture.take();
+        let migrants = match &mut self.island {
+            Some(island) => {
+                island.observe(genome, &measurement);
+                let migrants = island.step(&self.evaluator);
+                self.capture.take(); // discard island-local events
+                migrants
+            }
+            None => Vec::new(),
+        };
+        WorkerResponse::Evaluated {
+            id,
+            stamp,
+            measurement,
+            panicked,
+            events,
+            migrants,
+        }
+    }
+}
+
+/// A bound cluster worker: accepts one coordinator session at a time
+/// and serves evaluation jobs until killed.
+pub struct WorkerServer {
+    listener: Listener,
+    options: WorkerOptions,
+    obs: Obs,
+    stop: Arc<AtomicBool>,
+}
+
+impl WorkerServer {
+    /// Binds `addr` (`host:port`; port `0` picks an ephemeral port —
+    /// read it back with [`WorkerServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure.
+    pub fn bind(addr: &str, options: WorkerOptions, obs: Obs) -> io::Result<Self> {
+        Ok(Self {
+            listener: Listener::bind(addr)?,
+            options,
+            obs,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// Any socket failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that stops [`WorkerServer::run`] at the next accept poll
+    /// (for embedding a worker in tests or alongside other work).
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Serves sessions until a coordinator sends `kill_all` or the
+    /// stop handle trips. Connection-level failures (disconnects,
+    /// malformed frames, version skew) drop the session and return to
+    /// accepting — a worker outlives its coordinators.
+    ///
+    /// # Errors
+    ///
+    /// Only accept-loop failures; per-session errors are survived.
+    pub fn run(&self) -> io::Result<()> {
+        rt::info!(
+            self.obs,
+            "worker_listen",
+            addr = self
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_default(),
+        );
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            let Some((stream, peer)) = self.listener.accept_timeout(Duration::from_millis(200))?
+            else {
+                continue;
+            };
+            rt::info!(self.obs, "session_accept", peer = peer.to_string());
+            let end = Conn::from_stream(stream, self.options.max_frame, Some(self.options.io_timeout))
+                .map_err(|e| (e, SessionEnd::Disconnected))
+                .and_then(|mut conn| match self.serve_session(&mut conn) {
+                    Ok(end) => Ok(end),
+                    Err(e) => Err((e, SessionEnd::Disconnected)),
+                });
+            match end {
+                Ok(SessionEnd::Killed) => {
+                    rt::info!(self.obs, "worker_killed");
+                    return Ok(());
+                }
+                Ok(SessionEnd::Disconnected) => {
+                    rt::info!(self.obs, "session_end", reason = "disconnect");
+                }
+                Err((e, _)) => {
+                    rt::warn!(
+                        self.obs,
+                        "session_error",
+                        error = e.to_string(),
+                        transient = e.is_transient(),
+                    );
+                }
+            }
+        }
+    }
+
+    fn serve_session(&self, conn: &mut Conn) -> Result<SessionEnd, NetError> {
+        conn.handshake_server(WORKER_ROLE, Some(COORDINATOR_ROLE))?;
+        let mut session: Option<WorkerSession> = None;
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return Ok(SessionEnd::Disconnected);
+            }
+            // Idle sessions time out back to the accept loop; the
+            // coordinator reconnects on its next dispatch.
+            conn.set_io_timeout(Some(self.options.idle_timeout))?;
+            let frame = match conn.recv() {
+                Ok(f) => f,
+                Err(NetError::Closed) => return Ok(SessionEnd::Disconnected),
+                Err(e) => return Err(e),
+            };
+            conn.set_io_timeout(Some(self.options.io_timeout))?;
+            match CoordinatorRequest::from_json(&frame)? {
+                CoordinatorRequest::Setup(payload, stamp) => {
+                    rt::info!(
+                        self.obs,
+                        "session_setup",
+                        stamp = format!("{stamp:016x}"),
+                        train_rows = payload.train.len(),
+                        test_rows = payload.test.len(),
+                        device = payload.target.device_name(),
+                        island_every = payload.island_every,
+                    );
+                    session = Some(WorkerSession::from_setup(&payload, stamp));
+                    conn.send(&WorkerResponse::Ready { stamp }.to_json())?;
+                }
+                CoordinatorRequest::Evaluate { id, stamp, genome } => {
+                    let s = session
+                        .as_mut()
+                        .ok_or_else(|| wire_err("evaluate before setup"))?;
+                    if stamp != s.stamp {
+                        return Err(wire_err(format!(
+                            "job stamp {stamp:016x} does not match session {:016x}",
+                            s.stamp
+                        )));
+                    }
+                    rt::debug!(self.obs, "job", id = id as usize);
+                    let response = s.evaluate(id, stamp, &genome);
+                    conn.send(&response.to_json())?;
+                }
+                CoordinatorRequest::Purge => {
+                    if let Some(s) = session.as_mut() {
+                        if let Some(island) = s.island.as_mut() {
+                            island.elites.clear();
+                            island.jobs_since = 0;
+                        }
+                    }
+                    rt::info!(self.obs, "session_purge");
+                    conn.send(&WorkerResponse::Purged.to_json())?;
+                }
+                CoordinatorRequest::KillAll => {
+                    conn.send(&WorkerResponse::Bye.to_json())?;
+                    return Ok(SessionEnd::Killed);
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: bind and serve in one call (the CLI worker entry
+/// point).
+///
+/// # Errors
+///
+/// Bind or accept-loop failures.
+pub fn run_worker(addr: &str, options: WorkerOptions, obs: Obs) -> io::Result<()> {
+    WorkerServer::bind(addr, options, obs)?.run()
+}
+
+/// FNV-1a over an address string — the per-worker salt for seeded
+/// reconnect backoff jitter.
+pub(crate) fn addr_salt(addr: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in addr.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SearchSpace;
+    use ecad_dataset::synth::SyntheticSpec;
+
+    fn tiny_dataset(seed: u64) -> Dataset {
+        SyntheticSpec::new("tiny", 24, 4, 3).with_seed(seed).generate()
+    }
+
+    fn setup_payload(island_every: usize) -> SetupPayload {
+        SetupPayload {
+            seed: 7,
+            train: tiny_dataset(1),
+            test: tiny_dataset(2),
+            trainer: TrainConfig::fast(),
+            target: HwTarget::Fpga(FpgaDevice::arria10_gx1150(1)),
+            space: SearchSpace::fpga_default(),
+            objectives: ObjectiveSet::accuracy_only(),
+            island_every,
+            island_k: 2,
+        }
+    }
+
+    #[test]
+    fn dataset_round_trips_bit_exactly() {
+        let d = tiny_dataset(42);
+        let wire = dataset_to_json(&d);
+        let reparsed = Json::parse(&wire.to_string()).unwrap();
+        let back = dataset_from_json(&reparsed).unwrap();
+        assert_eq!(back.name(), d.name());
+        assert_eq!(back.n_classes(), d.n_classes());
+        assert_eq!(back.labels(), d.labels());
+        assert_eq!(back.features().as_slice(), d.features().as_slice());
+    }
+
+    #[test]
+    fn setup_round_trips() {
+        let setup = setup_payload(3);
+        let wire = setup.to_json(0xDEAD_BEEF).unwrap();
+        let reparsed = Json::parse(&wire.to_string()).unwrap();
+        let (back, stamp) = SetupPayload::from_json(&reparsed).unwrap();
+        assert_eq!(stamp, 0xDEAD_BEEF);
+        assert_eq!(back.seed, setup.seed);
+        assert_eq!(back.trainer, setup.trainer);
+        assert_eq!(back.space, setup.space);
+        assert_eq!(back.island_every, 3);
+        assert_eq!(back.target.device_name(), setup.target.device_name());
+        assert_eq!(
+            back.objectives.objectives().len(),
+            setup.objectives.objectives().len()
+        );
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip() {
+        let genome = SearchSpace::fpga_default().sample(&mut StdRng::seed_from_u64(3));
+        let req = CoordinatorRequest::Evaluate {
+            id: 12,
+            stamp: 0xABC,
+            genome: genome.clone(),
+        };
+        let wire = Json::parse(&req.to_json().unwrap().to_string()).unwrap();
+        match CoordinatorRequest::from_json(&wire).unwrap() {
+            CoordinatorRequest::Evaluate { id, stamp, genome: g } => {
+                assert_eq!(id, 12);
+                assert_eq!(stamp, 0xABC);
+                assert_eq!(g.cache_key(), genome.cache_key());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        for (req, name) in [
+            (CoordinatorRequest::Purge, "purge"),
+            (CoordinatorRequest::KillAll, "kill_all"),
+        ] {
+            let wire = req.to_json().unwrap();
+            assert_eq!(wire.get("req").and_then(Json::as_str), Some(name));
+            assert!(CoordinatorRequest::from_json(&wire).is_ok());
+        }
+
+        let m = Measurement::infeasible(InfeasibleReason::Transient("net".into()));
+        let resp = WorkerResponse::Evaluated {
+            id: 9,
+            stamp: 0x1,
+            measurement: m,
+            panicked: true,
+            events: vec![Event {
+                level: Level::Warn,
+                target: "ecad_core::workers",
+                name: "infeasible",
+                fields: vec![("stage", rt::obs::Value::Str("train".into()))],
+                elapsed_s: None,
+            }],
+            migrants: vec![(genome, Measurement::infeasible(InfeasibleReason::DeviceFit))],
+        };
+        let wire = Json::parse(&resp.to_json().to_string()).unwrap();
+        match WorkerResponse::from_json(&wire).unwrap() {
+            WorkerResponse::Evaluated {
+                id,
+                stamp,
+                panicked,
+                events,
+                migrants,
+                measurement,
+            } => {
+                assert_eq!((id, stamp, panicked), (9, 1, true));
+                assert_eq!(events.len(), 1);
+                assert_eq!(events[0].name, "infeasible");
+                assert_eq!(migrants.len(), 1);
+                assert!(matches!(
+                    measurement.failure_kind(),
+                    Some(crate::measurement::FailureKind::Transient)
+                ));
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_protocol_errors() {
+        for bad in [
+            Json::object(),
+            Json::object().insert("req", "explode"),
+            Json::object().insert("req", "evaluate").insert("id", 1),
+            Json::object().insert("resp", "nope"),
+            Json::object().insert("resp", "evaluated").insert("id", 1),
+        ] {
+            let req_err = CoordinatorRequest::from_json(&bad).is_err();
+            let resp_err = WorkerResponse::from_json(&bad).is_err();
+            assert!(req_err && resp_err, "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn target_codec_covers_the_catalog() {
+        for t in [
+            HwTarget::Fpga(FpgaDevice::arria10_gx1150(4)),
+            HwTarget::Fpga(FpgaDevice::stratix10_2800(2)),
+            HwTarget::Gpu(GpuDevice::quadro_m5000()),
+            HwTarget::Gpu(GpuDevice::titan_x()),
+            HwTarget::Gpu(GpuDevice::radeon_vii()),
+            HwTarget::Cpu(CpuDevice::xeon_22c()),
+            HwTarget::Cpu(CpuDevice::desktop_8c()),
+        ] {
+            let wire = target_to_json(&t).unwrap();
+            let back = target_from_json(&wire).unwrap();
+            assert_eq!(back.device_name(), t.device_name());
+            if let (HwTarget::Fpga(a), HwTarget::Fpga(b)) = (&t, &back) {
+                assert_eq!(a.ddr.banks, b.ddr.banks);
+            }
+        }
+        let custom = HwTarget::Fpga(FpgaDevice {
+            name: "Bespoke".to_string(),
+            ..FpgaDevice::arria10_gx1150(1)
+        });
+        assert!(target_to_json(&custom).is_err());
+    }
+
+    #[test]
+    fn island_migrates_on_cadence_and_dedups_elites() {
+        let setup = setup_payload(2);
+        let mut island = Island::new(&setup, 0x5).expect("islands on");
+        let evaluator = CodesignEvaluator::new(
+            setup.train.clone(),
+            setup.test.clone(),
+            setup.trainer,
+            setup.target.clone(),
+            setup.seed,
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let g1 = setup.space.sample(&mut rng);
+        let m1 = evaluator.evaluate(&g1);
+        island.observe(&g1, &m1);
+        island.observe(&g1, &m1); // duplicate key must not double up
+        let observed = island.elites.len();
+        assert!(observed <= 1);
+
+        assert!(island.step(&evaluator).is_empty(), "below cadence");
+        let migrants = island.step(&evaluator);
+        if !island.elites.is_empty() {
+            assert!(migrants.len() <= setup.island_k);
+            for (_, m) in &migrants {
+                assert!(m.hw.is_feasible(), "only feasible migrants ship");
+            }
+        }
+        assert_eq!(island.jobs_since, 0, "cadence counter reset");
+    }
+
+    #[test]
+    fn islands_off_when_cadence_zero() {
+        assert!(Island::new(&setup_payload(0), 0x5).is_none());
+    }
+
+    #[test]
+    fn worker_session_serves_evaluate_loopback() {
+        let server = WorkerServer::bind(
+            "127.0.0.1:0",
+            WorkerOptions::default(),
+            Obs::disabled(),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        let mut conn = Conn::connect(&addr, Duration::from_secs(10), rt::net::DEFAULT_MAX_FRAME)
+            .unwrap();
+        conn.handshake_client(COORDINATOR_ROLE, Some(WORKER_ROLE)).unwrap();
+        let setup = setup_payload(0);
+        let stamp = 0x77;
+        conn.send(
+            &CoordinatorRequest::Setup(Box::new(setup.clone()), stamp)
+                .to_json()
+                .unwrap(),
+        )
+        .unwrap();
+        match WorkerResponse::from_json(&conn.recv().unwrap()).unwrap() {
+            WorkerResponse::Ready { stamp: s } => assert_eq!(s, stamp),
+            other => panic!("expected ready, got {other:?}"),
+        }
+
+        let genome = setup.space.sample(&mut StdRng::seed_from_u64(1));
+        conn.send(
+            &CoordinatorRequest::Evaluate {
+                id: 0,
+                stamp,
+                genome: genome.clone(),
+            }
+            .to_json()
+            .unwrap(),
+        )
+        .unwrap();
+        let (remote_m, events) =
+            match WorkerResponse::from_json(&conn.recv().unwrap()).unwrap() {
+                WorkerResponse::Evaluated {
+                    id,
+                    stamp: s,
+                    measurement,
+                    events,
+                    ..
+                } => {
+                    assert_eq!((id, s), (0, stamp));
+                    (measurement, events)
+                }
+                other => panic!("expected evaluated, got {other:?}"),
+            };
+
+        // The remote measurement matches a local evaluation exactly —
+        // the property the dedup cache and byte-identity both rest on.
+        let local = CodesignEvaluator::new(
+            setup.train.clone(),
+            setup.test.clone(),
+            setup.trainer,
+            setup.target.clone(),
+            setup.seed,
+        )
+        .evaluate(&genome);
+        assert_eq!(remote_m.accuracy, local.accuracy);
+        assert_eq!(remote_m.params, local.params);
+        // Evaluation-time span closes (train, hw_model) were captured
+        // for replay.
+        assert!(
+            events.iter().any(|e| e.name == "train"),
+            "expected a captured train span close, got {:?}",
+            events.iter().map(|e| e.name).collect::<Vec<_>>()
+        );
+
+        // A mismatched stamp is fenced with a protocol error (the
+        // session drops; the worker keeps serving).
+        conn.send(
+            &CoordinatorRequest::Evaluate {
+                id: 1,
+                stamp: stamp + 1,
+                genome: genome.clone(),
+            }
+            .to_json()
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(conn.recv().is_err(), "stale-stamp job must not be answered");
+
+        // Reconnect and kill: the worker exits its accept loop.
+        let mut conn2 =
+            Conn::connect(&addr, Duration::from_secs(10), rt::net::DEFAULT_MAX_FRAME).unwrap();
+        conn2.handshake_client(COORDINATOR_ROLE, Some(WORKER_ROLE)).unwrap();
+        conn2.send(&CoordinatorRequest::KillAll.to_json().unwrap()).unwrap();
+        match WorkerResponse::from_json(&conn2.recv().unwrap()).unwrap() {
+            WorkerResponse::Bye => {}
+            other => panic!("expected bye, got {other:?}"),
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn addr_salt_distinguishes_addresses() {
+        assert_ne!(addr_salt("127.0.0.1:7001"), addr_salt("127.0.0.1:7002"));
+        assert_eq!(addr_salt("a:1"), addr_salt("a:1"));
+    }
+}

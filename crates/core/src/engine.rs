@@ -37,17 +37,23 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use rt::net::{Conn, NetError};
 use rt::obs::Obs;
 use rt::rand::rngs::StdRng;
 use rt::rand::{Rng, RngCore, SeedableRng};
 use rt::supervise::{ShutdownFlag, Supervisor};
-use rt::sync::channel::{self, RecvTimeoutError};
+use rt::sync::channel::{self, Receiver, RecvTimeoutError, Sender};
 
 use crate::analytics::{AnalyticsConfig, EpochTracker, OperatorKind, StatusCell};
 use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointState, PendingJob};
+use crate::cluster::{
+    addr_salt, ClusterPlan, CoordinatorRequest, Migrant, WorkerResponse, COORDINATOR_ROLE,
+    WORKER_ROLE,
+};
 use crate::fitness::ObjectiveSet;
 use crate::genome::CandidateGenome;
 use crate::measurement::{FailureKind, InfeasibleReason, Measurement};
@@ -215,6 +221,7 @@ pub struct Engine {
     halt_after: Option<usize>,
     shutdown: ShutdownFlag,
     status: StatusCell,
+    cluster: Option<ClusterPlan>,
 }
 
 /// The ledger payload: what travels with each dispatched evaluation
@@ -349,6 +356,332 @@ fn save_checkpoint(
     }
 }
 
+/// Spawns one local in-process evaluation slot. Used for every slot of
+/// a non-cluster run, and again mid-run when a cluster run loses its
+/// last remote worker and degrades to local evaluation.
+fn spawn_local_slot(
+    supervisor: &mut Supervisor,
+    req_rx: Receiver<(usize, CandidateGenome)>,
+    res_tx: Sender<(usize, CandidateGenome, Measurement)>,
+    evaluator: Arc<dyn Evaluator>,
+    obs: Obs,
+) {
+    supervisor.spawn(move |ctx| {
+        // Kernel-level prof_span! sites (gemm, activation, …)
+        // inside the evaluator record under the engine's tree.
+        let _prof_install = obs.profiler().map(|p| p.install());
+        loop {
+            let (id, genome) = match req_rx.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            };
+            ctx.claim(id as u64);
+            let started = Instant::now();
+            let m = {
+                let _span = rt::span!(obs, "evaluate", worker = ctx.slot(), id = id);
+                catch_unwind(AssertUnwindSafe(|| evaluator.evaluate(&genome))).unwrap_or_else(
+                    |_| {
+                        rt::warn!(
+                            obs,
+                            "infeasible",
+                            stage = "worker",
+                            reason = InfeasibleReason::WorkerPanic.kind(),
+                        );
+                        let mut m = Measurement::infeasible(InfeasibleReason::WorkerPanic);
+                        // The failed attempt consumed real wall
+                        // clock; Table III's totals must include it.
+                        m.eval_time_s = started.elapsed().as_secs_f64();
+                        m
+                    },
+                )
+            };
+            ctx.release(id as u64);
+            if res_tx.send((id, genome, m)).is_err() || !ctx.is_current() {
+                return;
+            }
+        }
+    });
+}
+
+/// An established coordinator-side session with one remote worker.
+struct RemoteSession {
+    conn: Conn,
+    stamp: u64,
+}
+
+impl RemoteSession {
+    /// Best-effort `kill_all` on shutdown: the worker's listen loop
+    /// exits once the coordinator is done with it.
+    fn kill(mut self) {
+        if let Ok(req) = CoordinatorRequest::KillAll.to_json() {
+            if self.conn.send(&req).is_ok() {
+                let _ = self.conn.recv(); // Bye, or a dead peer — either way done
+            }
+        }
+    }
+}
+
+/// How a remote exchange failed, after classification.
+enum RemoteFailure {
+    /// Environment trouble (disconnect, deadline, stale response): the
+    /// job retries through the ledger, the slot reconnects.
+    Transient(String),
+    /// Protocol/version trouble: the worker is unusable; its slot
+    /// retires after reporting the current job transient.
+    Permanent(String),
+}
+
+impl From<NetError> for RemoteFailure {
+    fn from(e: NetError) -> Self {
+        if e.is_transient() {
+            RemoteFailure::Transient(e.to_string())
+        } else {
+            RemoteFailure::Permanent(e.to_string())
+        }
+    }
+}
+
+/// Connects, handshakes, and opens a session with a `setup` frame.
+fn connect_session(
+    addr: &str,
+    plan: &ClusterPlan,
+    stamp: u64,
+) -> Result<RemoteSession, NetError> {
+    let opts = &plan.options;
+    let mut conn = Conn::connect(addr, opts.net_timeout, opts.max_frame)?;
+    conn.set_io_timeout(Some(opts.net_timeout))?;
+    conn.handshake_client(COORDINATOR_ROLE, Some(WORKER_ROLE))?;
+    conn.send(&CoordinatorRequest::Setup(Box::new(plan.setup.clone()), stamp).to_json()?)?;
+    match WorkerResponse::from_json(&conn.recv()?)? {
+        WorkerResponse::Ready { stamp: s } if s == stamp => Ok(RemoteSession { conn, stamp }),
+        other => Err(NetError::Protocol(format!(
+            "expected ready({stamp:016x}), got {other:?}"
+        ))),
+    }
+}
+
+/// One evaluate/evaluated exchange on an open session. Responses whose
+/// id or stamp does not match the outstanding job are *stale* — fenced
+/// here (below the ledger's own id fencing) and classified transient so
+/// the connection resyncs.
+#[allow(clippy::type_complexity)]
+fn remote_exchange(
+    session: &mut RemoteSession,
+    id: usize,
+    genome: &CandidateGenome,
+    obs: &Obs,
+) -> Result<
+    (
+        Measurement,
+        bool,
+        Vec<rt::obs::Event>,
+        Vec<(CandidateGenome, Measurement)>,
+    ),
+    RemoteFailure,
+> {
+    session.conn.send(
+        &CoordinatorRequest::Evaluate {
+            id: id as u64,
+            stamp: session.stamp,
+            genome: genome.clone(),
+        }
+        .to_json()
+        .map_err(RemoteFailure::from)?,
+    )
+    .map_err(RemoteFailure::from)?;
+    let frame = session.conn.recv().map_err(RemoteFailure::from)?;
+    match WorkerResponse::from_json(&frame).map_err(RemoteFailure::from)? {
+        WorkerResponse::Evaluated {
+            id: rid,
+            stamp,
+            measurement,
+            panicked,
+            events,
+            migrants,
+        } => {
+            if rid != id as u64 || stamp != session.stamp {
+                rt::warn!(
+                    obs,
+                    "stale_remote_result",
+                    id = rid as usize,
+                    expected = id,
+                    stamp = format!("{stamp:016x}"),
+                );
+                return Err(RemoteFailure::Transient(format!(
+                    "stale response for job {rid} (wanted {id})"
+                )));
+            }
+            Ok((measurement, panicked, events, migrants))
+        }
+        other => Err(RemoteFailure::Transient(format!(
+            "expected evaluated, got {other:?}"
+        ))),
+    }
+}
+
+/// Spawns a remote evaluation slot bound to one worker address. The
+/// slot mirrors the local body exactly — same claim/span/release/send
+/// choreography, same `ecad_core::engine` event target — but the
+/// evaluation crosses a framed TCP session, the worker's captured
+/// evaluation events are replayed inside the coordinator's own
+/// `evaluate` span, and network failures surface as transient
+/// measurements for the ledger's retry machinery.
+#[allow(clippy::too_many_arguments)]
+fn spawn_remote_slot(
+    supervisor: &mut Supervisor,
+    addr: String,
+    plan: ClusterPlan,
+    seed: u64,
+    req_rx: Receiver<(usize, CandidateGenome)>,
+    res_tx: Sender<(usize, CandidateGenome, Measurement)>,
+    mig_tx: Sender<Migrant>,
+    live: Arc<AtomicUsize>,
+    done: Sender<()>,
+    obs: Obs,
+) {
+    supervisor.spawn(move |ctx| {
+        let opts = &plan.options;
+        let mut session: Option<RemoteSession> = None;
+        let mut connects: u64 = 0;
+        // Seeded jitter so a cluster's reconnect storms de-correlate
+        // deterministically, per worker (same scheme as the engine's
+        // retry backoff).
+        let mut jitter = StdRng::seed_from_u64(seed ^ addr_salt(&addr) ^ 0xBAC_0FF);
+        let mut lost = false;
+        loop {
+            let (id, genome) = match req_rx.recv() {
+                Ok(job) => job,
+                Err(_) => {
+                    if let Some(s) = session.take() {
+                        s.kill();
+                    }
+                    let _ = done.send(());
+                    return;
+                }
+            };
+            ctx.claim(id as u64);
+            let started = Instant::now();
+            let m = {
+                let _span = rt::span!(obs, "evaluate", worker = ctx.slot(), id = id);
+                // (Re)connect with seeded backoff, bounded by the
+                // reconnect budget.
+                let mut failure: Option<RemoteFailure> = None;
+                let mut attempt = 0usize;
+                while session.is_none() {
+                    let stamp = ((ctx.slot() as u64) << 32) | connects;
+                    match connect_session(&addr, &plan, stamp) {
+                        Ok(s) => {
+                            connects += 1;
+                            rt::trace!(
+                                obs,
+                                "worker_connected",
+                                addr = addr.as_str(),
+                                slot = ctx.slot(),
+                                stamp = format!("{stamp:016x}"),
+                            );
+                            session = Some(s);
+                        }
+                        Err(e) => {
+                            attempt += 1;
+                            rt::warn!(
+                                obs,
+                                "worker_connect_failed",
+                                addr = addr.as_str(),
+                                attempt = attempt,
+                                error = e.to_string(),
+                            );
+                            if !e.is_transient() || attempt >= opts.connect_retries.max(1) {
+                                failure = Some(RemoteFailure::Permanent(e.to_string()));
+                                break;
+                            }
+                            let base = opts.reconnect_backoff.as_millis() as u64;
+                            let ceiling = (base << attempt.min(6)).max(1);
+                            std::thread::sleep(Duration::from_millis(
+                                jitter.gen_range(base..=base + ceiling),
+                            ));
+                        }
+                    }
+                }
+                let outcome = match (&mut session, failure) {
+                    (_, Some(f)) => Err(f),
+                    (Some(s), None) => remote_exchange(s, id, &genome, &obs),
+                    (None, None) => unreachable!("no session and no failure"),
+                };
+                match outcome {
+                    Ok((m, panicked, events, migrants)) => {
+                        // Replay the worker's captured evaluation events
+                        // inside this span, so the coordinator's JSONL is
+                        // byte-identical to a local run's.
+                        for event in events {
+                            obs.emit_event(event);
+                        }
+                        if panicked {
+                            rt::warn!(
+                                obs,
+                                "infeasible",
+                                stage = "worker",
+                                reason = InfeasibleReason::WorkerPanic.kind(),
+                            );
+                        }
+                        for (g, mm) in migrants {
+                            let _ = mig_tx.send(Migrant {
+                                slot: ctx.slot(),
+                                genome: g,
+                                measurement: mm,
+                            });
+                        }
+                        m
+                    }
+                    Err(RemoteFailure::Transient(reason)) => {
+                        rt::trace!(
+                            obs,
+                            "worker_disconnected",
+                            addr = addr.as_str(),
+                            error = reason.as_str(),
+                        );
+                        session = None;
+                        let mut m = Measurement::infeasible(InfeasibleReason::Transient(
+                            format!("net: {reason}"),
+                        ));
+                        m.eval_time_s = started.elapsed().as_secs_f64();
+                        m
+                    }
+                    Err(RemoteFailure::Permanent(reason)) => {
+                        lost = true;
+                        rt::warn!(
+                            obs,
+                            "worker_lost",
+                            addr = addr.as_str(),
+                            error = reason.as_str(),
+                        );
+                        session = None;
+                        let mut m = Measurement::infeasible(InfeasibleReason::Transient(
+                            format!("worker lost: {reason}"),
+                        ));
+                        m.eval_time_s = started.elapsed().as_secs_f64();
+                        m
+                    }
+                }
+            };
+            ctx.release(id as u64);
+            if res_tx.send((id, genome, m)).is_err() || !ctx.is_current() {
+                if let Some(s) = session.take() {
+                    s.kill();
+                }
+                let _ = done.send(());
+                return;
+            }
+            if lost {
+                // Retire the slot; the degradation watchdog notices
+                // when the last one goes.
+                live.fetch_sub(1, Ordering::AcqRel);
+                let _ = done.send(());
+                return;
+            }
+        }
+    });
+}
+
 impl Engine {
     /// Safety valve: stop generating children after this many multiples
     /// of the evaluation budget, in case mutation keeps producing cached
@@ -381,6 +714,7 @@ impl Engine {
             halt_after: None,
             shutdown: ShutdownFlag::new(),
             status: StatusCell::new(),
+            cluster: None,
         }
     }
 
@@ -416,6 +750,22 @@ impl Engine {
     /// returns with `halted = true`.
     pub fn with_shutdown(mut self, flag: ShutdownFlag) -> Self {
         self.shutdown = flag;
+        self
+    }
+
+    /// Routes evaluation to remote cluster workers instead of local
+    /// threads: one supervised slot per worker address, each holding a
+    /// framed TCP session ([`crate::cluster`]). Network failures are
+    /// classified transient (the job retries through the ordinary
+    /// ledger machinery, possibly on another worker); a worker whose
+    /// reconnect budget is exhausted retires its slot; and when every
+    /// remote is lost the engine degrades to `config.threads` local
+    /// in-process slots with a warning rather than dying. With an empty
+    /// worker list the plan is ignored.
+    pub fn with_cluster(mut self, plan: ClusterPlan) -> Self {
+        if !plan.options.workers.is_empty() {
+            self.cluster = Some(plan);
+        }
         self
     }
 
@@ -550,6 +900,7 @@ impl Engine {
         let retry_counter = self.obs.counter("engine.retries");
         let timeout_counter = self.obs.counter("engine.timeouts");
         let respawn_counter = self.obs.counter("engine.respawns");
+        let migrant_counter = self.obs.counter("engine.migrants");
         let eval_hist = self.obs.histogram("engine.eval_time_s");
 
         // Epoch analytics instruments: gauges refreshed at each epoch
@@ -571,54 +922,58 @@ impl Engine {
 
         let (req_tx, req_rx) = channel::unbounded::<(usize, CandidateGenome)>();
         let (res_tx, res_rx) = channel::unbounded::<(usize, CandidateGenome, Measurement)>();
+        let (mig_tx, mig_rx) = channel::unbounded::<Migrant>();
+        let (done_tx, done_rx) = channel::unbounded::<()>();
 
         // Workers live in supervised slots on detached threads: a hung
         // evaluation can be abandoned (scoped threads would force a
         // join that never returns). They exit when `req_tx` drops or
-        // when their generation goes stale after a respawn.
+        // when their generation goes stale after a respawn. In cluster
+        // mode each slot instead proxies one remote worker; the
+        // pipeline depth follows the slot count so the fill loops keep
+        // every slot busy either way.
+        let remote_workers = self.cluster.as_ref().map_or(0, |p| p.options.workers.len());
+        let mut pipeline_depth = if remote_workers > 0 {
+            remote_workers
+        } else {
+            cfg.threads
+        };
+        let live_remotes = Arc::new(AtomicUsize::new(remote_workers));
+        let mut degraded = false;
         let mut supervisor = Supervisor::new();
-        for _ in 0..cfg.threads {
-            let req_rx = req_rx.clone();
-            let res_tx = res_tx.clone();
-            let evaluator = Arc::clone(&self.evaluator);
-            let obs = self.obs.clone();
-            supervisor.spawn(move |ctx| {
-                // Kernel-level prof_span! sites (gemm, activation, …)
-                // inside the evaluator record under the engine's tree.
-                let _prof_install = obs.profiler().map(|p| p.install());
-                loop {
-                let (id, genome) = match req_rx.recv() {
-                    Ok(job) => job,
-                    Err(_) => return,
-                };
-                ctx.claim(id as u64);
-                let started = Instant::now();
-                let m = {
-                    let _span = rt::span!(obs, "evaluate", worker = ctx.slot(), id = id);
-                    catch_unwind(AssertUnwindSafe(|| evaluator.evaluate(&genome)))
-                        .unwrap_or_else(|_| {
-                            rt::warn!(
-                                obs,
-                                "infeasible",
-                                stage = "worker",
-                                reason = InfeasibleReason::WorkerPanic.kind(),
-                            );
-                            let mut m =
-                                Measurement::infeasible(InfeasibleReason::WorkerPanic);
-                            // The failed attempt consumed real wall
-                            // clock; Table III's totals must include it.
-                            m.eval_time_s = started.elapsed().as_secs_f64();
-                            m
-                        })
-                };
-                ctx.release(id as u64);
-                if res_tx.send((id, genome, m)).is_err() || !ctx.is_current() {
-                    return;
-                }
-                }
-            });
+        if let Some(plan) = &self.cluster {
+            for addr in &plan.options.workers {
+                spawn_remote_slot(
+                    &mut supervisor,
+                    addr.clone(),
+                    plan.clone(),
+                    cfg.seed,
+                    req_rx.clone(),
+                    res_tx.clone(),
+                    mig_tx.clone(),
+                    Arc::clone(&live_remotes),
+                    done_tx.clone(),
+                    self.obs.clone(),
+                );
+            }
+        } else {
+            for _ in 0..cfg.threads {
+                spawn_local_slot(
+                    &mut supervisor,
+                    req_rx.clone(),
+                    res_tx.clone(),
+                    Arc::clone(&self.evaluator),
+                    self.obs.clone(),
+                );
+            }
         }
-        drop(res_tx); // workers (via the supervisor) hold the clones
+        // Kept only for cluster degradation, which spawns local slots
+        // mid-run; otherwise workers (via the supervisor) hold the
+        // clones and the master never sends results.
+        let degrade_res_tx = (remote_workers > 0).then(|| res_tx.clone());
+        drop(res_tx);
+        drop(mig_tx); // remote slots hold the clones
+        drop(done_tx);
 
         let max_attempts = cfg.evaluations * Self::MAX_ATTEMPT_FACTOR;
         let mut ledger = EngineLedger::new();
@@ -727,12 +1082,81 @@ impl Engine {
             let halt_requested = self.shutdown.is_requested()
                 || self.halt_after.is_some_and(|n| trace.len() >= n);
 
+            if remote_workers > 0 {
+                // Fold island migrants into the population. Deliberately
+                // outside the trace/budget/rng streams: migrants spend
+                // worker-side compute only, replace the current worst
+                // member deterministically, and seed the dedup cache so
+                // the coordinator never re-evaluates one.
+                while let Ok(migrant) = mig_rx.try_recv() {
+                    let key = migrant.genome.cache_key();
+                    if cache.contains_key(&key) {
+                        continue;
+                    }
+                    cache.insert(key, migrant.measurement.clone());
+                    let fitness = self.objectives.scalar(&migrant.measurement);
+                    migrant_counter.inc();
+                    rt::info!(
+                        self.obs,
+                        "migration",
+                        slot = migrant.slot,
+                        key = format!("{key:016x}"),
+                        fitness = fitness,
+                        accuracy = migrant.measurement.accuracy,
+                    );
+                    if !fitness.is_finite() {
+                        continue;
+                    }
+                    let eval = Evaluated {
+                        genome: migrant.genome,
+                        measurement: migrant.measurement,
+                        fitness,
+                    };
+                    if population.len() < cfg.population {
+                        population.push(eval);
+                    } else if let Some(worst) = (0..population.len()).min_by(|&a, &b| {
+                        population[a]
+                            .fitness
+                            .partial_cmp(&population[b].fitness)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    }) {
+                        if population[worst].fitness < eval.fitness {
+                            population[worst] = eval;
+                        }
+                    }
+                }
+                // Graceful degradation: when the last remote slot has
+                // retired, warn and fall back to local in-process
+                // evaluation rather than dying with jobs in flight.
+                if !degraded && live_remotes.load(Ordering::Acquire) == 0 {
+                    degraded = true;
+                    rt::warn!(
+                        self.obs,
+                        "cluster_degraded",
+                        local_slots = cfg.threads,
+                    );
+                    let res_tx = degrade_res_tx
+                        .clone()
+                        .expect("degrade sender retained in cluster mode");
+                    for _ in 0..cfg.threads {
+                        spawn_local_slot(
+                            &mut supervisor,
+                            req_rx.clone(),
+                            res_tx.clone(),
+                            Arc::clone(&self.evaluator),
+                            self.obs.clone(),
+                        );
+                    }
+                    pipeline_depth = cfg.threads;
+                }
+            }
+
             if !halt_requested {
                 // Re-dispatch retries whose backoff has elapsed, then
                 // work restored from a checkpoint (its unique budget is
                 // already counted), then fresh candidates.
                 let now = Instant::now();
-                while ledger.in_flight_len() < cfg.threads {
+                while ledger.in_flight_len() < pipeline_depth {
                     let Some((attempt, (genome, op))) = ledger.pop_ready_retry(now) else {
                         break;
                     };
@@ -746,7 +1170,7 @@ impl Engine {
                         key = format!("{key:016x}"),
                     );
                 }
-                while ledger.in_flight_len() < cfg.threads && !pending_restore.is_empty() {
+                while ledger.in_flight_len() < pipeline_depth && !pending_restore.is_empty() {
                     let job = pending_restore.pop_front().expect("nonempty");
                     let key = job.genome.cache_key();
                     let attempt = job.attempt;
@@ -763,7 +1187,7 @@ impl Engine {
                         );
                     }
                 }
-                while ledger.in_flight_len() < cfg.threads
+                while ledger.in_flight_len() < pipeline_depth
                     && c.submitted_unique < cfg.evaluations
                     && c.attempts < max_attempts
                 {
@@ -834,8 +1258,17 @@ impl Engine {
             }
 
             // Sleep until a result arrives — or the earliest deadline /
-            // retry-ready time, whichever comes first.
+            // retry-ready time, whichever comes first. Before a cluster
+            // run has degraded, cap the sleep so the master observes
+            // migrants and lost workers even when no result will ever
+            // arrive (e.g. every remote unreachable from the start).
             let wake = ledger.next_wake();
+            let wake = if remote_workers > 0 && !degraded {
+                let poll = Instant::now() + Duration::from_millis(100);
+                Some(wake.map_or(poll, |w| w.min(poll)))
+            } else {
+                wake
+            };
             let received = match wake {
                 None => Some(res_rx.recv().expect("worker pool alive")),
                 Some(deadline) => match res_rx.recv_deadline(deadline) {
@@ -930,6 +1363,23 @@ impl Engine {
             }
         }
         drop(req_tx); // idle workers drain and exit
+
+        // Remote slots answer the drain by killing their sessions — a
+        // best-effort `kill_all` so workers wind down now instead of
+        // waiting out their idle timeout. Slots are detached threads,
+        // so wait (briefly, bounded) for each one's acknowledgement;
+        // without this a coordinator process can exit before the
+        // handshake reaches the wire. Slots retired earlier (lost
+        // workers, stale generations) have already acknowledged.
+        if remote_workers > 0 {
+            let grace = Instant::now() + Duration::from_secs(2);
+            for _ in 0..remote_workers {
+                let now = Instant::now();
+                if now >= grace || done_rx.recv_timeout(grace - now).is_err() {
+                    break;
+                }
+            }
+        }
 
         let models_evaluated = trace.len();
         if !halted {

@@ -30,6 +30,10 @@
 //!   time).
 //! * [`checkpoint`] — periodic JSON snapshots of the full master state
 //!   so an interrupted search resumes byte-identically.
+//! * [`cluster`] — distributed coordinator/worker evaluation over TCP
+//!   (`rt::net` framed messages): a worker server that evaluates
+//!   genomes shipped with a full setup payload, stale-result fencing by
+//!   session stamp, and optional per-worker island subpopulations.
 //! * [`faults`] — a deterministic fault-injecting evaluator wrapper for
 //!   exercising the engine's retry/timeout/respawn machinery in tests.
 //! * [`analytics`] — the search observatory: per-epoch population
@@ -58,6 +62,7 @@
 
 pub mod analytics;
 pub mod checkpoint;
+pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod faults;

@@ -19,6 +19,7 @@ use rt::supervise::ShutdownFlag;
 
 use crate::analytics::StatusCell;
 use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointState};
+use crate::cluster::{ClusterOptions, ClusterPlan, SetupPayload};
 use crate::config::FlowConfig;
 use crate::engine::{Engine, EngineOutcome, EngineStats, Evaluated, EvolutionConfig};
 use crate::fitness::ObjectiveSet;
@@ -207,6 +208,7 @@ pub struct Search {
     resume_from: Option<CheckpointState>,
     shutdown: Option<ShutdownFlag>,
     status: Option<StatusCell>,
+    cluster: Option<ClusterOptions>,
 }
 
 impl Search {
@@ -235,6 +237,7 @@ impl Search {
             resume_from: None,
             shutdown: None,
             status: None,
+            cluster: None,
         }
     }
 
@@ -390,6 +393,18 @@ impl Search {
         self
     }
 
+    /// Routes evaluation to remote cluster workers
+    /// ([`crate::cluster`]): one engine slot per address in
+    /// `options.workers`, each shipping this search's standardized
+    /// split, trainer, device, space, and objectives in its session
+    /// setup. Requires a catalog device (the wire protocol identifies
+    /// targets by name). With an empty worker list the options are
+    /// ignored and the search runs locally.
+    pub fn cluster(mut self, options: ClusterOptions) -> Self {
+        self.cluster = Some(options);
+        self
+    }
+
     /// Runs the search.
     ///
     /// # Panics
@@ -434,6 +449,28 @@ impl Search {
             ),
             "search space family must match the hardware target"
         );
+        // The cluster plan ships the *standardized* split: remote
+        // workers must see bit-identical features, or their
+        // measurements (and the dedup cache keyed on them) would drift
+        // from a local run's.
+        let cluster_plan = self
+            .cluster
+            .as_ref()
+            .filter(|o| !o.workers.is_empty())
+            .map(|o| ClusterPlan {
+                options: o.clone(),
+                setup: SetupPayload {
+                    seed: self.evolution.seed,
+                    train: train.clone(),
+                    test: test.clone(),
+                    trainer: self.trainer,
+                    target: self.target.clone(),
+                    space: space.clone(),
+                    objectives: self.objectives.clone(),
+                    island_every: o.island_every,
+                    island_k: o.island_k,
+                },
+            });
         let evaluator = CodesignEvaluator::new(
             train,
             test,
@@ -460,6 +497,9 @@ impl Search {
         }
         if let Some(status) = self.status.clone() {
             engine = engine.with_status(status);
+        }
+        if let Some(plan) = cluster_plan {
+            engine = engine.with_cluster(plan);
         }
         let outcome = match self.resume_from {
             Some(state) => engine.resume(state)?,

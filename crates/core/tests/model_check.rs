@@ -424,3 +424,202 @@ fn checker_catches_checkpoint_that_drops_retries() {
         failure.message
     );
 }
+
+// ---------------------------------------------------------------------------
+// Suite 4: remote dispatch → worker dies mid-job → retry on another
+// slot → late stale reply fenced by session stamp.
+// ---------------------------------------------------------------------------
+
+/// The cluster coordinator's remote-exchange protocol: per-slot request
+/// channels, one shared result channel (exactly the engine's remote
+/// slot plumbing), and a session wire to each worker that *persists
+/// across reconnects* — an adversarial transport where a reply from a
+/// fenced session stays readable. A worker nondeterministically "dies
+/// mid-job" by stalling past the exchange deadline; the slot classifies
+/// the exchange transient, the master retries the job on another slot,
+/// and the late reply eventually surfaces on the old wire.
+///
+/// The `fence` knob is the protocol under test, mirroring
+/// `remote_exchange` in the engine: the shipped slot drops any reply
+/// whose `(id, stamp)` does not match the request it just sent and
+/// reports the exchange transient; the mutant forwards whatever reply
+/// arrives first.
+///
+/// Invariants: every success pairs the right payload with its job, and
+/// each job receives exactly one final verdict no matter how stalls,
+/// deadlines, retries, and late deliveries interleave.
+fn remote_dispatch_model(fence: bool) {
+    const EXCHANGE_TICKS: u64 = 1_000;
+    const BACKOFF_TICKS: u64 = 100;
+    const MAX_RETRIES: usize = 1;
+    const SLOTS: usize = 2;
+
+    let (res_tx, res_rx) = channel::unbounded::<(usize, u64, Option<u32>)>();
+
+    let mut req_txs = Vec::new();
+    let mut slot_handles = Vec::new();
+    let mut worker_handles = Vec::new();
+    for slot in 0..SLOTS {
+        let (req_tx, req_rx) = channel::unbounded::<(u64, u32)>();
+        let (wire_tx, wire_rx) = channel::unbounded::<(u64, u64, u32)>();
+        let (reply_tx, reply_rx) = channel::unbounded::<(u64, u64, u32)>();
+        worker_handles.push(sched::spawn(move || {
+            while let Ok((id, stamp, job)) = wire_rx.recv() {
+                if sched::choice(2) == 1 {
+                    // Dies mid-job: the reply surfaces only after the
+                    // slot has declared the session dead.
+                    sched::sleep(EXCHANGE_TICKS + 10);
+                }
+                if reply_tx.send((id, stamp, job + 1_000)).is_err() {
+                    return;
+                }
+            }
+        }));
+        let res_tx = res_tx.clone();
+        slot_handles.push(sched::spawn(move || {
+            let mut connects: u64 = 0;
+            while let Ok((id, job)) = req_rx.recv() {
+                let stamp = ((slot as u64) << 32) | connects;
+                wire_tx.send((id, stamp, job)).expect("worker outlives slot");
+                let outcome = match reply_rx.recv_timeout(Duration::from_nanos(EXCHANGE_TICKS)) {
+                    Ok((rid, rstamp, payload)) => {
+                        if fence && (rid != id || rstamp != stamp) {
+                            None // stale reply from a fenced session
+                        } else {
+                            Some(payload)
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => unreachable!("worker outlives slot"),
+                };
+                if outcome.is_none() {
+                    // Any failed exchange drops the session; the next
+                    // one reconnects under a fresh stamp.
+                    connects += 1;
+                }
+                if res_tx.send((slot, id, outcome)).is_err() {
+                    return;
+                }
+            }
+        }));
+        req_txs.push(req_tx);
+    }
+    drop(res_tx);
+
+    let mut ledger: DispatchLedger<u32, u64> = DispatchLedger::with_faults(ProtocolFaults::default());
+    let mut to_submit = vec![8u32, 7u32];
+    let mut next_id = 0u64;
+    let mut busy = [false; SLOTS];
+    let mut last_slot: Vec<(u32, usize)> = Vec::new();
+    let mut verdicts: Vec<(u32, &str)> = Vec::new();
+
+    loop {
+        loop {
+            let free: Vec<usize> = (0..SLOTS).filter(|&s| !busy[s]).collect();
+            if free.is_empty() {
+                break;
+            }
+            let (job, attempt) = if let Some((attempt, job)) = ledger.pop_ready_retry(sched::now())
+            {
+                (job, attempt)
+            } else if let Some(job) = to_submit.pop() {
+                (job, 0)
+            } else {
+                break;
+            };
+            // Retry on *another* slot when one is free: the slot that
+            // just lost this job is the least likely to hold a live
+            // session.
+            let avoid = last_slot.iter().find(|&&(j, _)| j == job).map(|&(_, s)| s);
+            let slot = free
+                .iter()
+                .copied()
+                .find(|&s| Some(s) != avoid)
+                .unwrap_or(free[0]);
+            let id = next_id;
+            next_id += 1;
+            ledger.dispatch(id, job, attempt, None);
+            busy[slot] = true;
+            match last_slot.iter_mut().find(|(j, _)| *j == job) {
+                Some(entry) => entry.1 = slot,
+                None => last_slot.push((job, slot)),
+            }
+            req_txs[slot].send((id, job)).expect("slot alive");
+        }
+        if ledger.quiescent() && to_submit.is_empty() {
+            break;
+        }
+
+        // A retry that is already ripe is only waiting for a free slot,
+        // so block on the next result instead of spinning on a wake in
+        // the past.
+        let wake = ledger.next_wake().filter(|&w| w > sched::now());
+        let received = match wake {
+            None => Some(res_rx.recv().expect("slots alive")),
+            Some(wake) => {
+                let timeout = Duration::from_nanos(wake - sched::now());
+                match res_rx.recv_timeout(timeout) {
+                    Ok(msg) => Some(msg),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => unreachable!("slots hold senders"),
+                }
+            }
+        };
+        if let Some((slot, id, outcome)) = received {
+            busy[slot] = false;
+            match ledger.take_result(id) {
+                ResultClass::Fresh(done) => match outcome {
+                    Some(payload) => {
+                        assert_eq!(payload, done.payload + 1_000, "result paired with wrong job");
+                        verdicts.push((done.payload, "ok"));
+                    }
+                    None => {
+                        if done.attempt < MAX_RETRIES {
+                            ledger.schedule_retry(
+                                sched::now() + BACKOFF_TICKS,
+                                done.attempt + 1,
+                                done.payload,
+                            );
+                        } else {
+                            verdicts.push((done.payload, "timeout"));
+                        }
+                    }
+                },
+                other => panic!("slot result for id {id} misclassified as {other:?}"),
+            }
+        }
+    }
+
+    drop(req_txs);
+    for handle in slot_handles {
+        handle.join();
+    }
+    for handle in worker_handles {
+        handle.join();
+    }
+    let mut jobs: Vec<u32> = verdicts.iter().map(|&(job, _)| job).collect();
+    jobs.sort_unstable();
+    assert_eq!(
+        jobs,
+        vec![7, 8],
+        "each job gets exactly one final verdict, got {verdicts:?}"
+    );
+}
+
+#[test]
+fn remote_dispatch_fencing_holds_across_interleavings() {
+    sched::check(budget(), || remote_dispatch_model(true)).assert_pass();
+}
+
+#[test]
+fn checker_catches_unfenced_stale_replies() {
+    let report = sched::check(budget(), || remote_dispatch_model(false));
+    let failure = report
+        .failure
+        .expect("mutant that trusts stale replies must be caught");
+    assert!(
+        failure.message.contains("result paired with wrong job"),
+        "caught the wrong bug: {}",
+        failure.message
+    );
+}

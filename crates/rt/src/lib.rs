@@ -37,6 +37,10 @@
 //!   interleaving explorer (a loom-lite model checker): virtual
 //!   threads, virtual time, and replayable failure schedules for the
 //!   engine's concurrency protocols.
+//! * [`net`] — length-prefixed framed [`json`] messaging over TCP with
+//!   bounded frame sizes, read/write deadlines, a versioned hello
+//!   handshake, and transient-vs-permanent error classification: the
+//!   wire layer for the distributed coordinator/worker cluster mode.
 //!
 //! The crate has **no dependencies** (not even workspace-internal ones)
 //! and must stay that way: CI builds the workspace `--offline` exactly
@@ -48,6 +52,7 @@ pub mod bench;
 pub mod check;
 pub mod http;
 pub mod json;
+pub mod net;
 pub mod obs;
 pub mod prof;
 pub mod rand;

@@ -14,8 +14,11 @@
 //!   [`crate::trace!`] / [`crate::debug!`] / [`crate::info!`] /
 //!   [`crate::warn!`] macros and routed to pluggable [`Sink`]s: a
 //!   stderr pretty-printer ([`StderrSink`]), a JSONL writer built on
-//!   [`crate::json`] ([`JsonlSink`]), and an in-memory ring buffer for
-//!   tests ([`RingSink`]).
+//!   [`crate::json`] ([`JsonlSink`]), an in-memory ring buffer for
+//!   tests ([`RingSink`]), and a drainable capture buffer
+//!   ([`CaptureSink`]) the cluster mode uses to ship evaluation-time
+//!   events across the wire ([`Event::to_wire_json`]) for replay on
+//!   the coordinator ([`Obs::emit_event`]).
 //! * **Spans** — [`crate::span!`] returns a guard that measures the
 //!   enclosed scope with a monotonic clock; on drop it records the
 //!   duration into a log-scale histogram named `span.<name>_s` and
@@ -58,11 +61,11 @@
 //! `elapsed_us` is opt-in — so profiled runs stay reproducible.
 //! Without an attached profiler, spans behave exactly as before.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::json::Json;
@@ -257,6 +260,119 @@ impl Event {
         }
         out
     }
+
+    /// The self-contained wire representation the cluster mode uses to
+    /// ship evaluation-time events from a worker to the coordinator.
+    /// Unlike [`Event::to_json`] it carries no sink `seq`, encodes
+    /// fields as an ordered `[key, value]` list (duplicates and order
+    /// survive), and always includes `elapsed_s` when present so the
+    /// receiving side decides what to surface.
+    pub fn to_wire_json(&self) -> Json {
+        let fields = Json::Array(
+            self.fields
+                .iter()
+                .map(|(k, v)| Json::Array(vec![Json::String((*k).to_string()), v.to_json()]))
+                .collect(),
+        );
+        let mut obj = Json::object()
+            .insert("level", self.level.as_str())
+            .insert("target", self.target)
+            .insert("event", self.name)
+            .insert("fields", fields);
+        if let Some(s) = self.elapsed_s {
+            obj = obj.insert("elapsed_s", s);
+        }
+        obj
+    }
+
+    /// Decodes a [`Event::to_wire_json`] document. `target`, `name`,
+    /// and field keys are interned ([`intern`]) to recover the
+    /// `&'static str` lifetimes.
+    ///
+    /// JSON numbers do not distinguish the integer [`Value`] variants,
+    /// so integral in-range numbers decode canonically (non-negative →
+    /// [`Value::U64`], negative → [`Value::I64`], everything else →
+    /// [`Value::F64`]). The canonical variant renders byte-identically
+    /// through [`Value::to_json`] and `Display`, so JSONL traces and
+    /// stderr lines are unaffected by a wire round trip.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first structural problem found.
+    pub fn from_wire_json(doc: &Json) -> Result<Event, String> {
+        let level_s = doc
+            .get("level")
+            .and_then(Json::as_str)
+            .ok_or("wire event has no level")?;
+        let level = Level::parse(level_s).ok_or_else(|| format!("bad level {level_s:?}"))?;
+        let target = intern(
+            doc.get("target")
+                .and_then(Json::as_str)
+                .ok_or("wire event has no target")?,
+        );
+        let name = intern(
+            doc.get("event")
+                .and_then(Json::as_str)
+                .ok_or("wire event has no event name")?,
+        );
+        let raw_fields = doc
+            .get("fields")
+            .and_then(Json::as_array)
+            .ok_or("wire event has no fields list")?;
+        let mut fields = Vec::with_capacity(raw_fields.len());
+        for pair in raw_fields {
+            let kv = pair.as_array().ok_or("wire field is not a [key, value] pair")?;
+            if kv.len() != 2 {
+                return Err("wire field is not a [key, value] pair".to_string());
+            }
+            let key = intern(kv[0].as_str().ok_or("wire field key is not a string")?);
+            fields.push((key, value_from_wire(&kv[1])?));
+        }
+        let elapsed_s = doc.get("elapsed_s").and_then(Json::as_f64);
+        Ok(Event {
+            level,
+            target,
+            name,
+            fields,
+            elapsed_s,
+        })
+    }
+}
+
+/// Decodes one wire field value; see [`Event::from_wire_json`] for the
+/// canonicalization rules.
+fn value_from_wire(v: &Json) -> Result<Value, String> {
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    match v {
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::String(s) => Ok(Value::Str(s.clone())),
+        Json::Number(x) if x.fract() == 0.0 && x.abs() <= EXACT => {
+            if *x < 0.0 {
+                Ok(Value::I64(*x as i64))
+            } else {
+                Ok(Value::U64(*x as u64))
+            }
+        }
+        Json::Number(x) => Ok(Value::F64(*x)),
+        other => Err(format!("wire field value {other} is not a scalar")),
+    }
+}
+
+/// Interns a string, returning a `&'static str` that compares equal to
+/// every other interning of the same text. Used to reconstruct
+/// [`Event`]s (whose `target`/`name`/keys are `&'static str`) from
+/// their wire form; the backing memory is deliberately leaked, which is
+/// fine for the small closed set of event names a protocol uses.
+pub fn intern(s: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = pool.lock().expect("intern pool");
+    if let Some(existing) = guard.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    guard.insert(leaked);
+    leaked
 }
 
 // ---------------------------------------------------------------------------
@@ -478,6 +594,56 @@ impl Sink for Arc<RingSink> {
 
     fn record(&self, event: &Event) {
         self.as_ref().record(event);
+    }
+}
+
+/// An unbounded drainable buffer of events. The cluster worker runs
+/// each evaluation under an [`Obs`] carrying one of these, then
+/// [`CaptureSink::take`]s what the evaluation emitted and ships it to
+/// the coordinator for replay — so a remote evaluation's trace lines
+/// come out byte-identical to a local one's.
+pub struct CaptureSink {
+    min: Level,
+    events: Mutex<Vec<Event>>,
+}
+
+impl CaptureSink {
+    /// A capture buffer recording `min` and above. Use [`Level::Trace`]
+    /// to forward everything and let the receiving side's sinks filter.
+    pub fn new(min: Level) -> Arc<Self> {
+        Arc::new(Self {
+            min,
+            events: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Drains and returns everything captured so far, in emission
+    /// order.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("capture buffer"))
+    }
+
+    /// How many events are currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("capture buffer").len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for Arc<CaptureSink> {
+    fn min_level(&self) -> Level {
+        self.min
+    }
+
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("capture buffer")
+            .push(event.clone());
     }
 }
 
@@ -849,6 +1015,15 @@ impl Obs {
             fields,
             elapsed_s: None,
         });
+    }
+
+    /// Dispatches a fully-formed event, `elapsed_s` included — the
+    /// replay path for events that crossed the wire from a cluster
+    /// worker ([`Event::from_wire_json`]). Replay feeds sinks only: it
+    /// does not touch span histograms or the profiler, so metrics
+    /// describe local work while traces describe the whole search.
+    pub fn emit_event(&self, event: Event) {
+        self.dispatch(event);
     }
 
     fn dispatch(&self, event: Event) {
@@ -1236,6 +1411,99 @@ mod tests {
         let json = e.to_json(0, false);
         let field = json.get("fields").and_then(|f| f.get("k")).unwrap();
         assert_eq!(field.as_str(), Some(big.to_string().as_str()));
+    }
+
+    #[test]
+    fn wire_codec_round_trips_and_canonicalizes() {
+        let e = Event {
+            level: Level::Warn,
+            target: "ecad_core::workers",
+            name: "infeasible",
+            fields: vec![
+                ("stage", Value::Str("train".to_string())),
+                ("count", Value::U64(7)),
+                ("delta", Value::F64(-0.25)),
+                ("neg", Value::I64(-3)),
+                ("ok", Value::Bool(false)),
+                ("big", Value::U64(u64::MAX)),
+                ("whole", Value::F64(2.0)),
+            ],
+            elapsed_s: Some(0.125),
+        };
+        let wire = e.to_wire_json();
+        // The wire form itself survives a JSON text round trip.
+        let reparsed = Json::parse(&wire.to_string()).unwrap();
+        let back = Event::from_wire_json(&reparsed).unwrap();
+        assert_eq!(back.level, e.level);
+        assert_eq!(back.target, e.target);
+        assert_eq!(back.name, e.name);
+        assert_eq!(back.elapsed_s, e.elapsed_s);
+        // Interning recovers pointer-stable statics.
+        assert_eq!(back.fields.len(), e.fields.len());
+        // Variants may canonicalize (F64(2.0) → U64(2), big U64 →
+        // Str), but the rendered JSONL bytes must be unchanged.
+        assert_eq!(
+            back.to_json(9, false).to_string(),
+            e.to_json(9, false).to_string()
+        );
+        assert_eq!(back.pretty(), e.pretty());
+    }
+
+    #[test]
+    fn wire_codec_rejects_malformed_documents() {
+        for bad in [
+            Json::object(),
+            Json::object().insert("level", "nope").insert("target", "t"),
+            Json::object()
+                .insert("level", "info")
+                .insert("target", "t")
+                .insert("event", "e")
+                .insert("fields", Json::Array(vec![Json::Number(1.0)])),
+            Json::object()
+                .insert("level", "info")
+                .insert("target", "t")
+                .insert("event", "e")
+                .insert(
+                    "fields",
+                    Json::Array(vec![Json::Array(vec![
+                        Json::String("k".to_string()),
+                        Json::Array(vec![]),
+                    ])]),
+                ),
+        ] {
+            assert!(Event::from_wire_json(&bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn capture_sink_drains_in_order_and_replays() {
+        let capture = CaptureSink::new(Level::Trace);
+        let obs = Obs::builder().sink(Arc::clone(&capture)).build();
+        crate::warn!(obs, "first", a = 1);
+        crate::debug!(obs, "second", b = "x");
+        assert_eq!(capture.len(), 2);
+        let events = capture.take();
+        assert!(capture.is_empty());
+        assert_eq!(events[0].name, "first");
+        assert_eq!(events[1].name, "second");
+        // Replaying through another Obs reaches its sinks verbatim.
+        let ring = RingSink::new(Level::Trace, 8);
+        let replay = Obs::builder().sink(Arc::clone(&ring)).build();
+        for ev in events {
+            replay.emit_event(ev);
+        }
+        let seen = ring.snapshot();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].name, "first");
+        assert_eq!(seen[1].fields[0].1, Value::Str("x".to_string()));
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = intern("cluster-test-string");
+        let b = intern("cluster-test-string");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "cluster-test-string");
     }
 
     #[test]

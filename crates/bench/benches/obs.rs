@@ -1,0 +1,6 @@
+//! `cargo bench` target for the `obs` suite; the benchmarks live in
+//! `ecad_bench::suites::obs`.
+
+fn main() {
+    ecad_bench::suites::bench_main("obs");
+}

@@ -17,6 +17,7 @@ pub mod engine;
 pub mod experiments;
 pub mod kernels;
 pub mod models;
+pub mod obs;
 
 /// Every suite, in (name, registration) form — the single registry
 /// `cargo bench` targets, `ecad bench run --suite`, and `--suite all`
@@ -27,6 +28,7 @@ pub const ALL: &[(&str, fn(&mut Criterion))] = &[
     ("experiments", experiments::register),
     ("kernels", kernels::register),
     ("models", models::register),
+    ("obs", obs::register),
 ];
 
 /// The registered suite names, in registry (sorted) order.

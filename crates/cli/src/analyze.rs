@@ -128,6 +128,14 @@ pub struct FaultSummary {
     pub resumes: usize,
     /// `checkpoint` events.
     pub checkpoints: usize,
+    /// `worker_lost` warnings (a remote slot exhausted its reconnect
+    /// budget and retired).
+    pub workers_lost: usize,
+    /// `cluster_degraded` warnings (every remote slot retired; the
+    /// run fell back to local evaluation).
+    pub degraded: usize,
+    /// `migration` events (island elites folded into the archive).
+    pub migrations: usize,
 }
 
 impl FaultSummary {
@@ -142,6 +150,9 @@ impl FaultSummary {
                 "infeasible" => s.infeasible += 1,
                 "resume" => s.resumes += 1,
                 "checkpoint" => s.checkpoints += 1,
+                "worker_lost" => s.workers_lost += 1,
+                "cluster_degraded" => s.degraded += 1,
+                "migration" => s.migrations += 1,
                 _ => {}
             }
         }
@@ -207,6 +218,12 @@ fn render_text(path: &str, rows: &[EpochRow], faults: &FaultSummary) -> String {
             faults.checkpoints, faults.resumes
         ));
     }
+    if faults.workers_lost > 0 || faults.degraded > 0 || faults.migrations > 0 {
+        out.push_str(&format!(
+            "cluster: {} worker(s) lost, {} degradation(s), {} migration(s)\n",
+            faults.workers_lost, faults.degraded, faults.migrations
+        ));
+    }
     out
 }
 
@@ -222,7 +239,10 @@ fn render_json(rows: &[EpochRow], faults: &FaultSummary) -> String {
         .insert("respawns", faults.respawns)
         .insert("infeasible", faults.infeasible)
         .insert("checkpoints", faults.checkpoints)
-        .insert("resumes", faults.resumes);
+        .insert("resumes", faults.resumes)
+        .insert("workers_lost", faults.workers_lost)
+        .insert("cluster_degraded", faults.degraded)
+        .insert("migrations", faults.migrations);
     let mut report = Json::object().insert("epochs", epochs);
     report = report.insert("summary", summary);
     let mut text = report.pretty();
@@ -369,6 +389,40 @@ mod tests {
             (faults.retries, faults.timeouts, faults.stalls),
             (1, 1, 1)
         );
+    }
+
+    #[test]
+    fn cluster_fault_counts_surface_in_both_renderings() {
+        let text = [
+            epoch_line(0, 1, 0.1, false),
+            warn_line(1, "worker_lost"),
+            warn_line(2, "worker_lost"),
+            warn_line(3, "cluster_degraded"),
+            warn_line(4, "migration"),
+        ]
+        .join("\n");
+        let events = parse_events("t.jsonl", &text).unwrap();
+        let faults = FaultSummary::count(&events);
+        assert_eq!(
+            (faults.workers_lost, faults.degraded, faults.migrations),
+            (2, 1, 1)
+        );
+        let report = render_text("t", &[], &faults);
+        assert!(report.contains("cluster: 2 worker(s) lost, 1 degradation(s), 1 migration(s)"));
+        let json = Json::parse(&render_json(&[], &faults)).unwrap();
+        let summary = json.get("summary").unwrap();
+        assert_eq!(
+            summary.get("workers_lost").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            summary.get("cluster_degraded").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(summary.get("migrations").and_then(Json::as_f64), Some(1.0));
+        // A fault-free trace stays silent about the cluster line.
+        let clean = render_text("t", &[], &FaultSummary::default());
+        assert!(!clean.contains("cluster:"));
     }
 
     #[test]

@@ -71,11 +71,12 @@ const USAGE: &str = "usage:
                    [--threshold-p95-ms MS] [--max-p95-regression-pct PCT]
                    [--window-size N] [--required-passes N]
                    [--dir DIR] [--format text|json]
-  ecad cluster worker --listen HOST:PORT [--log-level L]
+  ecad cluster worker --listen HOST:PORT [--log-level L] [--serve ADDR]
                    [--max-frame BYTES] [--io-timeout SECS] [--idle-timeout SECS]
   ecad cluster search --workers HOST:PORT,... [all `ecad search` flags]
                    [--net-timeout SECS] [--connect-retries N]
-                   [--reconnect-backoff-ms MS] [--island-every N] [--island-k N]";
+                   [--reconnect-backoff-ms MS] [--island-every N] [--island-k N]
+                   (--serve ADDR also exposes per-worker /workers JSON)";
 
 /// Runs the CLI against `argv` (program name excluded), returning the
 /// text to print.
@@ -304,8 +305,11 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
     config.evolution.max_retries = p.get_parse("max-retries", config.evolution.max_retries)?;
 
     let mut search = Search::from_config(&config, &dataset).obs(obs.clone());
+    let mut cluster_health = None;
     if let Some(options) = cluster_options {
-        search = search.cluster(options);
+        let health = std::sync::Arc::new(ClusterHealth::new(&options.workers));
+        cluster_health = Some(std::sync::Arc::clone(&health));
+        search = search.cluster(options).cluster_health(health);
     }
     let checkpoint_path = p.get("checkpoint").map(std::path::PathBuf::from);
     if let Some(path) = &checkpoint_path {
@@ -342,14 +346,21 @@ fn cmd_search(p: &Parsed) -> Result<String, CliError> {
     search = search.shutdown_flag(shutdown);
 
     // The observatory serves /metrics, /status, and /healthz for the
-    // duration of the run. It only *reads* engine state (the metrics
-    // registry and the shared status cell), so a served run's event
+    // duration of the run (plus /workers in cluster mode). It only
+    // *reads* engine state (the metrics registry, the shared status
+    // cell, and the cluster health registry), so a served run's event
     // trace stays byte-identical to an unserved one.
     let server = match serve_addr {
         Some(addr) => {
             let status = StatusCell::new();
             search = search.status(status.clone());
-            let handle = observatory(&obs, &status)
+            let routes = match &cluster_health {
+                Some(health) => {
+                    cluster_observatory(&obs, &status, std::sync::Arc::clone(health))
+                }
+                None => observatory(&obs, &status),
+            };
+            let handle = routes
                 .bind(addr)
                 .map_err(|e| CliError::Io(format!("--serve {addr}: {e}")))?;
             eprintln!("observatory listening on http://{}/", handle.addr());
@@ -474,7 +485,14 @@ fn parse_seconds(p: &Parsed, flag: &str) -> Result<Option<std::time::Duration>, 
 /// SIGINT/SIGTERM. One session at a time, matching the coordinator's
 /// one-job-per-connection dispatch.
 fn cmd_cluster_worker(p: &Parsed) -> Result<String, CliError> {
-    p.check_allowed(&["listen", "log-level", "max-frame", "io-timeout", "idle-timeout"])?;
+    p.check_allowed(&[
+        "listen",
+        "log-level",
+        "max-frame",
+        "io-timeout",
+        "idle-timeout",
+        "serve",
+    ])?;
     let addr = p.require("listen")?;
     let mut options = ecad_core::cluster::WorkerOptions::default();
     options.max_frame = p.get_parse("max-frame", options.max_frame)?;
@@ -484,7 +502,20 @@ fn cmd_cluster_worker(p: &Parsed) -> Result<String, CliError> {
     if let Some(secs) = parse_seconds(p, "idle-timeout")? {
         options.idle_timeout = secs;
     }
-    let obs = build_obs(p, false, None)?;
+    let serve_addr = p.get("serve");
+    let obs = build_obs(p, serve_addr.is_some(), None)?;
+    // The worker-side observatory: /healthz for liveness probes and
+    // /metrics for the worker's own registry (`worker.*` families).
+    let observer = match serve_addr {
+        Some(serve) => {
+            let handle = observatory(&obs, &StatusCell::new())
+                .bind(serve)
+                .map_err(|e| CliError::Io(format!("--serve {serve}: {e}")))?;
+            eprintln!("worker observatory listening on http://{}/", handle.addr());
+            Some(handle)
+        }
+        None => None,
+    };
     let server = ecad_core::cluster::WorkerServer::bind(addr, options, obs)
         .map_err(|e| CliError::Io(format!("--listen {addr}: {e}")))?;
     let local = server
@@ -505,6 +536,9 @@ fn cmd_cluster_worker(p: &Parsed) -> Result<String, CliError> {
     });
 
     server.run().map_err(|e| CliError::Io(e.to_string()))?;
+    if let Some(handle) = observer {
+        handle.stop();
+    }
     Ok(format!("cluster worker on {local} stopped\n"))
 }
 

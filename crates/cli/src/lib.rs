@@ -22,6 +22,8 @@
 //!               [--grid RxCxV[,ILMxILN]] [--banks N]
 //! ecad bench    run|list|trend|gate [--suite NAME] [--filter SUBSTR]
 //!               [--threshold-p95-ms MS] [--max-p95-regression-pct PCT]
+//! ecad cluster  worker --listen HOST:PORT [--serve ADDR]
+//! ecad cluster  search --workers HOST:PORT,... [--serve ADDR]
 //! ```
 
 #![warn(missing_docs)]

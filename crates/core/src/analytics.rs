@@ -830,6 +830,60 @@ pub fn observatory(obs: &Obs, status: &StatusCell) -> rt::http::Server {
         .route("/healthz", || rt::http::Response::ok("text/plain", "ok\n".to_string()))
 }
 
+/// The `/workers` JSON document: one entry per remote worker with its
+/// lifecycle state, freshness, the counters absorbed from its latest
+/// `Stats` frame, and the coordinator-side exchange-latency quantiles
+/// from that worker's labeled histogram. Reads only side-channel
+/// registries (health cells, metrics), so scraping never perturbs a
+/// seeded run.
+pub fn workers_json(obs: &Obs, health: &crate::cluster::ClusterHealth) -> Json {
+    let workers: Vec<Json> = health
+        .snapshot()
+        .into_iter()
+        .map(|w| {
+            let lat = obs.histogram_with("cluster.worker_eval_s", &[("worker", w.addr.as_str())]);
+            Json::object()
+                .insert("addr", w.addr.as_str())
+                .insert("state", w.state.as_str())
+                .insert(
+                    "last_seen_s",
+                    match w.last_seen_s {
+                        Some(s) => Json::Number(s),
+                        None => Json::Null,
+                    },
+                )
+                .insert("jobs", w.jobs)
+                .insert("train_s", w.train_s)
+                .insert("hw_s", w.hw_s)
+                .insert("panics", w.panics)
+                .insert("migrants", w.migrants)
+                .insert("eval_count", lat.count())
+                .insert("eval_p50_s", lat.quantile(0.5))
+                .insert("eval_p95_s", lat.quantile(0.95))
+        })
+        .collect();
+    Json::object()
+        .insert("degraded", health.degraded())
+        .insert("workers", workers)
+}
+
+/// [`observatory`] plus the cluster route table: `GET /workers` serves
+/// per-worker lifecycle state and telemetry alongside the standard
+/// `/metrics`, `/status`, and `/healthz`.
+pub fn cluster_observatory(
+    obs: &Obs,
+    status: &StatusCell,
+    health: Arc<crate::cluster::ClusterHealth>,
+) -> rt::http::Server {
+    let workers_obs = obs.clone();
+    observatory(obs, status).route("/workers", move || {
+        rt::http::Response::ok(
+            "application/json",
+            workers_json(&workers_obs, &health).to_string(),
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1228,6 +1282,54 @@ mod tests {
         assert_eq!(json.get("running"), Some(&Json::Bool(true)));
 
         assert_eq!(get("/healthz"), (200, "ok\n".to_string()));
+        handle.stop();
+    }
+
+    #[test]
+    fn cluster_observatory_serves_worker_health() {
+        use std::io::{Read as _, Write as _};
+
+        use crate::cluster::{ClusterHealth, WorkerState};
+
+        let obs = Obs::builder().build();
+        let health = Arc::new(ClusterHealth::new(&[
+            "10.0.0.1:7000".to_string(),
+            "10.0.0.2:7000".to_string(),
+        ]));
+        health.set_state(0, WorkerState::Connected);
+        health.mark_seen(0);
+        health.record_stats(0, 7, 1.5, 0.5, 1, 2);
+        health.set_state(1, WorkerState::Lost);
+        health.set_degraded();
+        obs.histogram_with("cluster.worker_eval_s", &[("worker", "10.0.0.1:7000")])
+            .record(0.25);
+
+        let handle = cluster_observatory(&obs, &StatusCell::new(), Arc::clone(&health))
+            .bind("127.0.0.1:0")
+            .expect("bind cluster observatory");
+        let mut s = std::net::TcpStream::connect(handle.addr()).unwrap();
+        write!(s, "GET /workers HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        let body = text.split_once("\r\n\r\n").map(|x| x.1.to_string()).unwrap();
+        let json = Json::parse(&body).expect("/workers is json");
+        assert_eq!(json.get("degraded"), Some(&Json::Bool(true)));
+        let workers = json.get("workers").and_then(Json::as_array).unwrap();
+        assert_eq!(workers.len(), 2);
+        let w0 = &workers[0];
+        assert_eq!(w0.get("addr").and_then(Json::as_str), Some("10.0.0.1:7000"));
+        assert_eq!(w0.get("state").and_then(Json::as_str), Some("connected"));
+        assert!(w0.get("last_seen_s").and_then(Json::as_f64).is_some());
+        assert_eq!(w0.get("jobs").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(w0.get("panics").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(w0.get("migrants").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(w0.get("eval_count").and_then(Json::as_f64), Some(1.0));
+        let p50 = w0.get("eval_p50_s").and_then(Json::as_f64).unwrap();
+        assert!((p50 - 0.25).abs() < 0.05, "bucketed p50 near 0.25, got {p50}");
+        let w1 = &workers[1];
+        assert_eq!(w1.get("state").and_then(Json::as_str), Some("lost"));
+        assert_eq!(w1.get("last_seen_s"), Some(&Json::Null));
+        assert_eq!(w1.get("eval_count").and_then(Json::as_f64), Some(0.0));
         handle.stop();
     }
 }

@@ -105,6 +105,10 @@ pub struct ClusterOptions {
     pub island_k: usize,
     /// Frame-size ceiling for every connection.
     pub max_frame: usize,
+    /// Workers piggyback a `Stats` telemetry frame after every N
+    /// `Evaluated` responses (`0` disables periodic stats; a final
+    /// frame still precedes `Bye` so profiles survive short runs).
+    pub stats_every: usize,
 }
 
 impl Default for ClusterOptions {
@@ -117,6 +121,7 @@ impl Default for ClusterOptions {
             island_every: 0,
             island_k: 2,
             max_frame: rt::net::DEFAULT_MAX_FRAME,
+            stats_every: 4,
         }
     }
 }
@@ -130,6 +135,176 @@ pub struct ClusterPlan {
     /// The session-opening payload (datasets, trainer, device, space,
     /// objectives, seed, island config).
     pub setup: SetupPayload,
+}
+
+// ---------------------------------------------------------------------------
+// Cluster health
+// ---------------------------------------------------------------------------
+
+/// Lifecycle state of one remote worker slot, as the coordinator sees
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Slot spawned, first connection not yet established.
+    Connecting,
+    /// Session live; jobs flow.
+    Connected,
+    /// Connection dropped; the slot is retrying with backoff.
+    Reconnecting,
+    /// Retries exhausted; the slot retired.
+    Lost,
+}
+
+impl WorkerState {
+    /// The lowercase label `/workers` serves.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WorkerState::Connecting => "connecting",
+            WorkerState::Connected => "connected",
+            WorkerState::Reconnecting => "reconnecting",
+            WorkerState::Lost => "lost",
+        }
+    }
+}
+
+/// A point-in-time view of one worker, as served by `/workers`.
+#[derive(Debug, Clone)]
+pub struct WorkerHealthSnapshot {
+    /// Worker address (`host:port`).
+    pub addr: String,
+    /// Lifecycle state.
+    pub state: WorkerState,
+    /// Seconds since the last frame arrived from this worker (`None`
+    /// before the first).
+    pub last_seen_s: Option<f64>,
+    /// Jobs this worker has completed (from its latest `Stats` frame,
+    /// so it trails the live count by up to the stats cadence).
+    pub jobs: u64,
+    /// Cumulative training wall seconds (latest `Stats`).
+    pub train_s: f64,
+    /// Cumulative hardware-model wall seconds (latest `Stats`).
+    pub hw_s: f64,
+    /// Worker-side panics (latest `Stats`).
+    pub panics: u64,
+    /// Island migrants shipped (latest `Stats`).
+    pub migrants: u64,
+}
+
+#[derive(Debug)]
+struct WorkerHealthCell {
+    addr: String,
+    state: WorkerState,
+    last_seen: Option<Instant>,
+    jobs: u64,
+    train_s: f64,
+    hw_s: f64,
+    panics: u64,
+    migrants: u64,
+}
+
+/// Shared per-worker health registry: the engine's remote slots write
+/// state transitions and absorbed `Stats` counters; the `/workers`
+/// endpoint reads snapshots. Read-only on the serving side, so `--serve`
+/// keeps the byte-identity trace contract.
+#[derive(Debug)]
+pub struct ClusterHealth {
+    cells: std::sync::Mutex<Vec<WorkerHealthCell>>,
+    degraded: AtomicBool,
+}
+
+impl ClusterHealth {
+    /// A registry with one `Connecting` cell per worker address.
+    pub fn new(addrs: &[String]) -> Self {
+        Self {
+            cells: std::sync::Mutex::new(
+                addrs
+                    .iter()
+                    .map(|addr| WorkerHealthCell {
+                        addr: addr.clone(),
+                        state: WorkerState::Connecting,
+                        last_seen: None,
+                        jobs: 0,
+                        train_s: 0.0,
+                        hw_s: 0.0,
+                        panics: 0,
+                        migrants: 0,
+                    })
+                    .collect(),
+            ),
+            degraded: AtomicBool::new(false),
+        }
+    }
+
+    fn with_cell(&self, slot: usize, f: impl FnOnce(&mut WorkerHealthCell)) {
+        let mut cells = self
+            .cells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(cell) = cells.get_mut(slot) {
+            f(cell);
+        }
+    }
+
+    /// Records a state transition for `slot`.
+    pub fn set_state(&self, slot: usize, state: WorkerState) {
+        self.with_cell(slot, |c| c.state = state);
+    }
+
+    /// Marks a frame received from `slot` now.
+    pub fn mark_seen(&self, slot: usize) {
+        self.with_cell(slot, |c| c.last_seen = Some(Instant::now()));
+    }
+
+    /// Folds an absorbed `Stats` frame's counters into `slot`.
+    pub fn record_stats(
+        &self,
+        slot: usize,
+        jobs: u64,
+        train_s: f64,
+        hw_s: f64,
+        panics: u64,
+        migrants: u64,
+    ) {
+        self.with_cell(slot, |c| {
+            c.jobs = jobs;
+            c.train_s = train_s;
+            c.hw_s = hw_s;
+            c.panics = panics;
+            c.migrants = migrants;
+        });
+    }
+
+    /// Flags that every remote is gone and the engine fell back to
+    /// local evaluation slots.
+    pub fn set_degraded(&self) {
+        self.degraded.store(true, Ordering::Release);
+    }
+
+    /// Whether the cluster degraded to local slots.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Snapshots every worker cell.
+    pub fn snapshot(&self) -> Vec<WorkerHealthSnapshot> {
+        let cells = self
+            .cells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        cells
+            .iter()
+            .map(|c| WorkerHealthSnapshot {
+                addr: c.addr.clone(),
+                state: c.state,
+                last_seen_s: c.last_seen.map(|t| t.elapsed().as_secs_f64()),
+                jobs: c.jobs,
+                train_s: c.train_s,
+                hw_s: c.hw_s,
+                panics: c.panics,
+                migrants: c.migrants,
+            })
+            .collect()
+    }
 }
 
 /// A migrant an island shipped to the coordinator.
@@ -451,11 +626,18 @@ pub struct SetupPayload {
     pub island_every: usize,
     /// Island brood size per migration.
     pub island_k: usize,
+    /// When set (`"wall"` / `"ticks"`), the worker profiles each
+    /// evaluation under a session-local `rt::prof` profiler with this
+    /// clock and ships its subtree in `Stats` frames. The ticks clock
+    /// makes the subtree deterministic for a fixed job stream.
+    pub profile_clock: Option<String>,
+    /// `Stats` cadence in jobs (`0` = final frame only).
+    pub stats_every: usize,
 }
 
 impl SetupPayload {
     fn to_json(&self, stamp: u64) -> Result<Json, NetError> {
-        Ok(Json::object()
+        let j = Json::object()
             .insert("seed", format!("{:016x}", self.seed))
             .insert("stamp", format!("{stamp:016x}"))
             .insert("train", dataset_to_json(&self.train))
@@ -465,7 +647,12 @@ impl SetupPayload {
             .insert("space", space_to_json(&self.space))
             .insert("objectives", objectives_to_json(&self.objectives))
             .insert("island_every", self.island_every)
-            .insert("island_k", self.island_k))
+            .insert("island_k", self.island_k)
+            .insert("stats_every", self.stats_every);
+        Ok(match &self.profile_clock {
+            Some(clock) => j.insert("profile_clock", clock.as_str()),
+            None => j,
+        })
     }
 
     fn from_json(j: &Json) -> Result<(Self, u64), NetError> {
@@ -489,6 +676,17 @@ impl SetupPayload {
             objectives: objectives_from_json(j, "objectives")?,
             island_every: get_usize(j, "island_every")?,
             island_k: get_usize(j, "island_k")?,
+            // Optional so a newer worker accepts an older coordinator's
+            // setup frame (absent = telemetry off).
+            profile_clock: j
+                .get("profile_clock")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            stats_every: if j.get("stats_every").is_some() {
+                get_usize(j, "stats_every")?
+            } else {
+                0
+            },
         };
         Ok((payload, get_u64_hex(j, "stamp")?))
     }
@@ -593,6 +791,26 @@ pub enum WorkerResponse {
     },
     /// Island/elite state dropped.
     Purged,
+    /// Periodic telemetry piggybacked on the session: cumulative
+    /// session counters plus an optional `rt::prof` subtree export.
+    /// Sent after every `stats_every`-th `Evaluated` and once more
+    /// immediately before `Bye`; snapshots are cumulative, so the
+    /// coordinator keeps only the latest per worker.
+    Stats {
+        /// Jobs evaluated this session.
+        jobs: u64,
+        /// Cumulative candidate-training wall seconds.
+        train_s: f64,
+        /// Cumulative hardware-model wall seconds.
+        hw_s: f64,
+        /// Evaluations that panicked worker-side.
+        panics: u64,
+        /// Island migrants shipped so far.
+        migrants: u64,
+        /// Profile subtree (`ProfileNode::to_json`) when the setup
+        /// requested a profile clock.
+        profile: Option<Json>,
+    },
     /// Acknowledges `KillAll`; the worker is exiting.
     Bye,
 }
@@ -635,6 +853,26 @@ impl WorkerResponse {
                     ),
                 ),
             WorkerResponse::Purged => Json::object().insert("resp", "purged"),
+            WorkerResponse::Stats {
+                jobs,
+                train_s,
+                hw_s,
+                panics,
+                migrants,
+                profile,
+            } => {
+                let j = Json::object()
+                    .insert("resp", "stats")
+                    .insert("jobs", *jobs)
+                    .insert("train_s", *train_s)
+                    .insert("hw_s", *hw_s)
+                    .insert("panics", *panics)
+                    .insert("migrants", *migrants);
+                match profile {
+                    Some(p) => j.insert("profile", p.clone()),
+                    None => j,
+                }
+            }
             WorkerResponse::Bye => Json::object().insert("resp", "bye"),
         }
     }
@@ -681,6 +919,14 @@ impl WorkerResponse {
                     .collect::<Result<Vec<_>, NetError>>()?,
             },
             "purged" => WorkerResponse::Purged,
+            "stats" => WorkerResponse::Stats {
+                jobs: get_usize(j, "jobs")? as u64,
+                train_s: get_f64(j, "train_s")?,
+                hw_s: get_f64(j, "hw_s")?,
+                panics: get_usize(j, "panics")? as u64,
+                migrants: get_usize(j, "migrants")? as u64,
+                profile: j.get("profile").cloned(),
+            },
             "bye" => WorkerResponse::Bye,
             other => return Err(wire_err(format!("unknown response {other:?}"))),
         })
@@ -811,6 +1057,17 @@ struct WorkerSession {
     capture: Arc<CaptureSink>,
     stamp: u64,
     island: Option<Island>,
+    /// Session-local profiler (own tick domain, never attached to the
+    /// capture `Obs`, so replayed events are unaffected); its subtree
+    /// ships in `Stats` frames.
+    profiler: Option<rt::prof::Profiler>,
+    stats_every: usize,
+    jobs_since_stats: usize,
+    jobs: u64,
+    train_s: f64,
+    hw_s: f64,
+    panics: u64,
+    migrants_sent: u64,
 }
 
 impl WorkerSession {
@@ -826,16 +1083,33 @@ impl WorkerSession {
         )
         .with_obs(capture_obs);
         let island = Island::new(setup, stamp);
+        let profiler = setup
+            .profile_clock
+            .as_deref()
+            .and_then(rt::prof::ClockKind::parse)
+            .map(|clock| rt::prof::Profiler::with_root(clock, "worker"));
         Self {
             evaluator,
             capture,
             stamp,
             island,
+            profiler,
+            stats_every: setup.stats_every,
+            jobs_since_stats: 0,
+            jobs: 0,
+            train_s: 0.0,
+            hw_s: 0.0,
+            panics: 0,
+            migrants_sent: 0,
         }
     }
 
     fn evaluate(&mut self, id: u64, stamp: u64, genome: &CandidateGenome) -> WorkerResponse {
         let started = Instant::now();
+        // Ambient install: kernel/model `prof_span!`s inside the
+        // evaluator nest under an `evaluate` phase of the session tree.
+        let install = self.profiler.as_ref().map(rt::prof::Profiler::install);
+        let eval_span = self.profiler.as_ref().map(|p| p.enter("evaluate"));
         let (measurement, panicked) =
             match catch_unwind(AssertUnwindSafe(|| self.evaluator.evaluate(genome))) {
                 Ok(m) => (m, false),
@@ -845,18 +1119,28 @@ impl WorkerSession {
                     (m, true)
                 }
             };
+        drop(eval_span);
         // The job's own events, drained before any island work so
         // island-local evaluations never leak into the replay stream.
         let events = self.capture.take();
         let migrants = match &mut self.island {
             Some(island) => {
+                let island_span = self.profiler.as_ref().map(|p| p.enter("island"));
                 island.observe(genome, &measurement);
                 let migrants = island.step(&self.evaluator);
+                drop(island_span);
                 self.capture.take(); // discard island-local events
                 migrants
             }
             None => Vec::new(),
         };
+        drop(install);
+        self.jobs += 1;
+        self.jobs_since_stats += 1;
+        self.train_s += measurement.train_time_s;
+        self.hw_s += measurement.hw_time_s;
+        self.panics += u64::from(panicked);
+        self.migrants_sent += migrants.len() as u64;
         WorkerResponse::Evaluated {
             id,
             stamp,
@@ -865,6 +1149,31 @@ impl WorkerSession {
             events,
             migrants,
         }
+    }
+
+    /// The cumulative telemetry frame for this session.
+    fn stats(&self) -> WorkerResponse {
+        WorkerResponse::Stats {
+            jobs: self.jobs,
+            train_s: self.train_s,
+            hw_s: self.hw_s,
+            panics: self.panics,
+            migrants: self.migrants_sent,
+            profile: self
+                .profiler
+                .as_ref()
+                .map(|p| p.report().to_json()),
+        }
+    }
+
+    /// A `Stats` frame when the periodic cadence is due (resets the
+    /// cadence counter).
+    fn periodic_stats(&mut self) -> Option<WorkerResponse> {
+        if self.stats_every == 0 || self.jobs_since_stats < self.stats_every {
+            return None;
+        }
+        self.jobs_since_stats = 0;
+        Some(self.stats())
     }
 }
 
@@ -1002,7 +1311,30 @@ impl WorkerServer {
                     }
                     rt::debug!(self.obs, "job", id = id as usize);
                     let response = s.evaluate(id, stamp, &genome);
+                    if let WorkerResponse::Evaluated {
+                        measurement,
+                        panicked,
+                        migrants,
+                        ..
+                    } = &response
+                    {
+                        self.obs.counter("worker.jobs").inc();
+                        self.obs.histogram("worker.eval_s").record(measurement.eval_time_s);
+                        self.obs.gauge("worker.train_wall_s").set(s.train_s);
+                        self.obs.gauge("worker.hw_wall_s").set(s.hw_s);
+                        if *panicked {
+                            self.obs.counter("worker.panics").inc();
+                        }
+                        if !migrants.is_empty() {
+                            self.obs.counter("worker.migrants").add(migrants.len() as u64);
+                        }
+                    }
                     conn.send(&response.to_json())?;
+                    // Piggyback cumulative telemetry every N jobs; the
+                    // coordinator absorbs it while draining replies.
+                    if let Some(stats) = s.periodic_stats() {
+                        conn.send(&stats.to_json())?;
+                    }
                 }
                 CoordinatorRequest::Purge => {
                     if let Some(s) = session.as_mut() {
@@ -1015,6 +1347,12 @@ impl WorkerServer {
                     conn.send(&WorkerResponse::Purged.to_json())?;
                 }
                 CoordinatorRequest::KillAll => {
+                    // Final cumulative stats precede the goodbye so the
+                    // coordinator's master profile always includes this
+                    // worker's full subtree, even on short runs.
+                    if let Some(s) = session.as_ref() {
+                        conn.send(&s.stats().to_json())?;
+                    }
                     conn.send(&WorkerResponse::Bye.to_json())?;
                     return Ok(SessionEnd::Killed);
                 }
@@ -1065,6 +1403,8 @@ mod tests {
             objectives: ObjectiveSet::accuracy_only(),
             island_every,
             island_k: 2,
+            profile_clock: None,
+            stats_every: 0,
         }
     }
 
@@ -1082,7 +1422,9 @@ mod tests {
 
     #[test]
     fn setup_round_trips() {
-        let setup = setup_payload(3);
+        let mut setup = setup_payload(3);
+        setup.profile_clock = Some("ticks".to_string());
+        setup.stats_every = 5;
         let wire = setup.to_json(0xDEAD_BEEF).unwrap();
         let reparsed = Json::parse(&wire.to_string()).unwrap();
         let (back, stamp) = SetupPayload::from_json(&reparsed).unwrap();
@@ -1091,11 +1433,22 @@ mod tests {
         assert_eq!(back.trainer, setup.trainer);
         assert_eq!(back.space, setup.space);
         assert_eq!(back.island_every, 3);
+        assert_eq!(back.profile_clock.as_deref(), Some("ticks"));
+        assert_eq!(back.stats_every, 5);
         assert_eq!(back.target.device_name(), setup.target.device_name());
         assert_eq!(
             back.objectives.objectives().len(),
             setup.objectives.objectives().len()
         );
+
+        // Telemetry fields are optional on the wire: a frame without
+        // them (older coordinator) still parses with telemetry off.
+        let stripped = setup_payload(0).to_json(0x1).unwrap();
+        let text = stripped.to_string().replace(",\"stats_every\":0", "");
+        assert!(!text.contains("stats_every"), "field stripped: {text}");
+        let (legacy, _) = SetupPayload::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(legacy.profile_clock, None);
+        assert_eq!(legacy.stats_every, 0);
     }
 
     #[test]
@@ -1158,6 +1511,54 @@ mod tests {
                     Some(crate::measurement::FailureKind::Transient)
                 ));
             }
+            other => panic!("wrong variant {other:?}"),
+        }
+
+        let profile = rt::prof::ProfileNode {
+            name: "worker".to_string(),
+            total_ns: 3000,
+            self_ns: 1000,
+            calls: 2,
+            children: Vec::new(),
+        };
+        let stats = WorkerResponse::Stats {
+            jobs: 8,
+            train_s: 1.5,
+            hw_s: 0.25,
+            panics: 1,
+            migrants: 4,
+            profile: Some(profile.to_json()),
+        };
+        let wire = Json::parse(&stats.to_json().to_string()).unwrap();
+        match WorkerResponse::from_json(&wire).unwrap() {
+            WorkerResponse::Stats {
+                jobs,
+                train_s,
+                hw_s,
+                panics,
+                migrants,
+                profile,
+            } => {
+                assert_eq!((jobs, panics, migrants), (8, 1, 4));
+                assert_eq!((train_s, hw_s), (1.5, 0.25));
+                let node = rt::prof::ProfileNode::from_json(&profile.expect("profile"))
+                    .expect("profile parses");
+                assert_eq!((node.name.as_str(), node.total_ns), ("worker", 3000));
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        // Profile-less stats (no profiler requested) round-trip too.
+        let bare = WorkerResponse::Stats {
+            jobs: 0,
+            train_s: 0.0,
+            hw_s: 0.0,
+            panics: 0,
+            migrants: 0,
+            profile: None,
+        };
+        let wire = Json::parse(&bare.to_json().to_string()).unwrap();
+        match WorkerResponse::from_json(&wire).unwrap() {
+            WorkerResponse::Stats { profile, .. } => assert!(profile.is_none()),
             other => panic!("wrong variant {other:?}"),
         }
     }

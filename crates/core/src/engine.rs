@@ -37,7 +37,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -51,8 +51,8 @@ use rt::sync::channel::{self, Receiver, RecvTimeoutError, Sender};
 use crate::analytics::{AnalyticsConfig, EpochTracker, OperatorKind, StatusCell};
 use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointState, PendingJob};
 use crate::cluster::{
-    addr_salt, ClusterPlan, CoordinatorRequest, Migrant, WorkerResponse, COORDINATOR_ROLE,
-    WORKER_ROLE,
+    addr_salt, ClusterHealth, ClusterPlan, CoordinatorRequest, Migrant, WorkerResponse,
+    WorkerState, COORDINATOR_ROLE, WORKER_ROLE,
 };
 use crate::fitness::ObjectiveSet;
 use crate::genome::CandidateGenome;
@@ -148,8 +148,24 @@ pub struct Evaluated {
     pub fitness: f64,
 }
 
+/// Coordinator-observed latency estimate for one remote worker — the
+/// hook for future speed-aware scheduling. Quantiles come from the
+/// engine's per-worker log-histograms, so they cost nothing extra on
+/// the hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerLatency {
+    /// Worker address (`host:port`).
+    pub addr: String,
+    /// Successful jobs measured.
+    pub jobs: u64,
+    /// Median job round-trip, seconds (dispatch → evaluated).
+    pub p50_s: f64,
+    /// 95th-percentile job round-trip, seconds.
+    pub p95_s: f64,
+}
+
 /// Run-time statistics in the shape of the paper's Table III.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineStats {
     /// Unique NNA/HW combinations evaluated.
     pub models_evaluated: usize,
@@ -180,6 +196,9 @@ pub struct EngineStats {
     /// Worker slots abandoned and relaunched after holding a timed-out
     /// claim.
     pub respawn_count: usize,
+    /// Per-remote-worker latency estimates (empty on local runs and
+    /// when the metrics registry is disabled).
+    pub worker_latency: Vec<WorkerLatency>,
 }
 
 /// Everything a finished search produces.
@@ -222,6 +241,7 @@ pub struct Engine {
     shutdown: ShutdownFlag,
     status: StatusCell,
     cluster: Option<ClusterPlan>,
+    cluster_health: Option<Arc<ClusterHealth>>,
 }
 
 /// The ledger payload: what travels with each dispatched evaluation
@@ -411,11 +431,103 @@ struct RemoteSession {
 
 impl RemoteSession {
     /// Best-effort `kill_all` on shutdown: the worker's listen loop
-    /// exits once the coordinator is done with it.
-    fn kill(mut self) {
+    /// exits once the coordinator is done with it. The worker sends a
+    /// final cumulative `Stats` frame (its complete profile subtree)
+    /// before `Bye`; absorb it so short runs still graft every
+    /// worker's tree into the master profile.
+    fn kill(mut self, telemetry: &SlotTelemetry) {
         if let Ok(req) = CoordinatorRequest::KillAll.to_json() {
             if self.conn.send(&req).is_ok() {
-                let _ = self.conn.recv(); // Bye, or a dead peer — either way done
+                // Bounded drain: Bye, or a dead peer — either way done.
+                for _ in 0..8 {
+                    let Ok(frame) = self.conn.recv() else { break };
+                    match WorkerResponse::from_json(&frame) {
+                        Ok(stats @ WorkerResponse::Stats { .. }) => telemetry.absorb(&stats),
+                        Ok(WorkerResponse::Bye) | Err(_) => break,
+                        Ok(_) => {} // stale frame; keep draining
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Out-of-band telemetry context for one remote slot: labeled metric
+/// handles, the shared health registry, and the coordinator profiler
+/// that worker subtrees graft into. Everything absorbed here lands in
+/// read-only side channels (metrics registry, health cells, profile
+/// grafts) — never the trace, the RNG streams, or the ledger — so the
+/// byte-identity contracts are untouched.
+struct SlotTelemetry {
+    addr: String,
+    index: usize,
+    health: Option<Arc<ClusterHealth>>,
+    profiler: Option<rt::prof::Profiler>,
+    jobs: rt::obs::Gauge,
+    train_s: rt::obs::Gauge,
+    hw_s: rt::obs::Gauge,
+    panics: rt::obs::Gauge,
+    migrants: rt::obs::Gauge,
+    latency: rt::obs::HistogramHandle,
+}
+
+impl SlotTelemetry {
+    fn new(addr: String, index: usize, health: Option<Arc<ClusterHealth>>, obs: &Obs) -> Self {
+        let labels: &[(&str, &str)] = &[("worker", addr.as_str())];
+        Self {
+            jobs: obs.gauge_with("cluster.worker_jobs", labels),
+            train_s: obs.gauge_with("cluster.worker_train_s", labels),
+            hw_s: obs.gauge_with("cluster.worker_hw_s", labels),
+            panics: obs.gauge_with("cluster.worker_panics", labels),
+            migrants: obs.gauge_with("cluster.worker_migrants", labels),
+            latency: obs.histogram_with("cluster.worker_eval_s", labels),
+            profiler: obs.profiler(),
+            addr,
+            index,
+            health,
+        }
+    }
+
+    fn set_state(&self, state: WorkerState) {
+        if let Some(h) = &self.health {
+            h.set_state(self.index, state);
+        }
+    }
+
+    fn mark_seen(&self) {
+        if let Some(h) = &self.health {
+            h.mark_seen(self.index);
+        }
+    }
+
+    /// Folds one absorbed `Stats` frame into the telemetry plane:
+    /// labeled gauges, the health cell, and (when both sides profile)
+    /// a replace-by-name graft of the worker's subtree under
+    /// `worker:<addr>` in the master tree.
+    fn absorb(&self, resp: &WorkerResponse) {
+        let WorkerResponse::Stats {
+            jobs,
+            train_s,
+            hw_s,
+            panics,
+            migrants,
+            profile,
+        } = resp
+        else {
+            return;
+        };
+        self.jobs.set(*jobs as f64);
+        self.train_s.set(*train_s);
+        self.hw_s.set(*hw_s);
+        self.panics.set(*panics as f64);
+        self.migrants.set(*migrants as f64);
+        if let Some(h) = &self.health {
+            h.record_stats(self.index, *jobs, *train_s, *hw_s, *panics, *migrants);
+        }
+        self.mark_seen();
+        if let (Some(profiler), Some(p)) = (&self.profiler, profile) {
+            if let Some(node) = rt::prof::ProfileNode::from_json(p) {
+                profiler.attach_subtree(&format!("worker:{}", self.addr), node);
             }
         }
     }
@@ -470,6 +582,7 @@ fn remote_exchange(
     id: usize,
     genome: &CandidateGenome,
     obs: &Obs,
+    telemetry: &SlotTelemetry,
 ) -> Result<
     (
         Measurement,
@@ -489,7 +602,17 @@ fn remote_exchange(
         .map_err(RemoteFailure::from)?,
     )
     .map_err(RemoteFailure::from)?;
-    let frame = session.conn.recv().map_err(RemoteFailure::from)?;
+    // Workers piggyback cumulative `Stats` frames on the session;
+    // absorb any that precede the answer (telemetry is out-of-band, so
+    // this never changes what the ledger sees).
+    let frame = loop {
+        let frame = session.conn.recv().map_err(RemoteFailure::from)?;
+        if let Ok(stats @ WorkerResponse::Stats { .. }) = WorkerResponse::from_json(&frame) {
+            telemetry.absorb(&stats);
+            continue;
+        }
+        break frame;
+    };
     match WorkerResponse::from_json(&frame).map_err(RemoteFailure::from)? {
         WorkerResponse::Evaluated {
             id: rid,
@@ -532,15 +655,20 @@ fn spawn_remote_slot(
     addr: String,
     plan: ClusterPlan,
     seed: u64,
+    index: usize,
     req_rx: Receiver<(usize, CandidateGenome)>,
+    forward: Sender<(usize, CandidateGenome)>,
     res_tx: Sender<(usize, CandidateGenome, Measurement)>,
     mig_tx: Sender<Migrant>,
     live: Arc<AtomicUsize>,
+    alive: Arc<Vec<AtomicBool>>,
+    health: Option<Arc<ClusterHealth>>,
     done: Sender<()>,
     obs: Obs,
 ) {
     supervisor.spawn(move |ctx| {
         let opts = &plan.options;
+        let telemetry = SlotTelemetry::new(addr.clone(), index, health.clone(), &obs);
         let mut session: Option<RemoteSession> = None;
         let mut connects: u64 = 0;
         // Seeded jitter so a cluster's reconnect storms de-correlate
@@ -553,7 +681,7 @@ fn spawn_remote_slot(
                 Ok(job) => job,
                 Err(_) => {
                     if let Some(s) = session.take() {
-                        s.kill();
+                        s.kill(&telemetry);
                     }
                     let _ = done.send(());
                     return;
@@ -562,7 +690,11 @@ fn spawn_remote_slot(
             ctx.claim(id as u64);
             let started = Instant::now();
             let m = {
-                let _span = rt::span!(obs, "evaluate", worker = ctx.slot(), id = id);
+                // Detached: never consults an ambient profiler, so the
+                // worker's own tick domain (grafted via `Stats`) stays
+                // the only profile this slot contributes, and the close
+                // event stays byte-identical to a local slot's.
+                let _span = rt::span_detached!(obs, "evaluate", worker = ctx.slot(), id = id);
                 // (Re)connect with seeded backoff, bounded by the
                 // reconnect budget.
                 let mut failure: Option<RemoteFailure> = None;
@@ -579,6 +711,8 @@ fn spawn_remote_slot(
                                 slot = ctx.slot(),
                                 stamp = format!("{stamp:016x}"),
                             );
+                            telemetry.set_state(WorkerState::Connected);
+                            telemetry.mark_seen();
                             session = Some(s);
                         }
                         Err(e) => {
@@ -590,6 +724,7 @@ fn spawn_remote_slot(
                                 attempt = attempt,
                                 error = e.to_string(),
                             );
+                            telemetry.set_state(WorkerState::Reconnecting);
                             if !e.is_transient() || attempt >= opts.connect_retries.max(1) {
                                 failure = Some(RemoteFailure::Permanent(e.to_string()));
                                 break;
@@ -604,11 +739,13 @@ fn spawn_remote_slot(
                 }
                 let outcome = match (&mut session, failure) {
                     (_, Some(f)) => Err(f),
-                    (Some(s), None) => remote_exchange(s, id, &genome, &obs),
+                    (Some(s), None) => remote_exchange(s, id, &genome, &obs, &telemetry),
                     (None, None) => unreachable!("no session and no failure"),
                 };
                 match outcome {
                     Ok((m, panicked, events, migrants)) => {
+                        telemetry.mark_seen();
+                        telemetry.latency.record(started.elapsed().as_secs_f64());
                         // Replay the worker's captured evaluation events
                         // inside this span, so the coordinator's JSONL is
                         // byte-identical to a local run's.
@@ -639,6 +776,7 @@ fn spawn_remote_slot(
                             addr = addr.as_str(),
                             error = reason.as_str(),
                         );
+                        telemetry.set_state(WorkerState::Reconnecting);
                         session = None;
                         let mut m = Measurement::infeasible(InfeasibleReason::Transient(
                             format!("net: {reason}"),
@@ -654,6 +792,14 @@ fn spawn_remote_slot(
                             addr = addr.as_str(),
                             error = reason.as_str(),
                         );
+                        telemetry.set_state(WorkerState::Lost);
+                        // Retire the routing flag *before* the transient
+                        // result reaches the master: the retry it
+                        // triggers must route to a surviving slot (or
+                        // the shared queue), never back here, or it
+                        // would burn a third strike of the retry budget.
+                        alive[index].store(false, Ordering::Release);
+                        live.fetch_sub(1, Ordering::AcqRel);
                         session = None;
                         let mut m = Measurement::infeasible(InfeasibleReason::Transient(
                             format!("worker lost: {reason}"),
@@ -666,20 +812,53 @@ fn spawn_remote_slot(
             ctx.release(id as u64);
             if res_tx.send((id, genome, m)).is_err() || !ctx.is_current() {
                 if let Some(s) = session.take() {
-                    s.kill();
+                    s.kill(&telemetry);
                 }
                 let _ = done.send(());
                 return;
             }
             if lost {
-                // Retire the slot; the degradation watchdog notices
-                // when the last one goes.
-                live.fetch_sub(1, Ordering::AcqRel);
+                // The routing flag flipped before the transient result
+                // went out, so new jobs avoid this queue; forward any
+                // that raced the flip to the shared queue, where the
+                // degradation path's local slots (or surviving remote
+                // fallback) evaluate them properly. The done ack waits
+                // for the master to drop this slot's queue.
+                while let Ok(job) = req_rx.recv() {
+                    let _ = forward.send(job);
+                }
                 let _ = done.send(());
                 return;
             }
         }
     });
+}
+
+/// Routes one dispatched job. Cluster jobs go to slot `id % n` — a
+/// deterministic assignment, so each worker's job stream (and hence
+/// its ticks-clock profile subtree) is reproducible — falling back to
+/// the next alive slot once one retires. Retired slots keep draining
+/// their queue and bounce jobs back as transients, so nothing is lost
+/// in the race between routing and retirement. Jobs fall through to
+/// the shared local queue when no remote slot remains (the
+/// degradation path's local slots consume it).
+fn route_job(
+    remote_txs: &[Sender<(usize, CandidateGenome)>],
+    alive: &[AtomicBool],
+    local_tx: &Sender<(usize, CandidateGenome)>,
+    id: usize,
+    genome: CandidateGenome,
+) {
+    let n = remote_txs.len();
+    for k in 0..n {
+        let slot = (id + k) % n;
+        if alive[slot].load(Ordering::Acquire)
+            && remote_txs[slot].send((id, genome.clone())).is_ok()
+        {
+            return;
+        }
+    }
+    local_tx.send((id, genome)).expect("workers alive");
 }
 
 impl Engine {
@@ -715,6 +894,7 @@ impl Engine {
             shutdown: ShutdownFlag::new(),
             status: StatusCell::new(),
             cluster: None,
+            cluster_health: None,
         }
     }
 
@@ -775,6 +955,15 @@ impl Engine {
     /// engine state, so a live observer cannot perturb the search.
     pub fn with_status(mut self, status: StatusCell) -> Self {
         self.status = status;
+        self
+    }
+
+    /// Attaches a shared per-worker health registry: remote slots
+    /// record connect/reconnect/lost transitions and absorbed worker
+    /// `Stats` into it, for the `/workers` endpoint. Like the status
+    /// cell, the engine only writes; readers never perturb the search.
+    pub fn with_cluster_health(mut self, health: Arc<ClusterHealth>) -> Self {
+        self.cluster_health = Some(health);
         self
     }
 
@@ -941,17 +1130,31 @@ impl Engine {
         let live_remotes = Arc::new(AtomicUsize::new(remote_workers));
         let mut degraded = false;
         let mut supervisor = Supervisor::new();
+        // Per-slot queues so cluster jobs route deterministically
+        // (`id % workers`), giving every worker a reproducible job
+        // stream — the property that makes cross-wire profile
+        // subtrees byte-stable under the ticks clock. The shared
+        // `req_tx` queue stays as the local/degradation path.
+        let slot_alive: Arc<Vec<AtomicBool>> =
+            Arc::new((0..remote_workers).map(|_| AtomicBool::new(true)).collect());
+        let mut remote_txs: Vec<Sender<(usize, CandidateGenome)>> = Vec::new();
         if let Some(plan) = &self.cluster {
-            for addr in &plan.options.workers {
+            for (index, addr) in plan.options.workers.iter().enumerate() {
+                let (slot_tx, slot_rx) = channel::unbounded::<(usize, CandidateGenome)>();
+                remote_txs.push(slot_tx);
                 spawn_remote_slot(
                     &mut supervisor,
                     addr.clone(),
                     plan.clone(),
                     cfg.seed,
-                    req_rx.clone(),
+                    index,
+                    slot_rx,
+                    req_tx.clone(),
                     res_tx.clone(),
                     mig_tx.clone(),
                     Arc::clone(&live_remotes),
+                    Arc::clone(&slot_alive),
+                    self.cluster_health.clone(),
                     done_tx.clone(),
                     self.obs.clone(),
                 );
@@ -991,7 +1194,7 @@ impl Engine {
                     attempt,
                     cfg.eval_timeout.map(|t| Instant::now() + t),
                 );
-                req_tx.send((id, genome)).expect("workers alive");
+                route_job(&remote_txs, &slot_alive, &req_tx, id, genome);
                 id
             }};
         }
@@ -1125,6 +1328,18 @@ impl Engine {
                         }
                     }
                 }
+                // Jobs a retired slot forwarded off its queue land on
+                // the shared queue; while remotes survive, hand them
+                // back to `route_job` (once none do, the degradation
+                // path's local slots consume the queue instead).
+                while !degraded
+                    && slot_alive.iter().any(|a| a.load(Ordering::Acquire))
+                {
+                    let Ok((id, genome)) = req_rx.try_recv() else {
+                        break;
+                    };
+                    route_job(&remote_txs, &slot_alive, &req_tx, id, genome);
+                }
                 // Graceful degradation: when the last remote slot has
                 // retired, warn and fall back to local in-process
                 // evaluation rather than dying with jobs in flight.
@@ -1135,6 +1350,9 @@ impl Engine {
                         "cluster_degraded",
                         local_slots = cfg.threads,
                     );
+                    if let Some(health) = &self.cluster_health {
+                        health.set_degraded();
+                    }
                     let res_tx = degrade_res_tx
                         .clone()
                         .expect("degrade sender retained in cluster mode");
@@ -1363,6 +1581,7 @@ impl Engine {
             }
         }
         drop(req_tx); // idle workers drain and exit
+        drop(remote_txs); // retired slots stop bouncing and acknowledge
 
         // Remote slots answer the drain by killing their sessions — a
         // best-effort `kill_all` so workers wind down now instead of
@@ -1426,6 +1645,23 @@ impl Engine {
             retry_count: c.retry_count,
             timeout_count: c.timeout_count,
             respawn_count: c.respawn_count,
+            worker_latency: self.cluster.as_ref().map_or_else(Vec::new, |plan| {
+                plan.options
+                    .workers
+                    .iter()
+                    .map(|addr| {
+                        let h = self
+                            .obs
+                            .histogram_with("cluster.worker_eval_s", &[("worker", addr.as_str())]);
+                        WorkerLatency {
+                            addr: addr.clone(),
+                            jobs: h.count(),
+                            p50_s: h.quantile(0.5),
+                            p95_s: h.quantile(0.95),
+                        }
+                    })
+                    .collect()
+            }),
         };
         EngineOutcome {
             population,

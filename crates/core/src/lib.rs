@@ -78,9 +78,10 @@ pub mod workers;
 /// Convenience re-exports for the common search workflow.
 pub mod prelude {
     pub use crate::analytics::{
-        observatory, AnalyticsConfig, EpochTracker, OperatorKind, OperatorStats, ParetoArchive,
-        PopulationSnapshot, StatusCell,
+        cluster_observatory, observatory, workers_json, AnalyticsConfig, EpochTracker,
+        OperatorKind, OperatorStats, ParetoArchive, PopulationSnapshot, StatusCell,
     };
+    pub use crate::cluster::{ClusterHealth, WorkerHealthSnapshot, WorkerState};
     pub use crate::checkpoint::{CheckpointPolicy, CheckpointState};
     pub use crate::engine::{EngineStats, EvolutionConfig, SelectionMode};
     pub use crate::faults::{FaultKind, FaultSchedule, FaultyEvaluator};

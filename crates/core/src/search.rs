@@ -19,7 +19,7 @@ use rt::supervise::ShutdownFlag;
 
 use crate::analytics::StatusCell;
 use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointState};
-use crate::cluster::{ClusterOptions, ClusterPlan, SetupPayload};
+use crate::cluster::{ClusterHealth, ClusterOptions, ClusterPlan, SetupPayload};
 use crate::config::FlowConfig;
 use crate::engine::{Engine, EngineOutcome, EngineStats, Evaluated, EvolutionConfig};
 use crate::fitness::ObjectiveSet;
@@ -71,7 +71,7 @@ pub struct SearchResult {
 impl SearchResult {
     /// Run-time statistics (Table III shape).
     pub fn stats(&self) -> EngineStats {
-        self.outcome.stats
+        self.outcome.stats.clone()
     }
 
     /// True when the run stopped early (shutdown request or halt
@@ -209,6 +209,7 @@ pub struct Search {
     shutdown: Option<ShutdownFlag>,
     status: Option<StatusCell>,
     cluster: Option<ClusterOptions>,
+    cluster_health: Option<Arc<ClusterHealth>>,
 }
 
 impl Search {
@@ -238,6 +239,7 @@ impl Search {
             shutdown: None,
             status: None,
             cluster: None,
+            cluster_health: None,
         }
     }
 
@@ -405,6 +407,16 @@ impl Search {
         self
     }
 
+    /// Attaches a shared per-worker health registry
+    /// ([`ClusterHealth`]): the engine's remote slots record state
+    /// transitions and absorbed worker stats into it, and the
+    /// `/workers` endpoint serves snapshots. Only meaningful together
+    /// with [`Search::cluster`].
+    pub fn cluster_health(mut self, health: Arc<ClusterHealth>) -> Self {
+        self.cluster_health = Some(health);
+        self
+    }
+
     /// Runs the search.
     ///
     /// # Panics
@@ -469,6 +481,14 @@ impl Search {
                     objectives: self.objectives.clone(),
                     island_every: o.island_every,
                     island_k: o.island_k,
+                    // Workers profile each evaluation under the same
+                    // clock the coordinator's profiler uses, so their
+                    // subtrees graft into one coherent master tree.
+                    profile_clock: self
+                        .obs
+                        .profiler()
+                        .map(|p| p.clock().name().to_string()),
+                    stats_every: o.stats_every,
                 },
             });
         let evaluator = CodesignEvaluator::new(
@@ -500,6 +520,9 @@ impl Search {
         }
         if let Some(plan) = cluster_plan {
             engine = engine.with_cluster(plan);
+        }
+        if let Some(health) = self.cluster_health.clone() {
+            engine = engine.with_cluster_health(health);
         }
         let outcome = match self.resume_from {
             Some(state) => engine.resume(state)?,

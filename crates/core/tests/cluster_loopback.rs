@@ -144,6 +144,190 @@ fn single_worker_cluster_trace_is_byte_identical_to_local() {
 }
 
 #[test]
+fn served_cluster_run_exposes_worker_telemetry_and_keeps_trace_bytes() {
+    let ds = dataset();
+    let (local_trace, _) = traced(|obs| base_search(&ds, obs).run());
+
+    let (addr, worker, _stop) = spawn_worker();
+    let health = Arc::new(ecad_core::cluster::ClusterHealth::new(std::slice::from_ref(
+        &addr,
+    )));
+    let buf = SharedBuf::default();
+    let obs = Obs::builder()
+        .sink(rt::obs::JsonlSink::to_writer(
+            Level::Debug,
+            Box::new(buf.clone()),
+        ))
+        .build();
+    let handle = ecad_core::analytics::cluster_observatory(
+        &obs,
+        &ecad_core::analytics::StatusCell::new(),
+        Arc::clone(&health),
+    )
+    .bind("127.0.0.1:0")
+    .expect("bind cluster observatory");
+    let http_addr = handle.addr();
+    fn http_get(addr: std::net::SocketAddr, target: &str) -> String {
+        use std::io::{Read as _, Write as _};
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        write!(s, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        text.split_once("\r\n\r\n").map(|x| x.1.to_string()).unwrap()
+    }
+
+    // Scrape mid-run: once a few models are in, the labeled families
+    // and the live worker entry must already be visible.
+    let models = obs.counter("engine.models_evaluated");
+    let scraper = std::thread::spawn(move || {
+        while models.get() < 4 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        (
+            http_get(http_addr, "/metrics"),
+            http_get(http_addr, "/workers"),
+        )
+    });
+
+    let result = base_search(&ds, obs.clone())
+        .cluster(ClusterOptions {
+            workers: vec![addr.clone()],
+            stats_every: 2,
+            net_timeout: Duration::from_secs(30),
+            ..ClusterOptions::default()
+        })
+        .cluster_health(Arc::clone(&health))
+        .run();
+    obs.flush();
+    worker.join().expect("worker exits after kill_all");
+
+    let (mid_metrics, mid_workers) = scraper.join().expect("mid-run scrape");
+    let label = format!("worker=\"{addr}\"");
+    assert!(
+        mid_metrics.contains("cluster_worker_jobs{") && mid_metrics.contains(&label),
+        "mid-run /metrics must carry worker-labeled families:\n{mid_metrics}"
+    );
+    let mid = rt::json::Json::parse(&mid_workers).expect("/workers is json");
+    assert_eq!(
+        mid.get("workers")
+            .and_then(rt::json::Json::as_array)
+            .map(<[rt::json::Json]>::len),
+        Some(1)
+    );
+
+    // Post-run the picture is deterministic: the final pre-Bye Stats
+    // frame carries the worker's complete counters.
+    let final_workers =
+        rt::json::Json::parse(&http_get(http_addr, "/workers")).expect("/workers is json");
+    let w = &final_workers
+        .get("workers")
+        .and_then(rt::json::Json::as_array)
+        .unwrap()[0];
+    assert_eq!(
+        w.get("state").and_then(rt::json::Json::as_str),
+        Some("connected")
+    );
+    assert_eq!(w.get("jobs").and_then(rt::json::Json::as_f64), Some(14.0));
+    assert!(w.get("eval_p50_s").and_then(rt::json::Json::as_f64).unwrap() > 0.0);
+    assert_eq!(final_workers.get("degraded"), Some(&rt::json::Json::Bool(false)));
+    let final_metrics = http_get(http_addr, "/metrics");
+    assert!(
+        final_metrics.contains(&format!("cluster_worker_jobs{{{label}}} 14")),
+        "worker-labeled jobs gauge must reach the budget:\n{final_metrics}"
+    );
+    handle.stop();
+
+    // Per-worker latency lands in the run's stats, and serving +
+    // scraping never perturbs the seeded trace.
+    let stats = result.stats();
+    assert_eq!(stats.worker_latency.len(), 1);
+    assert_eq!(stats.worker_latency[0].addr, addr);
+    assert_eq!(stats.worker_latency[0].jobs, 14);
+    assert!(stats.worker_latency[0].p50_s > 0.0);
+    assert_eq!(
+        local_trace,
+        buf.contents(),
+        "served cluster JSONL must match the local engine byte-for-byte"
+    );
+}
+
+#[test]
+fn two_worker_profiles_graft_deterministically_under_ticks() {
+    let ds = dataset();
+
+    // Fixed addresses across both runs so the grafted subtree names
+    // (`worker:<addr>`) are byte-stable; seeds-only budget so the
+    // `id % workers` routing gives each worker the same job stream in
+    // both runs.
+    let run = |addrs: &[String]| -> String {
+        let profiler = rt::prof::Profiler::with_root(rt::prof::ClockKind::Ticks, "search");
+        let obs = Obs::builder().profiler(profiler.clone()).build();
+        let mut trainer = TrainConfig::fast();
+        trainer.epochs = 4;
+        let result = Search::on_dataset(&ds)
+            .space(
+                SearchSpace::fpga_default()
+                    .with_neurons(4, 24)
+                    .with_layers(1, 2),
+            )
+            .evaluations(6)
+            .population(6)
+            .seed(11)
+            .threads(1)
+            .trainer(trainer)
+            .obs(obs)
+            .cluster(ClusterOptions {
+                workers: addrs.to_vec(),
+                stats_every: 2,
+                net_timeout: Duration::from_secs(30),
+                ..ClusterOptions::default()
+            })
+            .run();
+        assert_eq!(result.stats().models_evaluated, 6);
+        rt::prof::profile_to_json(profiler.clock(), &profiler.report()).pretty()
+    };
+
+    let (addr_a, worker_a, _stop_a) = spawn_worker();
+    let (addr_b, worker_b, _stop_b) = spawn_worker();
+    let addrs = vec![addr_a.clone(), addr_b.clone()];
+    let first = run(&addrs);
+    worker_a.join().expect("worker a exits");
+    worker_b.join().expect("worker b exits");
+
+    // Re-bind the *same* ports for the second run (free again after
+    // the kill_all drained the first pair).
+    let rebind = |addr: &str| {
+        let server =
+            WorkerServer::bind(addr, WorkerOptions::default(), Obs::disabled()).expect("rebind");
+        std::thread::spawn(move || server.run().expect("worker serve loop"))
+    };
+    let worker_a = rebind(&addr_a);
+    let worker_b = rebind(&addr_b);
+    let second = run(&addrs);
+    worker_a.join().expect("worker a exits");
+    worker_b.join().expect("worker b exits");
+
+    assert!(
+        first.contains("worker:"),
+        "master profile must graft worker subtrees:\n{first}"
+    );
+    for addr in &addrs {
+        assert!(
+            first.contains(&format!("worker:{addr}")),
+            "each worker's subtree must appear under its own root:\n{first}"
+        );
+    }
+    assert!(
+        first.contains("\"evaluate\""),
+        "worker subtrees carry the worker-side evaluate span:\n{first}"
+    );
+    assert_eq!(
+        first, second,
+        "two seeded ticks-clock cluster runs must export byte-identical master profiles"
+    );
+}
+
+#[test]
 fn coordinator_degrades_to_local_when_no_worker_is_reachable() {
     let ds = dataset();
     // Nothing listens here: every connect refuses, the reconnect budget

@@ -347,28 +347,69 @@ fn prom_name(name: &str) -> String {
     out
 }
 
+/// Splits a registry key into its metric name and (possibly empty)
+/// label block. Labeled keys are built by `rt::obs::labeled_key` as
+/// `name{k="v",...}` with values already escaped, so the block after
+/// the first `{` passes through to the exposition verbatim.
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(at) => (&key[..at], &key[at..]),
+        None => (key, ""),
+    }
+}
+
+/// Appends one more `label="value"` pair to a rendered label block
+/// (`""` or `{...}`), used to merge `quantile` into a summary sample's
+/// existing labels.
+fn with_label(block: &str, label: &str, value: &str) -> String {
+    match block.strip_suffix('}') {
+        Some(open) if open.len() > 1 => format!("{open},{label}=\"{value}\"}}"),
+        _ => format!("{{{label}=\"{value}\"}}"),
+    }
+}
+
 /// Renders a metrics snapshot (as returned by `Obs::snapshot`) in the
 /// Prometheus text exposition format. Counters and gauges become one
 /// sample each; histograms become a summary: `{quantile=...}` samples
-/// plus `_sum` and `_count`.
+/// plus `_sum` and `_count`. Labeled registry keys
+/// (`name{worker="a:1"}`) render with their label block intact —
+/// label values were escaped at key-build time
+/// (`rt::obs::labeled_key`), so quotes, backslashes, and newlines in
+/// values survive the text format. A `# TYPE` line is emitted once per
+/// family: snapshots are sorted, so all series of one family are
+/// adjacent.
 pub fn prometheus_text(entries: &[(String, MetricValue)]) -> String {
     let mut out = String::new();
-    for (name, value) in entries {
-        let n = prom_name(name);
+    let mut last_family: Option<String> = None;
+    for (key, value) in entries {
+        let (raw_name, labels) = split_key(key);
+        let n = prom_name(raw_name);
+        if last_family.as_deref() != Some(n.as_str()) {
+            let kind = match value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "summary",
+            };
+            out.push_str(&format!("# TYPE {n} {kind}\n"));
+            last_family = Some(n.clone());
+        }
         match value {
             MetricValue::Counter(c) => {
-                out.push_str(&format!("# TYPE {n} counter\n{n} {c}\n"));
+                out.push_str(&format!("{n}{labels} {c}\n"));
             }
             MetricValue::Gauge(g) => {
-                out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", prom_f64(*g)));
+                out.push_str(&format!("{n}{labels} {}\n", prom_f64(*g)));
             }
             MetricValue::Histogram(h) => {
-                out.push_str(&format!("# TYPE {n} summary\n"));
                 for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
-                    out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", prom_f64(v)));
+                    out.push_str(&format!(
+                        "{n}{} {}\n",
+                        with_label(labels, "quantile", q),
+                        prom_f64(v)
+                    ));
                 }
-                out.push_str(&format!("{n}_sum {}\n", prom_f64(h.sum)));
-                out.push_str(&format!("{n}_count {}\n", h.count));
+                out.push_str(&format!("{n}_sum{labels} {}\n", prom_f64(h.sum)));
+                out.push_str(&format!("{n}_count{labels} {}\n", h.count));
             }
         }
     }
@@ -423,6 +464,64 @@ pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
     Ok(samples)
 }
 
+/// Parses a label block body (after the opening `{`) handling the
+/// text-format escapes in quoted values — `\\`, `\"`, and `\n` — so a
+/// value may contain `}`, `,`, or `"` without breaking the line apart.
+/// Returns the decoded pairs and the remainder after the closing `}`.
+fn parse_label_block<'a>(
+    body: &'a str,
+    line: &str,
+) -> Result<(Vec<(String, String)>, &'a str), String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim_start();
+    loop {
+        if let Some(tail) = rest.strip_prefix('}') {
+            return Ok((labels, tail));
+        }
+        let key_end = rest
+            .char_indices()
+            .find(|&(_, c)| !is_name_char(c))
+            .map_or(rest.len(), |(i, _)| i);
+        let key = &rest[..key_end];
+        if key.is_empty() || !key.chars().next().is_some_and(is_name_start) {
+            return Err(format!("bad label name in {line:?}"));
+        }
+        rest = rest[key_end..]
+            .strip_prefix('=')
+            .and_then(|r| r.strip_prefix('"'))
+            .ok_or_else(|| format!("unquoted label value in {line:?}"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let after_quote = loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| format!("unterminated label value in {line:?}"))?;
+            match c {
+                '"' => break i + 1,
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!(
+                            "bad escape \\{} in {line:?}",
+                            other.map_or(String::new(), |(_, c)| c.to_string())
+                        ))
+                    }
+                },
+                other => value.push(other),
+            }
+        };
+        labels.push((key.to_string(), value));
+        rest = rest[after_quote..].trim_start();
+        if let Some(tail) = rest.strip_prefix(',') {
+            rest = tail.trim_start();
+        } else if !rest.starts_with('}') {
+            return Err(format!("expected ',' or '}}' in label set of {line:?}"));
+        }
+    }
+}
+
 fn parse_sample(line: &str) -> Result<Sample, String> {
     let mut chars = line.char_indices().peekable();
     match chars.peek() {
@@ -441,28 +540,9 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
 
     let mut labels = Vec::new();
     if let Some(stripped) = rest.strip_prefix('{') {
-        let close = stripped
-            .find('}')
-            .ok_or_else(|| format!("unterminated label set in {line:?}"))?;
-        let body = &stripped[..close];
-        rest = &stripped[close + 1..];
-        for pair in body.split(',') {
-            let pair = pair.trim();
-            if pair.is_empty() {
-                continue;
-            }
-            let (k, v) = pair
-                .split_once('=')
-                .ok_or_else(|| format!("bad label pair {pair:?}"))?;
-            let v = v
-                .strip_prefix('"')
-                .and_then(|s| s.strip_suffix('"'))
-                .ok_or_else(|| format!("unquoted label value in {pair:?}"))?;
-            if k.is_empty() || !k.chars().next().is_some_and(is_name_start) {
-                return Err(format!("bad label name {k:?}"));
-            }
-            labels.push((k.to_string(), v.to_string()));
-        }
+        let (parsed, tail) = parse_label_block(stripped, line)?;
+        labels = parsed;
+        rest = tail;
     }
 
     let mut fields = rest.split_whitespace();
@@ -655,6 +735,70 @@ mod tests {
             .unwrap();
         assert_eq!(q99.name, "span_train_s");
         assert_eq!(q99.value, 0.3);
+    }
+
+    #[test]
+    fn labeled_families_render_and_round_trip() {
+        let weird = "pa\\th \"q\"\nend"; // backslash, quotes, newline
+        let entries = vec![
+            (
+                crate::obs::labeled_key("cluster.worker_jobs", &[("worker", "127.0.0.1:9471")]),
+                MetricValue::Counter(7),
+            ),
+            (
+                crate::obs::labeled_key("cluster.worker_jobs", &[("worker", weird)]),
+                MetricValue::Counter(9),
+            ),
+            (
+                crate::obs::labeled_key(
+                    "cluster.worker_eval_s",
+                    &[("worker", "127.0.0.1:9471")],
+                ),
+                MetricValue::Histogram(HistogramSummary {
+                    count: 2,
+                    sum: 0.3,
+                    p50: 0.1,
+                    p90: 0.2,
+                    p99: 0.2,
+                }),
+            ),
+        ];
+        let text = prometheus_text(&entries);
+        // One TYPE line per family even with several labeled series.
+        assert_eq!(text.matches("# TYPE cluster_worker_jobs counter").count(), 1);
+        assert!(text.contains("cluster_worker_jobs{worker=\"127.0.0.1:9471\"} 7"));
+        // The summary merges quantile into the existing label block.
+        assert!(text
+            .contains("cluster_worker_eval_s{worker=\"127.0.0.1:9471\",quantile=\"0.5\"}"));
+        assert!(text.contains("cluster_worker_eval_s_sum{worker=\"127.0.0.1:9471\"}"));
+
+        let samples = parse_exposition(&text).expect("parses");
+        let odd = samples
+            .iter()
+            .find(|s| s.name == "cluster_worker_jobs" && s.value == 9.0)
+            .expect("escaped series survives");
+        assert_eq!(odd.labels, vec![("worker".to_string(), weird.to_string())]);
+    }
+
+    #[test]
+    fn label_parser_handles_escapes_and_rejects_bad_ones() {
+        let samples =
+            parse_exposition("m{a=\"x\\\\y\",b=\"q\\\"z\",c=\"l\\nr\"} 1\n").expect("parses");
+        assert_eq!(
+            samples[0].labels,
+            vec![
+                ("a".to_string(), "x\\y".to_string()),
+                ("b".to_string(), "q\"z".to_string()),
+                ("c".to_string(), "l\nr".to_string()),
+            ]
+        );
+        // A `}` inside a quoted value must not terminate the block.
+        let samples = parse_exposition("m{a=\"v}w\"} 2\n").expect("parses");
+        assert_eq!(samples[0].labels[0].1, "v}w");
+        assert!(parse_exposition("m{a=\"v\\qx\"} 1\n").is_err(), "unknown escape");
+        assert!(parse_exposition("m{a=\"open 1\n").is_err(), "unterminated value");
+        assert!(parse_exposition("m{a=\"v\"b=\"w\"} 1\n").is_err(), "missing comma");
+        assert!(parse_exposition("m{} 3\n").is_ok(), "empty label set");
     }
 
     #[test]

@@ -854,6 +854,66 @@ impl HistogramHandle {
             |h| h.summary(),
         )
     }
+
+    /// The `q`-quantile (zero on a disabled or empty handle) — the
+    /// hook for summaries beyond the fixed p50/p90/p99 set, e.g. the
+    /// per-worker p95 latency the cluster health endpoint reports.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.0.as_ref().map_or(0.0, |h| h.quantile(q))
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.count())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Labeled metric keys
+// ---------------------------------------------------------------------------
+
+/// Escapes a label value per the Prometheus text-format spec:
+/// backslash, double-quote, and newline must be written as `\\`, `\"`,
+/// and `\n` inside the quoted value.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Builds the canonical registry key for a labeled metric:
+/// `name{k1="v1",k2="v2"}` with labels sorted by key and values
+/// escaped. The registry stays a flat string map — a label set is just
+/// part of the key — so snapshots remain sorted and deterministic, and
+/// the Prometheus renderer can split the key back apart at the first
+/// `{`. With no labels the key is the bare name.
+pub fn labeled_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::with_capacity(name.len() + 16 * sorted.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push_str("\"");
+    }
+    out.push('}');
+    out
 }
 
 enum Metric {
@@ -1046,6 +1106,35 @@ impl Obs {
         name: &'static str,
         fields: Vec<(&'static str, Value)>,
     ) -> Span {
+        self.span_inner(level, target, name, fields, true)
+    }
+
+    /// Opens a span that never enters the attached profiler, even when
+    /// one is installed. Proxy threads that merely *wait* on remote
+    /// work use this: letting them read the deterministic ticks clock
+    /// would interleave racily with the master thread's reads and break
+    /// profile byte-identity, and their wall time is network wait, not
+    /// attribution-worthy work. Histogram recording and close events
+    /// behave exactly like [`Obs::span`] (minus the `path`/`span_us`
+    /// fields only profiled spans carry).
+    pub fn span_detached(
+        &self,
+        level: Level,
+        target: &'static str,
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) -> Span {
+        self.span_inner(level, target, name, fields, false)
+    }
+
+    fn span_inner(
+        &self,
+        level: Level,
+        target: &'static str,
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+        profiled: bool,
+    ) -> Span {
         let Some(inner) = &self.inner else {
             return Span { state: None };
         };
@@ -1058,7 +1147,11 @@ impl Obs {
                 })
                 .clone()
         };
-        let prof = inner.profiler.as_ref().map(|p| p.enter(name));
+        let prof = if profiled {
+            inner.profiler.as_ref().map(|p| p.enter(name))
+        } else {
+            None
+        };
         Span {
             state: Some(SpanState {
                 obs: self.clone(),
@@ -1105,6 +1198,38 @@ impl Obs {
     /// Panics if `name` is already registered as a different kind.
     pub fn histogram(&self, name: &str) -> HistogramHandle {
         HistogramHandle(self.inner.as_ref().map(|i| i.metrics.histogram(name)))
+    }
+
+    /// A counter handle for `name` with a label set (e.g.
+    /// `worker="host:port"`). Each distinct label-value combination is
+    /// its own time series; see [`labeled_key`] for the key encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labeled key is already registered as a different
+    /// kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.counter(&labeled_key(name, labels))
+    }
+
+    /// A gauge handle for `name` with a label set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labeled key is already registered as a different
+    /// kind.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.gauge(&labeled_key(name, labels))
+    }
+
+    /// A histogram handle for `name` with a label set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labeled key is already registered as a different
+    /// kind.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> HistogramHandle {
+        self.histogram(&labeled_key(name, labels))
     }
 
     /// All registered metrics, sorted by name.
@@ -1362,6 +1487,21 @@ macro_rules! warn {
 macro_rules! span {
     ($obs:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
         $obs.span(
+            $crate::obs::Level::Debug,
+            module_path!(),
+            $name,
+            vec![$((stringify!($k), $crate::obs::Value::from($v))),*],
+        )
+    };
+}
+
+/// Like [`span!`] but never enters the attached profiler — see
+/// [`Obs::span_detached`](crate::obs::Obs::span_detached) for when a
+/// proxy thread needs this.
+#[macro_export]
+macro_rules! span_detached {
+    ($obs:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $obs.span_detached(
             $crate::obs::Level::Debug,
             module_path!(),
             $name,

@@ -89,6 +89,9 @@ struct Shared {
     epoch: Instant,
     ticks: AtomicU64,
     master: Mutex<MergedNode>,
+    /// Imported subtrees (e.g. cross-wire worker profiles) grafted
+    /// under the root at export time, keyed by graft name.
+    grafts: Mutex<Vec<(String, ProfileNode)>>,
 }
 
 impl Shared {
@@ -140,6 +143,7 @@ impl Profiler {
                 epoch: Instant::now(),
                 ticks: AtomicU64::new(0),
                 master: Mutex::new(MergedNode::default()),
+                grafts: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -179,12 +183,50 @@ impl Profiler {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut root = export(self.shared.root, &master);
+        drop(master);
+        // Graft imported subtrees (cross-wire worker profiles) as
+        // additional top-level children, renamed to their graft key.
+        // Children stay name-sorted, so a set of grafts exports the
+        // same bytes no matter the order they arrived in.
+        let grafts = self
+            .shared
+            .grafts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (name, sub) in grafts.iter() {
+            let mut sub = sub.clone();
+            sub.name = name.clone();
+            root.children.push(sub);
+        }
+        drop(grafts);
+        root.children.sort_by(|a, b| a.name.cmp(&b.name));
         // The root is synthetic (never itself closed): its total is the
         // sum of its top-level phases and it has no self time.
         root.total_ns = root.children.iter().map(|c| c.total_ns).sum();
         root.self_ns = 0;
         root.calls = 1;
         root
+    }
+
+    /// Grafts an imported subtree (e.g. a worker's profile shipped over
+    /// the wire) under the root as a top-level child named `name`.
+    /// Attaching under an existing name replaces the previous subtree —
+    /// periodic snapshots are cumulative, so the latest wins — and the
+    /// export stays invariant to attach order because [`report`]
+    /// name-sorts its children.
+    ///
+    /// [`report`]: Profiler::report
+    pub fn attach_subtree(&self, name: &str, subtree: ProfileNode) {
+        let mut grafts = self
+            .shared
+            .grafts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(slot) = grafts.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = subtree;
+        } else {
+            grafts.push((name.to_string(), subtree));
+        }
     }
 
     /// Total seconds per top-level phase (depth-1 child of the root),
@@ -757,6 +799,60 @@ mod tests {
             profile_to_json(p.clock(), &p.report()).pretty()
         };
         assert_eq!(run([0, 1]), run([1, 0]));
+    }
+
+    fn worker_subtree(scale: u64) -> ProfileNode {
+        let gemm = ProfileNode {
+            name: "gemm".to_string(),
+            total_ns: scale * TICK_NS,
+            self_ns: scale * TICK_NS,
+            calls: scale,
+            children: Vec::new(),
+        };
+        ProfileNode {
+            name: "worker".to_string(),
+            total_ns: 3 * scale * TICK_NS,
+            self_ns: 2 * scale * TICK_NS,
+            calls: 1,
+            children: vec![gemm],
+        }
+    }
+
+    #[test]
+    fn attached_subtrees_are_permutation_invariant() {
+        // Cross-wire import: the same pair of worker subtrees attached
+        // in either order exports identical bytes.
+        let run = |order: [u64; 2]| {
+            let p = ticks();
+            {
+                let _i = p.install();
+                let _d = span("dispatch");
+            }
+            for slot in order {
+                p.attach_subtree(&format!("worker:{slot}"), worker_subtree(slot));
+            }
+            profile_to_json(p.clock(), &p.report()).pretty()
+        };
+        assert_eq!(run([1, 2]), run([2, 1]));
+        let text = run([1, 2]);
+        assert!(text.contains("worker:1") && text.contains("worker:2"));
+    }
+
+    #[test]
+    fn attach_subtree_replaces_by_name_and_feeds_root_total() {
+        let p = ticks();
+        p.attach_subtree("worker:0", worker_subtree(5));
+        // Periodic snapshots are cumulative: a later snapshot under the
+        // same name replaces the earlier one instead of accumulating.
+        p.attach_subtree("worker:0", worker_subtree(2));
+        p.attach_subtree("worker:1", worker_subtree(1));
+        let root = p.report();
+        assert_eq!(root.children.len(), 2);
+        let w0 = root.find("worker:0").unwrap();
+        assert_eq!(w0.total_ns, 6 * TICK_NS);
+        assert_eq!(w0.find("gemm").unwrap().calls, 2);
+        assert_eq!(root.total_ns, 6 * TICK_NS + 3 * TICK_NS);
+        assert_eq!(root.self_ns, 0);
     }
 
     /// Property: over random span programs, child totals never exceed

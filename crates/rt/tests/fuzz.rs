@@ -14,8 +14,9 @@
 //! printed `RT_CHECK_SEED`.
 
 use rt::check::{from_fn, select, vec, CheckRng};
-use rt::http::parse_exposition;
+use rt::http::{parse_exposition, prometheus_text};
 use rt::json::Json;
+use rt::obs::{labeled_key, MetricValue};
 use rt::rand::Rng;
 
 /// Characters chosen to stress every serializer escape path: quotes,
@@ -112,4 +113,46 @@ rt::prop! {
         let text = lines.join("\n");
         let _ = parse_exposition(&text);
     }
+
+    /// Labeled families round-trip: keys built by `labeled_key` from
+    /// adversarial label values (backslashes, quotes, newlines, and the
+    /// block delimiters `}` `,` `=`) must render through
+    /// `prometheus_text` and parse back to the original decoded values.
+    fn prometheus_labeled_families_round_trip(
+        values in vec(from_fn(arbitrary_label_value), 1..6),
+    ) {
+        let mut entries = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            let name = if i % 2 == 0 { "fam_counter" } else { "fam_gauge" };
+            let key = labeled_key(name, &[("worker", v), ("slot", "s0")]);
+            let value = if i % 2 == 0 {
+                MetricValue::Counter(i as u64)
+            } else {
+                MetricValue::Gauge(i as f64 * 0.5)
+            };
+            entries.push((key, value));
+        }
+        let text = prometheus_text(&entries);
+        let samples = parse_exposition(&text).expect("labeled exposition parses");
+        rt::prop_assert_eq!(samples.len(), entries.len());
+        for (i, v) in values.iter().enumerate() {
+            let got = &samples[i];
+            let worker = got
+                .labels
+                .iter()
+                .find(|(k, _)| k == "worker")
+                .map(|(_, v)| v.as_str());
+            rt::prop_assert_eq!(worker, Some(v.as_str()));
+        }
+    }
+}
+
+/// Label values biased toward the characters the escaper and the
+/// escape-aware parser must agree on.
+fn arbitrary_label_value(rng: &mut CheckRng) -> String {
+    const CHARS: &[char] = &['a', 'b', '\\', '"', '\n', '}', '{', ',', '=', ' ', 'é', '☃'];
+    let len = rng.gen_range(0usize..10);
+    (0..len)
+        .map(|_| CHARS[rng.gen_range(0usize..CHARS.len())])
+        .collect()
 }
